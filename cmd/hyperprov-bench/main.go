@@ -1,0 +1,106 @@
+// Command hyperprov-bench regenerates the paper's evaluation: one
+// experiment per figure (Figs 1–3) plus the ablations documented in
+// DESIGN.md. Results print as text tables containing the rows each figure
+// plots; all durations and rates are in modeled hardware time.
+//
+// Usage:
+//
+//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hyperprov/hyperprov/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, or all")
+	quick := flag.Bool("quick", false, "use reduced sweep sizes and windows")
+	flag.Parse()
+	if err := run(*experiment, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperprov-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, quick bool) error {
+	sweep := bench.DefaultSweep()
+	energyCfg := bench.DefaultEnergy()
+	if quick {
+		sweep = bench.QuickSweep()
+		energyCfg = bench.QuickEnergy()
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "fig1":
+			res, err := bench.RunFig1(sweep)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+		case "fig2":
+			res, err := bench.RunFig2(sweep)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+		case "fig3":
+			res, err := bench.RunFig3(energyCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+		case "batch":
+			cfg := bench.DefaultBatchAblation()
+			if quick {
+				cfg.BatchSizes = []int{1, 20}
+				cfg.WallPerPoint = sweep.WallPerPoint
+			}
+			res, err := bench.RunBatchAblation(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+		case "onchain":
+			cfg := bench.DefaultOnchainAblation()
+			if quick {
+				cfg.Sizes = []int{1 << 10, 128 << 10}
+				cfg.WallPerPoint = sweep.WallPerPoint
+			}
+			off, on, err := bench.RunOnchainAblation(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(off.Format())
+			fmt.Println(on.Format())
+		case "raft":
+			cfg := bench.DefaultRaftAblation()
+			if quick {
+				cfg.WallPerPhase = sweep.WallPerPoint
+			}
+			res, err := bench.RunRaftAblation(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if experiment == "all" {
+		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft"} {
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return runOne(experiment)
+}

@@ -1,0 +1,167 @@
+// Package blockstore defines the block and transaction envelope structures
+// and an append-only, hash-chained block store — the tamper-proof ledger
+// that gives HyperProv its integrity guarantees. Block headers chain by
+// SHA-256 exactly as in Fabric: each header carries the hash of the previous
+// header and a hash over the block's transaction data.
+package blockstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// ValidationCode records the per-transaction outcome decided at commit time.
+type ValidationCode int
+
+// Validation outcomes, mirroring Fabric's TxValidationCode.
+const (
+	TxValid ValidationCode = iota + 1
+	TxMVCCConflict
+	TxEndorsementPolicyFailure
+	TxBadSignature
+	TxMalformed
+)
+
+// String returns a short human-readable form of the validation code.
+func (c ValidationCode) String() string {
+	switch c {
+	case TxValid:
+		return "VALID"
+	case TxMVCCConflict:
+		return "MVCC_READ_CONFLICT"
+	case TxEndorsementPolicyFailure:
+		return "ENDORSEMENT_POLICY_FAILURE"
+	case TxBadSignature:
+		return "BAD_SIGNATURE"
+	case TxMalformed:
+		return "MALFORMED"
+	default:
+		return fmt.Sprintf("code(%d)", int(c))
+	}
+}
+
+// Endorsement is one peer's signature over a proposal response payload.
+type Endorsement struct {
+	Endorser  []byte `json:"endorser"`  // serialized identity of the endorsing peer
+	Signature []byte `json:"signature"` // over the response payload
+}
+
+// Envelope is a client-signed transaction as submitted to ordering: the
+// proposal, the simulated read/write set, and the collected endorsements.
+type Envelope struct {
+	TxID         string        `json:"txId"`
+	ChannelID    string        `json:"channelId"`
+	Chaincode    string        `json:"chaincode"`
+	Function     string        `json:"function"`
+	Args         [][]byte      `json:"args,omitempty"`
+	Creator      []byte        `json:"creator"` // serialized identity of submitting client
+	Timestamp    time.Time     `json:"timestamp"`
+	RWSet        []byte        `json:"rwset"` // marshaled rwset.ReadWriteSet
+	Response     []byte        `json:"response,omitempty"`
+	Events       []byte        `json:"events,omitempty"` // marshaled chaincode events
+	Endorsements []Endorsement `json:"endorsements,omitempty"`
+	Signature    []byte        `json:"signature"` // client signature over SignedBytes
+}
+
+// SignedBytes returns the deterministic byte string the client signs and
+// validators verify. The signature field itself is excluded.
+func (e *Envelope) SignedBytes() []byte {
+	cp := *e
+	cp.Signature = nil
+	b, _ := json.Marshal(&cp)
+	return b
+}
+
+// Marshal encodes the envelope for transport and block inclusion.
+func (e *Envelope) Marshal() ([]byte, error) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: marshal envelope: %w", err)
+	}
+	return b, nil
+}
+
+// UnmarshalEnvelope decodes an envelope produced by Marshal.
+func UnmarshalEnvelope(b []byte) (*Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, fmt.Errorf("blockstore: unmarshal envelope: %w", err)
+	}
+	return &e, nil
+}
+
+// Header is a block header; headers form the hash chain.
+type Header struct {
+	Number       uint64 `json:"number"`
+	PreviousHash []byte `json:"previousHash"`
+	DataHash     []byte `json:"dataHash"`
+}
+
+// Hash returns the SHA-256 hash of the header, which the next block's
+// PreviousHash must equal.
+func (h *Header) Hash() []byte {
+	b, _ := json.Marshal(h)
+	sum := sha256.Sum256(b)
+	return sum[:]
+}
+
+// Block is an ordered batch of envelopes plus per-transaction validation
+// flags filled in by the committing peer.
+type Block struct {
+	Header    Header     `json:"header"`
+	Envelopes []Envelope `json:"envelopes"`
+	// TxValidation is parallel to Envelopes; zero until the peer validates.
+	TxValidation []ValidationCode `json:"txValidation,omitempty"`
+}
+
+// ComputeDataHash hashes the block's transaction data: a SHA-256 over the
+// concatenated per-envelope hashes (a flat Merkle summary).
+func ComputeDataHash(envs []Envelope) ([]byte, error) {
+	h := sha256.New()
+	for i := range envs {
+		eb, err := envs[i].Marshal()
+		if err != nil {
+			return nil, err
+		}
+		sum := sha256.Sum256(eb)
+		h.Write(sum[:])
+	}
+	return h.Sum(nil), nil
+}
+
+// NewBlock assembles a block with the correct data hash, chained onto
+// prevHash.
+func NewBlock(number uint64, prevHash []byte, envs []Envelope) (*Block, error) {
+	dh, err := ComputeDataHash(envs)
+	if err != nil {
+		return nil, err
+	}
+	return &Block{
+		Header:    Header{Number: number, PreviousHash: prevHash, DataHash: dh},
+		Envelopes: envs,
+	}, nil
+}
+
+// VerifyData checks the block's data hash against its contents.
+func (b *Block) VerifyData() error {
+	dh, err := ComputeDataHash(b.Envelopes)
+	if err != nil {
+		return err
+	}
+	if hex.EncodeToString(dh) != hex.EncodeToString(b.Header.DataHash) {
+		return fmt.Errorf("blockstore: block %d data hash mismatch", b.Header.Number)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the block (envelopes share no mutable state
+// with the original); peers clone before annotating validation flags.
+func (b *Block) Clone() *Block {
+	raw, _ := json.Marshal(b)
+	var cp Block
+	_ = json.Unmarshal(raw, &cp)
+	return &cp
+}

@@ -1,0 +1,154 @@
+package blockstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func fillFileStore(t *testing.T, s *FileStore, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		b, err := NewBlock(uint64(i), s.LastHash(), []Envelope{mkEnv(fmt.Sprintf("tx-%d", i), "set")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(b); err != nil {
+			t.Fatalf("Append block %d: %v", i, err)
+		}
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.jsonl")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillFileStore(t, s, 0, 5)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if s2.Height() != 5 {
+		t.Fatalf("reloaded height = %d, want 5", s2.Height())
+	}
+	if err := s2.VerifyChain(); err != nil {
+		t.Errorf("reloaded chain: %v", err)
+	}
+	env, code, err := s2.GetTx("tx-3")
+	if err != nil || code != TxValid || env.TxID != "tx-3" {
+		t.Errorf("GetTx after reload = %v %v %v", env, code, err)
+	}
+	// Appending continues the chain.
+	fillFileStore(t, s2, 5, 2)
+	if s2.Height() != 7 {
+		t.Errorf("height after continued appends = %d", s2.Height())
+	}
+}
+
+func TestFileStoreDiscardsTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.jsonl")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillFileStore(t, s, 0, 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial JSON line at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"header":{"number":3,"previo`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer s2.Close()
+	if s2.Height() != 3 {
+		t.Fatalf("height after crash recovery = %d, want 3", s2.Height())
+	}
+	// New appends must produce a consistent file.
+	fillFileStore(t, s2, 3, 1)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Height() != 4 {
+		t.Errorf("final height = %d, want 4", s3.Height())
+	}
+}
+
+func TestFileStoreRejectsTamperedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.jsonl")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillFileStore(t, s, 0, 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with a committed envelope on disk: the data hash breaks, so
+	// reopening must fail the chain check.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := []byte(string(raw))
+	replaced := false
+	for i := range tampered {
+		if string(tampered[i:i+8]) == `"tx-1"`+`,"` {
+			copy(tampered[i:], []byte(`"tx-X"`))
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		// Fallback: flip a byte inside the middle of the file.
+		tampered[len(tampered)/2] ^= 0x01
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("tampered block file loaded without error")
+	}
+}
+
+func TestFileStoreSequenceStillEnforced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.jsonl")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillFileStore(t, s, 0, 2)
+	bad, err := NewBlock(7, s.LastHash(), []Envelope{mkEnv("bad", "set")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(bad); err == nil {
+		t.Error("out-of-sequence append accepted")
+	}
+	if err := s.Sync(); err != nil {
+		t.Errorf("Sync: %v", err)
+	}
+}

@@ -1,0 +1,460 @@
+// Package provenance implements the HyperProv chaincode: the smart contract
+// that stores provenance metadata (checksum, off-chain data location,
+// creator certificate, parent lineage, custom metadata) in the ledger and
+// answers the paper's built-in provenance queries — record retrieval,
+// per-key history, checksum lookup, and lineage traversal in both
+// directions.
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// ChaincodeName is the name the contract is deployed under.
+const ChaincodeName = "hyperprov"
+
+// Function names accepted by Invoke.
+const (
+	FnSet            = "set"            // Post: write a provenance record
+	FnGet            = "get"            // Get: read the latest record for a key
+	FnGetHistory     = "getHistory"     // GetKeyHistory: all versions of a key
+	FnGetByChecksum  = "getByChecksum"  // reverse lookup checksum -> key
+	FnGetLineage     = "getLineage"     // ancestors (transitive parents)
+	FnGetDescendants = "getDescendants" // reverse lineage (items derived from key)
+	FnDelete         = "delete"         // tombstone a record
+	FnGetStats       = "getStats"       // record/edge counters
+)
+
+// State key prefixes. Records live under plain keys so range queries work;
+// indexes use composite keys. There is deliberately no global counter key:
+// a read-modify-write hot key would make every pair of concurrent Posts
+// MVCC-conflict (stats are computed by range scan instead).
+const (
+	idxChecksum = "cs"   // checksum -> key
+	idxChild    = "edge" // (parent, child) edges for descendant queries
+)
+
+// maxLineageDepth bounds lineage traversal; provenance DAGs in the paper's
+// workloads are shallow, and the bound keeps malicious cycles from looping.
+const maxLineageDepth = 64
+
+// Record is the on-chain provenance record (§3 of the paper: checksum,
+// data location, creator certificate, parent items, custom metadata).
+type Record struct {
+	Key      string `json:"key"`
+	Checksum string `json:"checksum"`
+	Location string `json:"location,omitempty"`
+	// Creator is the display identity recorded for provenance queries.
+	Creator string `json:"creator"`
+	// Owner is the verified wire identity that may update or delete the
+	// record (see acl.go); it equals Creator unless the client supplied a
+	// custom display creator.
+	Owner     string            `json:"owner,omitempty"`
+	Parents   []string          `json:"parents,omitempty"`
+	Meta      map[string]string `json:"meta,omitempty"`
+	TxID      string            `json:"txid"`
+	Timestamp time.Time         `json:"timestamp"`
+}
+
+// HistoryRecord is one historical version of a record.
+type HistoryRecord struct {
+	Record   *Record   `json:"record,omitempty"`
+	TxID     string    `json:"txId"`
+	IsDelete bool      `json:"isDelete,omitempty"`
+	BlockNum uint64    `json:"blockNum"`
+	Time     time.Time `json:"timestamp"`
+}
+
+// Stats summarizes the contract's stored volume.
+type Stats struct {
+	Records uint64 `json:"records"`
+}
+
+// Chaincode is the HyperProv contract.
+type Chaincode struct{}
+
+var _ shim.Chaincode = (*Chaincode)(nil)
+
+// New returns the HyperProv chaincode.
+func New() *Chaincode { return &Chaincode{} }
+
+// Init instantiates the contract. HyperProv needs no seed state; the
+// instantiation transaction itself lands on the ledger as the deployment
+// record.
+func (cc *Chaincode) Init(stub *shim.Stub) shim.Response {
+	if err := stub.SetEvent("provenance.init", []byte(stub.ChannelID())); err != nil {
+		return shim.Errorf("init: %v", err)
+	}
+	return shim.Success(nil)
+}
+
+// Invoke dispatches on the function name.
+func (cc *Chaincode) Invoke(stub *shim.Stub) shim.Response {
+	switch stub.Function() {
+	case FnSet:
+		return cc.set(stub)
+	case FnGet:
+		return cc.get(stub)
+	case FnGetHistory:
+		return cc.getHistory(stub)
+	case FnGetByChecksum:
+		return cc.getByChecksum(stub)
+	case FnGetLineage:
+		return cc.getLineage(stub)
+	case FnGetDescendants:
+		return cc.getDescendants(stub)
+	case FnDelete:
+		return cc.delete(stub)
+	case FnGetStats:
+		return cc.getStats(stub)
+	case FnList:
+		return cc.list(stub)
+	case FnGetByCreator:
+		return cc.getByCreator(stub)
+	case FnQueryMeta:
+		return cc.queryMeta(stub)
+	case FnGetChildren:
+		return cc.getChildren(stub)
+	case FnVersion:
+		return cc.version(stub)
+	default:
+		return shim.Errorf("unknown function %q", stub.Function())
+	}
+}
+
+// setArgs is the JSON argument to FnSet.
+type setArgs struct {
+	Key      string            `json:"key"`
+	Checksum string            `json:"checksum"`
+	Location string            `json:"location,omitempty"`
+	Parents  []string          `json:"parents,omitempty"`
+	Meta     map[string]string `json:"meta,omitempty"`
+	Creator  string            `json:"creator,omitempty"` // display form; wire identity comes from stub
+}
+
+// set writes a provenance record: args[0] is a JSON-encoded setArgs.
+func (cc *Chaincode) set(stub *shim.Stub) shim.Response {
+	args := stub.Args()
+	if len(args) != 1 {
+		return shim.Errorf("set: want 1 JSON arg, got %d", len(args))
+	}
+	var in setArgs
+	if err := json.Unmarshal(args[0], &in); err != nil {
+		return shim.Errorf("set: bad args: %v", err)
+	}
+	if in.Key == "" {
+		return shim.Errorf("set: empty key")
+	}
+	if in.Checksum == "" {
+		return shim.Errorf("set: empty checksum")
+	}
+	// Every parent must already have a provenance record: lineage cannot
+	// reference unknown items.
+	for _, p := range in.Parents {
+		if p == in.Key {
+			return shim.Errorf("set: record %q lists itself as parent", in.Key)
+		}
+		pv, err := stub.GetState(p)
+		if err != nil {
+			return shim.Errorf("set: read parent %q: %v", p, err)
+		}
+		if pv == nil {
+			return shim.Errorf("set: parent %q has no provenance record", p)
+		}
+	}
+
+	// Read the current version first: this puts the key in the read set,
+	// so concurrent updates of the same item serialize (one wins per
+	// block), while writes to distinct items never conflict. It also
+	// drives the ownership check below.
+	existing, err := stub.GetState(in.Key)
+	if err != nil {
+		return shim.Errorf("set: read %q: %v", in.Key, err)
+	}
+	client := resolveClient(stub)
+	if err := authorizeMutation(existing, client); err != nil {
+		return shim.Errorf("set: %v", err)
+	}
+
+	rec := Record{
+		Key:       in.Key,
+		Checksum:  in.Checksum,
+		Location:  in.Location,
+		Creator:   in.Creator,
+		Owner:     client.Subject,
+		Parents:   in.Parents,
+		Meta:      in.Meta,
+		TxID:      stub.TxID(),
+		Timestamp: stub.TxTimestamp(),
+	}
+	if rec.Creator == "" {
+		rec.Creator = client.Subject
+	}
+	raw, err := json.Marshal(&rec)
+	if err != nil {
+		return shim.Errorf("set: marshal record: %v", err)
+	}
+	if err := stub.PutState(in.Key, raw); err != nil {
+		return shim.Errorf("set: write %q: %v", in.Key, err)
+	}
+
+	// checksum -> key index for getByChecksum.
+	csKey, err := stub.CreateCompositeKey(idxChecksum, []string{in.Checksum})
+	if err != nil {
+		return shim.Errorf("set: checksum index: %v", err)
+	}
+	if err := stub.PutState(csKey, []byte(in.Key)); err != nil {
+		return shim.Errorf("set: checksum index write: %v", err)
+	}
+	// creator -> key index for getByCreator.
+	crKey, err := stub.CreateCompositeKey(idxCreator, []string{creatorIndexKey(rec.Creator), in.Key})
+	if err != nil {
+		return shim.Errorf("set: creator index: %v", err)
+	}
+	if err := stub.PutState(crKey, []byte{1}); err != nil {
+		return shim.Errorf("set: creator index write: %v", err)
+	}
+	// parent -> child edges for getDescendants.
+	for _, p := range in.Parents {
+		edge, err := stub.CreateCompositeKey(idxChild, []string{p, in.Key})
+		if err != nil {
+			return shim.Errorf("set: edge index: %v", err)
+		}
+		if err := stub.PutState(edge, []byte{1}); err != nil {
+			return shim.Errorf("set: edge write: %v", err)
+		}
+	}
+
+	if err := stub.SetEvent("provenance.set", []byte(in.Key)); err != nil {
+		return shim.Errorf("set: event: %v", err)
+	}
+	return shim.Success(raw)
+}
+
+// get returns the latest record for args[0] (a key).
+func (cc *Chaincode) get(stub *shim.Stub) shim.Response {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return shim.Errorf("get: want 1 arg, got %d", len(args))
+	}
+	raw, err := stub.GetState(args[0])
+	if err != nil {
+		return shim.Errorf("get: %v", err)
+	}
+	if raw == nil {
+		return shim.Errorf("get: key %q not found", args[0])
+	}
+	return shim.Success(raw)
+}
+
+// getHistory returns every committed version of args[0] as a JSON array of
+// HistoryRecord, oldest first.
+func (cc *Chaincode) getHistory(stub *shim.Stub) shim.Response {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return shim.Errorf("getHistory: want 1 arg, got %d", len(args))
+	}
+	entries, err := stub.GetHistoryForKey(args[0])
+	if err != nil {
+		return shim.Errorf("getHistory: %v", err)
+	}
+	out := make([]HistoryRecord, 0, len(entries))
+	for _, e := range entries {
+		hr := HistoryRecord{TxID: e.TxID, IsDelete: e.IsDelete, BlockNum: e.BlockNum, Time: e.Timestamp}
+		if !e.IsDelete && len(e.Value) > 0 {
+			var rec Record
+			if err := json.Unmarshal(e.Value, &rec); err == nil {
+				hr.Record = &rec
+			}
+		}
+		out = append(out, hr)
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return shim.Errorf("getHistory: marshal: %v", err)
+	}
+	return shim.Success(payload)
+}
+
+// getByChecksum resolves a checksum (args[0]) to its record.
+func (cc *Chaincode) getByChecksum(stub *shim.Stub) shim.Response {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return shim.Errorf("getByChecksum: want 1 arg, got %d", len(args))
+	}
+	csKey, err := stub.CreateCompositeKey(idxChecksum, []string{args[0]})
+	if err != nil {
+		return shim.Errorf("getByChecksum: %v", err)
+	}
+	keyRaw, err := stub.GetState(csKey)
+	if err != nil {
+		return shim.Errorf("getByChecksum: %v", err)
+	}
+	if keyRaw == nil {
+		return shim.Errorf("getByChecksum: checksum %q not found", args[0])
+	}
+	raw, err := stub.GetState(string(keyRaw))
+	if err != nil {
+		return shim.Errorf("getByChecksum: read record: %v", err)
+	}
+	if raw == nil {
+		return shim.Errorf("getByChecksum: dangling index for %q", args[0])
+	}
+	return shim.Success(raw)
+}
+
+// getLineage returns the ancestor records of args[0] (breadth-first over
+// parents, the key itself first) as a JSON array of Record.
+func (cc *Chaincode) getLineage(stub *shim.Stub) shim.Response {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return shim.Errorf("getLineage: want 1 arg, got %d", len(args))
+	}
+	records, err := cc.walkAncestors(stub, args[0])
+	if err != nil {
+		return shim.Errorf("getLineage: %v", err)
+	}
+	payload, err := json.Marshal(records)
+	if err != nil {
+		return shim.Errorf("getLineage: marshal: %v", err)
+	}
+	return shim.Success(payload)
+}
+
+func (cc *Chaincode) walkAncestors(stub *shim.Stub, start string) ([]Record, error) {
+	seen := map[string]bool{start: true}
+	frontier := []string{start}
+	var out []Record
+	for depth := 0; len(frontier) > 0 && depth < maxLineageDepth; depth++ {
+		var next []string
+		for _, key := range frontier {
+			raw, err := stub.GetState(key)
+			if err != nil {
+				return nil, err
+			}
+			if raw == nil {
+				if key == start {
+					return nil, fmt.Errorf("key %q not found", start)
+				}
+				continue // parent tombstoned; lineage continues past it
+			}
+			var rec Record
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("corrupt record %q: %w", key, err)
+			}
+			out = append(out, rec)
+			for _, p := range rec.Parents {
+				if !seen[p] {
+					seen[p] = true
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// getDescendants returns the records derived (transitively) from args[0],
+// excluding the key itself, as a JSON array of Record.
+func (cc *Chaincode) getDescendants(stub *shim.Stub) shim.Response {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return shim.Errorf("getDescendants: want 1 arg, got %d", len(args))
+	}
+	start := args[0]
+	seen := map[string]bool{start: true}
+	frontier := []string{start}
+	var out []Record
+	for depth := 0; len(frontier) > 0 && depth < maxLineageDepth; depth++ {
+		var next []string
+		for _, key := range frontier {
+			kvs, err := stub.GetStateByPartialCompositeKey(idxChild, []string{key})
+			if err != nil {
+				return shim.Errorf("getDescendants: %v", err)
+			}
+			for _, kv := range kvs {
+				_, attrs, err := stub.SplitCompositeKey(kv.Key)
+				if err != nil || len(attrs) != 2 {
+					return shim.Errorf("getDescendants: corrupt edge %q", kv.Key)
+				}
+				child := attrs[1]
+				if seen[child] {
+					continue
+				}
+				seen[child] = true
+				raw, err := stub.GetState(child)
+				if err != nil {
+					return shim.Errorf("getDescendants: read %q: %v", child, err)
+				}
+				if raw == nil {
+					continue
+				}
+				var rec Record
+				if err := json.Unmarshal(raw, &rec); err != nil {
+					return shim.Errorf("getDescendants: corrupt record %q: %v", child, err)
+				}
+				out = append(out, rec)
+				next = append(next, child)
+			}
+		}
+		frontier = next
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return shim.Errorf("getDescendants: marshal: %v", err)
+	}
+	return shim.Success(payload)
+}
+
+// delete tombstones the record for args[0]. History is preserved; the
+// checksum index entry is removed.
+func (cc *Chaincode) delete(stub *shim.Stub) shim.Response {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return shim.Errorf("delete: want 1 arg, got %d", len(args))
+	}
+	raw, err := stub.GetState(args[0])
+	if err != nil {
+		return shim.Errorf("delete: %v", err)
+	}
+	if raw == nil {
+		return shim.Errorf("delete: key %q not found", args[0])
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return shim.Errorf("delete: corrupt record: %v", err)
+	}
+	if err := authorizeMutation(raw, resolveClient(stub)); err != nil {
+		return shim.Errorf("delete: %v", err)
+	}
+	if err := stub.DelState(args[0]); err != nil {
+		return shim.Errorf("delete: %v", err)
+	}
+	if rec.Checksum != "" {
+		csKey, err := stub.CreateCompositeKey(idxChecksum, []string{rec.Checksum})
+		if err == nil {
+			_ = stub.DelState(csKey)
+		}
+	}
+	return shim.Success(nil)
+}
+
+// getStats counts live records with a full range scan. It is a read-only
+// query (run via Evaluate, never submitted), so the phantom-protecting
+// range read it records is never validated against later blocks.
+func (cc *Chaincode) getStats(stub *shim.Stub) shim.Response {
+	kvs, err := stub.GetStateByRange("", "")
+	if err != nil {
+		return shim.Errorf("getStats: %v", err)
+	}
+	payload, err := json.Marshal(Stats{Records: uint64(len(kvs))})
+	if err != nil {
+		return shim.Errorf("getStats: marshal: %v", err)
+	}
+	return shim.Success(payload)
+}

@@ -1,0 +1,229 @@
+package provenance
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// This file implements the extended query surface beyond the paper's core
+// operator set: prefix listing with pagination, creator-index lookups, and
+// metadata filtering. These back the domain-specific provenance systems the
+// paper expects to plug in through the client library.
+
+// Extended function names accepted by Invoke.
+const (
+	FnList         = "list"         // list records by key prefix, paginated
+	FnGetByCreator = "getByCreator" // all records posted by a creator
+	FnQueryMeta    = "queryMeta"    // records whose meta[k] == v
+	FnGetChildren  = "getChildren"  // direct children only (one edge level)
+	FnVersion      = "version"      // chaincode version string
+)
+
+// Version is the deployed contract version, bumped by upgrades.
+const Version = "1.1.0"
+
+// idxCreator indexes (creatorID, key) pairs for getByCreator.
+const idxCreator = "by-creator"
+
+// listArgs is the JSON argument to FnList.
+type listArgs struct {
+	// Prefix restricts the listing to keys with this prefix ("" = all).
+	Prefix string `json:"prefix,omitempty"`
+	// After resumes listing after this key (exclusive bookmark).
+	After string `json:"after,omitempty"`
+	// Limit caps the page size (default and max 100).
+	Limit int `json:"limit,omitempty"`
+}
+
+// ListPage is the result of FnList.
+type ListPage struct {
+	Records []Record `json:"records"`
+	// Next is the bookmark to pass as After for the next page; empty when
+	// the listing is exhausted.
+	Next string `json:"next,omitempty"`
+}
+
+const maxListLimit = 100
+
+// list returns a paginated key-ordered listing of records under a prefix.
+// Pagination keeps the read cost of large provenance stores bounded, which
+// matters on RPi-class peers.
+func (cc *Chaincode) list(stub *shim.Stub) shim.Response {
+	args := stub.Args()
+	if len(args) != 1 {
+		return shim.Errorf("list: want 1 JSON arg, got %d", len(args))
+	}
+	var in listArgs
+	if err := json.Unmarshal(args[0], &in); err != nil {
+		return shim.Errorf("list: bad args: %v", err)
+	}
+	if in.Limit <= 0 || in.Limit > maxListLimit {
+		in.Limit = maxListLimit
+	}
+	start := in.Prefix
+	if in.After != "" {
+		// Resume strictly after the bookmark.
+		start = in.After + "\x01"
+	}
+	end := ""
+	if in.Prefix != "" {
+		end = in.Prefix + "\xff"
+	}
+	kvs, err := stub.GetStateByRange(start, end)
+	if err != nil {
+		return shim.Errorf("list: %v", err)
+	}
+	page := ListPage{}
+	for _, kv := range kvs {
+		if !strings.HasPrefix(kv.Key, in.Prefix) {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(kv.Value, &rec); err != nil {
+			continue // non-record plain key (none today, defensive)
+		}
+		page.Records = append(page.Records, rec)
+		if len(page.Records) == in.Limit {
+			page.Next = kv.Key
+			break
+		}
+	}
+	payload, err := json.Marshal(page)
+	if err != nil {
+		return shim.Errorf("list: marshal: %v", err)
+	}
+	return shim.Success(payload)
+}
+
+// getByCreator returns every record whose creator matches args[0] (the
+// creator subject string recorded on the records).
+func (cc *Chaincode) getByCreator(stub *shim.Stub) shim.Response {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return shim.Errorf("getByCreator: want 1 arg, got %d", len(args))
+	}
+	kvs, err := stub.GetStateByPartialCompositeKey(idxCreator, []string{creatorIndexKey(args[0])})
+	if err != nil {
+		return shim.Errorf("getByCreator: %v", err)
+	}
+	out := make([]Record, 0, len(kvs))
+	for _, kv := range kvs {
+		_, attrs, err := stub.SplitCompositeKey(kv.Key)
+		if err != nil || len(attrs) != 2 {
+			return shim.Errorf("getByCreator: corrupt index %q", kv.Key)
+		}
+		raw, err := stub.GetState(attrs[1])
+		if err != nil {
+			return shim.Errorf("getByCreator: read %q: %v", attrs[1], err)
+		}
+		if raw == nil {
+			continue // tombstoned
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return shim.Errorf("getByCreator: corrupt record %q: %v", attrs[1], err)
+		}
+		if rec.Creator == args[0] {
+			out = append(out, rec)
+		}
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return shim.Errorf("getByCreator: marshal: %v", err)
+	}
+	return shim.Success(payload)
+}
+
+// creatorIndexKey derives a fixed-length index attribute from a creator
+// subject (subjects contain arbitrary characters).
+func creatorIndexKey(creator string) string {
+	return strconv.FormatUint(fnv64(creator), 16)
+}
+
+// fnv64 is a small inline FNV-1a so the index key is deterministic without
+// importing hash/fnv into the hot path.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// queryMeta returns records whose metadata field args[0] equals args[1].
+// It is a scan query intended for Evaluate only.
+func (cc *Chaincode) queryMeta(stub *shim.Stub) shim.Response {
+	args := stub.StringArgs()
+	if len(args) != 2 {
+		return shim.Errorf("queryMeta: want 2 args (key, value), got %d", len(args))
+	}
+	kvs, err := stub.GetStateByRange("", "")
+	if err != nil {
+		return shim.Errorf("queryMeta: %v", err)
+	}
+	out := make([]Record, 0, 8)
+	for _, kv := range kvs {
+		var rec Record
+		if err := json.Unmarshal(kv.Value, &rec); err != nil {
+			continue
+		}
+		if rec.Meta[args[0]] == args[1] {
+			out = append(out, rec)
+		}
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return shim.Errorf("queryMeta: marshal: %v", err)
+	}
+	return shim.Success(payload)
+}
+
+// getChildren returns only the direct children of args[0] (one edge level),
+// cheaper than the transitive getDescendants.
+func (cc *Chaincode) getChildren(stub *shim.Stub) shim.Response {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return shim.Errorf("getChildren: want 1 arg, got %d", len(args))
+	}
+	kvs, err := stub.GetStateByPartialCompositeKey(idxChild, []string{args[0]})
+	if err != nil {
+		return shim.Errorf("getChildren: %v", err)
+	}
+	out := make([]Record, 0, len(kvs))
+	for _, kv := range kvs {
+		_, attrs, err := stub.SplitCompositeKey(kv.Key)
+		if err != nil || len(attrs) != 2 {
+			return shim.Errorf("getChildren: corrupt edge %q", kv.Key)
+		}
+		raw, err := stub.GetState(attrs[1])
+		if err != nil {
+			return shim.Errorf("getChildren: read %q: %v", attrs[1], err)
+		}
+		if raw == nil {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return shim.Errorf("getChildren: corrupt record %q: %v", attrs[1], err)
+		}
+		out = append(out, rec)
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return shim.Errorf("getChildren: marshal: %v", err)
+	}
+	return shim.Success(payload)
+}
+
+// version reports the deployed contract version.
+func (cc *Chaincode) version(stub *shim.Stub) shim.Response {
+	return shim.Success([]byte(Version))
+}

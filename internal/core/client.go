@@ -1,0 +1,308 @@
+// Package core is HyperProv itself: the client library that mirrors the
+// paper's NodeJS library, hiding the blockchain machinery behind a small
+// operator set. Post/Get/GetKeyHistory/CheckTxn work with provenance
+// metadata on-chain; StoreData/GetData move the payload to off-chain
+// storage, compute its checksum, and bind the two together; lineage
+// operators traverse the provenance DAG. Every operator maps onto the
+// equivalent operation the paper's §3 lists.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
+	"github.com/hyperprov/hyperprov/internal/fabric"
+	"github.com/hyperprov/hyperprov/internal/offchain"
+)
+
+// Errors returned by the client.
+var (
+	ErrNoLocation = errors.New("hyperprov: record has no off-chain location")
+	ErrTampered   = errors.New("hyperprov: off-chain data fails checksum verification")
+	ErrTxNotFound = errors.New("hyperprov: transaction not found")
+)
+
+// Record re-exports the on-chain provenance record type.
+type Record = provenance.Record
+
+// HistoryRecord re-exports one historical record version.
+type HistoryRecord = provenance.HistoryRecord
+
+// Stats re-exports the contract statistics.
+type Stats = provenance.Stats
+
+// PostOptions carries the optional fields of a provenance record.
+type PostOptions struct {
+	// Location points at the off-chain payload (set automatically by
+	// StoreData).
+	Location string
+	// Parents are the keys of the items this item was derived from.
+	Parents []string
+	// Meta is free-form domain-specific metadata (the paper's custom
+	// field for extensions beyond the Open Provenance Model).
+	Meta map[string]string
+}
+
+// TxReceipt reports a committed provenance transaction.
+type TxReceipt struct {
+	TxID     string
+	BlockNum uint64
+	// Latency is the submit-to-commit wall time (scaled if the network
+	// clock is scaled).
+	Latency time.Duration
+}
+
+// Client is a HyperProv handle bound to one identity on one network.
+type Client struct {
+	gw    *fabric.Gateway
+	store offchain.Store
+}
+
+// Config assembles a client.
+type Config struct {
+	// Gateway is the fabric client connection.
+	Gateway *fabric.Gateway
+	// Store is the off-chain storage backend; nil disables the
+	// StoreData/GetData operators.
+	Store offchain.Store
+}
+
+// New creates a HyperProv client.
+func New(cfg Config) (*Client, error) {
+	if cfg.Gateway == nil {
+		return nil, errors.New("hyperprov: nil gateway")
+	}
+	return &Client{gw: cfg.Gateway, store: cfg.Store}, nil
+}
+
+// Subject returns the identity string recorded as creator on this client's
+// records.
+func (c *Client) Subject() string {
+	return c.gw.Identity().Identity().Subject()
+}
+
+// Post writes a provenance record for key with the given checksum. This is
+// the metadata-only path: the payload is assumed to live elsewhere.
+func (c *Client) Post(key, checksum string, opts PostOptions) (*TxReceipt, error) {
+	in := map[string]any{
+		"key":      key,
+		"checksum": checksum,
+		"creator":  c.Subject(),
+	}
+	if opts.Location != "" {
+		in["location"] = opts.Location
+	}
+	if len(opts.Parents) > 0 {
+		in["parents"] = opts.Parents
+	}
+	if len(opts.Meta) > 0 {
+		in["meta"] = opts.Meta
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return nil, fmt.Errorf("hyperprov: marshal post args: %w", err)
+	}
+	res, err := c.gw.Submit(provenance.ChaincodeName, provenance.FnSet, raw)
+	if err != nil {
+		return nil, err
+	}
+	return &TxReceipt{TxID: res.TxID, BlockNum: res.BlockNum, Latency: res.Latency}, nil
+}
+
+// Get returns the latest provenance record for key.
+func (c *Client) Get(key string) (*Record, error) {
+	payload, err := c.gw.Evaluate(provenance.ChaincodeName, provenance.FnGet, []byte(key))
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("hyperprov: decode record: %w", err)
+	}
+	return &rec, nil
+}
+
+// GetKeyHistory returns every committed version of key's record, oldest
+// first — the paper's operation-history query.
+func (c *Client) GetKeyHistory(key string) ([]HistoryRecord, error) {
+	payload, err := c.gw.Evaluate(provenance.ChaincodeName, provenance.FnGetHistory, []byte(key))
+	if err != nil {
+		return nil, err
+	}
+	var hist []HistoryRecord
+	if err := json.Unmarshal(payload, &hist); err != nil {
+		return nil, fmt.Errorf("hyperprov: decode history: %w", err)
+	}
+	return hist, nil
+}
+
+// GetByChecksum resolves a data checksum to its provenance record.
+func (c *Client) GetByChecksum(checksum string) (*Record, error) {
+	payload, err := c.gw.Evaluate(provenance.ChaincodeName, provenance.FnGetByChecksum, []byte(checksum))
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("hyperprov: decode record: %w", err)
+	}
+	return &rec, nil
+}
+
+// GetLineage returns key's record followed by all its ancestors
+// (breadth-first over parents).
+func (c *Client) GetLineage(key string) ([]Record, error) {
+	return c.recordList(provenance.FnGetLineage, key)
+}
+
+// GetDescendants returns every record transitively derived from key.
+func (c *Client) GetDescendants(key string) ([]Record, error) {
+	return c.recordList(provenance.FnGetDescendants, key)
+}
+
+func (c *Client) recordList(fn, key string) ([]Record, error) {
+	payload, err := c.gw.Evaluate(provenance.ChaincodeName, fn, []byte(key))
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(payload, &recs); err != nil {
+		return nil, fmt.Errorf("hyperprov: decode records: %w", err)
+	}
+	return recs, nil
+}
+
+// Delete tombstones key's record (history is preserved on-chain).
+func (c *Client) Delete(key string) (*TxReceipt, error) {
+	res, err := c.gw.Submit(provenance.ChaincodeName, provenance.FnDelete, []byte(key))
+	if err != nil {
+		return nil, err
+	}
+	return &TxReceipt{TxID: res.TxID, BlockNum: res.BlockNum, Latency: res.Latency}, nil
+}
+
+// GetStats returns contract-level statistics.
+func (c *Client) GetStats() (*Stats, error) {
+	payload, err := c.gw.Evaluate(provenance.ChaincodeName, provenance.FnGetStats)
+	if err != nil {
+		return nil, err
+	}
+	var s Stats
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, fmt.Errorf("hyperprov: decode stats: %w", err)
+	}
+	return &s, nil
+}
+
+// CheckTxn looks up a transaction by id on the committing peer's ledger and
+// returns its envelope timestamp, block number, and validation status.
+func (c *Client) CheckTxn(txID string) (*TxStatus, error) {
+	for _, p := range c.gwPeers() {
+		env, code, err := p.Ledger().GetTx(txID)
+		if err != nil {
+			continue
+		}
+		return &TxStatus{
+			TxID:      txID,
+			Valid:     code == blockstore.TxValid,
+			Code:      code.String(),
+			Timestamp: env.Timestamp,
+			Function:  env.Function,
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrTxNotFound, txID)
+}
+
+// TxStatus is the result of CheckTxn.
+type TxStatus struct {
+	TxID      string
+	Valid     bool
+	Code      string
+	Timestamp time.Time
+	Function  string
+}
+
+// StoreData is the paper's flagship operator: it uploads data to off-chain
+// storage, computes the SHA-256 checksum (the client-side cost that grows
+// with payload size in Figs 1–2), and posts the binding provenance record.
+func (c *Client) StoreData(key string, data []byte, opts PostOptions) (*TxReceipt, error) {
+	if c.store == nil {
+		return nil, errors.New("hyperprov: no off-chain store configured")
+	}
+	// Model the client-side costs: checksum on the CPU, then the SSHFS
+	// upload to the storage node. These two terms grow with payload size
+	// and dominate the large-payload points of Figs 1–2.
+	if exec := c.gw.Executor(); exec != nil {
+		exec.Hash(len(data))
+		exec.StoreTransfer(len(data))
+	}
+	checksum := offchain.Checksum(data)
+	ref, err := c.store.Put(data)
+	if err != nil {
+		return nil, fmt.Errorf("hyperprov: off-chain put: %w", err)
+	}
+	opts.Location = ref
+	return c.Post(key, checksum, opts)
+}
+
+// GetData fetches key's record, downloads the off-chain payload, and
+// verifies it against the on-chain checksum, returning both. A checksum
+// mismatch means the off-chain copy was tampered with.
+func (c *Client) GetData(key string) ([]byte, *Record, error) {
+	if c.store == nil {
+		return nil, nil, errors.New("hyperprov: no off-chain store configured")
+	}
+	rec, err := c.Get(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.Location == "" {
+		return nil, rec, ErrNoLocation
+	}
+	data, err := c.store.Get(rec.Location)
+	if err != nil {
+		if errors.Is(err, offchain.ErrChecksumMismatch) {
+			return nil, rec, ErrTampered
+		}
+		return nil, rec, fmt.Errorf("hyperprov: off-chain get: %w", err)
+	}
+	if exec := c.gw.Executor(); exec != nil {
+		exec.StoreTransfer(len(data))
+		exec.Hash(len(data))
+	}
+	if err := offchain.VerifyChecksum(data, rec.Checksum); err != nil {
+		return nil, rec, ErrTampered
+	}
+	return data, rec, nil
+}
+
+// VerifyLedger audits the hash chain of every peer's ledger copy.
+func (c *Client) VerifyLedger() error {
+	for _, p := range c.gwPeers() {
+		if err := p.Ledger().VerifyChain(); err != nil {
+			return fmt.Errorf("hyperprov: %s: %w", p.Name(), err)
+		}
+	}
+	return nil
+}
+
+// gwPeers exposes the network peers for ledger-level queries (CheckTxn and
+// audits operate below the chaincode layer, as in the paper's tooling).
+func (c *Client) gwPeers() []peerLedger {
+	peers := c.gw.Network().Peers()
+	out := make([]peerLedger, len(peers))
+	for i, p := range peers {
+		out[i] = p
+	}
+	return out
+}
+
+// peerLedger is the slice of peer behaviour the client needs.
+type peerLedger interface {
+	Name() string
+	Ledger() *blockstore.Store
+}

@@ -1,0 +1,74 @@
+package device
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStoreCostShape(t *testing.T) {
+	p := Profile{StoreLatency: 2 * time.Millisecond, StoreMBps: 10}
+	if got := p.StoreCost(0); got != 2*time.Millisecond {
+		t.Errorf("zero-byte store op = %v, want fixed latency", got)
+	}
+	// 10 MiB/s -> 1 MiB takes ~100ms + 2ms fixed.
+	got := p.StoreCost(1 << 20)
+	if got < 95*time.Millisecond || got > 110*time.Millisecond {
+		t.Errorf("1MiB store = %v, want ~102ms", got)
+	}
+	// Unset bandwidth degrades to fixed latency only.
+	if got := (Profile{StoreLatency: time.Millisecond}).StoreCost(1 << 20); got != time.Millisecond {
+		t.Errorf("unbounded store = %v", got)
+	}
+}
+
+func TestStoreTransferSerializesOnLink(t *testing.T) {
+	// Two concurrent 50ms link ops on a 1-slot NIC must take ~100ms of
+	// wall time on an unscaled clock.
+	p := Profile{Name: "t", Cores: 4, StoreLatency: 50 * time.Millisecond, JitterPct: 0}
+	e := NewExecutor(p, RealClock{}, 1)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.StoreTransfer(0)
+		}()
+	}
+	wg.Wait()
+	if wall := time.Since(start); wall < 90*time.Millisecond {
+		t.Errorf("2 concurrent link ops finished in %v; NIC not serialized", wall)
+	}
+}
+
+func TestCPUOpsRunConcurrentlyUpToCores(t *testing.T) {
+	// Four 50ms CPU ops on a 4-core device should overlap (~50-80ms wall),
+	// not serialize (~200ms).
+	p := Profile{Name: "t", Cores: 4, SignLatency: 50 * time.Millisecond, JitterPct: 0}
+	e := NewExecutor(p, RealClock{}, 1)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Sign()
+		}()
+	}
+	wg.Wait()
+	if wall := time.Since(start); wall > 150*time.Millisecond {
+		t.Errorf("4 CPU ops on 4 cores took %v; expected overlap", wall)
+	}
+}
+
+func TestSSHFSRatesBelowLineRate(t *testing.T) {
+	// The whole point of StoreMBps: SSHFS effective throughput sits well
+	// below NIC line rate for every profile.
+	for _, p := range []Profile{XeonE51603, I74700MQ, I32310M, RPi3BPlus} {
+		lineMBps := p.LinkMbps / 8
+		if p.StoreMBps <= 0 || p.StoreMBps >= lineMBps {
+			t.Errorf("%s: StoreMBps %.0f vs line %.0f MB/s", p.Name, p.StoreMBps, lineMBps)
+		}
+	}
+}

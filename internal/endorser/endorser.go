@@ -1,0 +1,207 @@
+// Package endorser defines the proposal/response wire types and the
+// endorsement-policy engine of the execute–order–validate pipeline. Clients
+// send signed proposals to endorsing peers; peers simulate the chaincode
+// and sign the resulting read/write set; the policy engine decides whether
+// a set of endorsements satisfies the channel's endorsement policy, both at
+// submission time (client-side check) and at validation time (VSCC).
+package endorser
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/identity"
+)
+
+// Errors returned by this package.
+var (
+	ErrPolicyNotSatisfied = errors.New("endorser: endorsement policy not satisfied")
+	ErrResponseMismatch   = errors.New("endorser: endorsing peers returned divergent results")
+)
+
+// Proposal is a client's signed request to simulate a chaincode invocation.
+type Proposal struct {
+	TxID      string    `json:"txId"`
+	ChannelID string    `json:"channelId"`
+	Chaincode string    `json:"chaincode"`
+	Function  string    `json:"function"`
+	Args      [][]byte  `json:"args,omitempty"`
+	Creator   []byte    `json:"creator"` // serialized identity
+	Timestamp time.Time `json:"timestamp"`
+	Signature []byte    `json:"signature"`
+}
+
+// SignedBytes returns the bytes covered by the proposal signature.
+func (p *Proposal) SignedBytes() []byte {
+	cp := *p
+	cp.Signature = nil
+	b, _ := json.Marshal(&cp)
+	return b
+}
+
+// NewTxID derives a transaction id from the creator identity and a random
+// nonce, as Fabric does (sha256(nonce || creator)).
+func NewTxID(creator []byte) (string, error) {
+	nonce := make([]byte, 24)
+	if _, err := rand.Read(nonce); err != nil {
+		return "", fmt.Errorf("endorser: txid nonce: %w", err)
+	}
+	h := sha256.New()
+	h.Write(nonce)
+	h.Write(creator)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Response is one peer's endorsement of a simulated proposal.
+type Response struct {
+	TxID      string `json:"txId"`
+	Status    int32  `json:"status"`
+	Message   string `json:"message,omitempty"`
+	Payload   []byte `json:"payload,omitempty"`
+	RWSet     []byte `json:"rwset"`
+	Events    []byte `json:"events,omitempty"`
+	Endorser  []byte `json:"endorser"` // serialized identity of the peer
+	Signature []byte `json:"signature"`
+}
+
+// SignedBytes returns the bytes the endorsing peer signs: everything except
+// the signature and the endorser-specific identity, so that all correct
+// endorsers of the same simulation sign identical bytes apart from their
+// own identity binding (identity is included to prevent transplanting).
+func (r *Response) SignedBytes() []byte {
+	cp := *r
+	cp.Signature = nil
+	b, _ := json.Marshal(&cp)
+	return b
+}
+
+// Verify checks the endorsement signature against the peer identity
+// resolved through the MSP. It returns the resolved identity.
+func (r *Response) Verify(msp *identity.MSP) (*identity.Identity, error) {
+	id, err := msp.Deserialize(r.Endorser)
+	if err != nil {
+		return nil, fmt.Errorf("endorser: resolve endorser: %w", err)
+	}
+	if err := id.Verify(r.SignedBytes(), r.Signature); err != nil {
+		return nil, fmt.Errorf("endorser: endorsement signature: %w", err)
+	}
+	return id, nil
+}
+
+// Policy is an endorsement policy over organization MSP IDs.
+type Policy interface {
+	// Evaluate reports whether the given set of endorsing orgs satisfies
+	// the policy. The slice may contain duplicates; evaluation considers
+	// distinct orgs.
+	Evaluate(orgs []string) bool
+	// String renders the policy in Fabric's textual form.
+	String() string
+}
+
+type signedBy struct{ mspID string }
+
+// SignedBy requires an endorsement from the given org's MSP.
+func SignedBy(mspID string) Policy { return signedBy{mspID: mspID} }
+
+func (p signedBy) Evaluate(orgs []string) bool {
+	for _, o := range orgs {
+		if o == p.mspID {
+			return true
+		}
+	}
+	return false
+}
+
+func (p signedBy) String() string { return fmt.Sprintf("SignedBy(%q)", p.mspID) }
+
+type outOf struct {
+	n    int
+	subs []Policy
+}
+
+// OutOf requires at least n of the sub-policies to be satisfied.
+func OutOf(n int, subs ...Policy) Policy { return outOf{n: n, subs: subs} }
+
+// And requires all sub-policies.
+func And(subs ...Policy) Policy { return outOf{n: len(subs), subs: subs} }
+
+// Or requires any sub-policy.
+func Or(subs ...Policy) Policy { return outOf{n: 1, subs: subs} }
+
+func (p outOf) Evaluate(orgs []string) bool {
+	if p.n <= 0 {
+		return true
+	}
+	satisfied := 0
+	for _, sub := range p.subs {
+		if sub.Evaluate(orgs) {
+			satisfied++
+			if satisfied >= p.n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p outOf) String() string {
+	s := fmt.Sprintf("OutOf(%d", p.n)
+	for _, sub := range p.subs {
+		s += ", " + sub.String()
+	}
+	return s + ")"
+}
+
+// AnyOrg builds the policy "any single member of the listed orgs", the
+// default for the paper's single-org style deployment.
+func AnyOrg(orgs []string) Policy {
+	subs := make([]Policy, len(orgs))
+	for i, o := range orgs {
+		subs[i] = SignedBy(o + "MSP")
+	}
+	return Or(subs...)
+}
+
+// MajorityOrgs builds the policy "majority of the listed orgs".
+func MajorityOrgs(orgs []string) Policy {
+	subs := make([]Policy, len(orgs))
+	for i, o := range orgs {
+		subs[i] = SignedBy(o + "MSP")
+	}
+	return OutOf(len(orgs)/2+1, subs...)
+}
+
+// CheckEndorsements verifies every endorsement signature and evaluates the
+// policy over the endorsing orgs. It also checks that all endorsements
+// agree on the rwset digest (divergent simulation means a non-deterministic
+// chaincode or a byzantine peer).
+func CheckEndorsements(policy Policy, msp *identity.MSP, responses []*Response) error {
+	if len(responses) == 0 {
+		return fmt.Errorf("%w: no endorsements", ErrPolicyNotSatisfied)
+	}
+	var orgs []string
+	var digest string
+	for i, r := range responses {
+		id, err := r.Verify(msp)
+		if err != nil {
+			return err
+		}
+		sum := sha256.Sum256(append(append([]byte{}, r.RWSet...), r.Payload...))
+		d := hex.EncodeToString(sum[:])
+		if i == 0 {
+			digest = d
+		} else if d != digest {
+			return ErrResponseMismatch
+		}
+		orgs = append(orgs, id.MSPID())
+	}
+	if !policy.Evaluate(orgs) {
+		return fmt.Errorf("%w: have %v, need %s", ErrPolicyNotSatisfied, orgs, policy)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package endorser
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/hyperprov/hyperprov/internal/identity"
+)
+
+func TestNewTxIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id, err := NewTxID([]byte("creator"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(id) != 64 {
+			t.Fatalf("txid length = %d, want 64 hex chars", len(id))
+		}
+		if seen[id] {
+			t.Fatal("duplicate txid")
+		}
+		seen[id] = true
+	}
+}
+
+func TestPolicyEvaluation(t *testing.T) {
+	tests := []struct {
+		name   string
+		policy Policy
+		orgs   []string
+		want   bool
+	}{
+		{"signedby hit", SignedBy("Org1MSP"), []string{"Org1MSP"}, true},
+		{"signedby miss", SignedBy("Org1MSP"), []string{"Org2MSP"}, false},
+		{"or any", Or(SignedBy("A"), SignedBy("B")), []string{"B"}, true},
+		{"or none", Or(SignedBy("A"), SignedBy("B")), []string{"C"}, false},
+		{"and all", And(SignedBy("A"), SignedBy("B")), []string{"A", "B"}, true},
+		{"and partial", And(SignedBy("A"), SignedBy("B")), []string{"A"}, false},
+		{"outof 2of3 ok", OutOf(2, SignedBy("A"), SignedBy("B"), SignedBy("C")), []string{"A", "C"}, true},
+		{"outof 2of3 fail", OutOf(2, SignedBy("A"), SignedBy("B"), SignedBy("C")), []string{"C"}, false},
+		{"outof zero", OutOf(0), nil, true},
+		{"anyorg", AnyOrg([]string{"Org1", "Org2"}), []string{"Org2MSP"}, true},
+		{"majority 2of3 ok", MajorityOrgs([]string{"A", "B", "C"}), []string{"AMSP", "CMSP"}, true},
+		{"majority 2of3 fail", MajorityOrgs([]string{"A", "B", "C"}), []string{"AMSP"}, false},
+		{"duplicates dont help", And(SignedBy("A"), SignedBy("B")), []string{"A", "A"}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.policy.Evaluate(tt.orgs); got != tt.want {
+				t.Errorf("%s.Evaluate(%v) = %v, want %v", tt.policy, tt.orgs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	p := OutOf(2, SignedBy("A"), SignedBy("B"))
+	if p.String() != `OutOf(2, SignedBy("A"), SignedBy("B"))` {
+		t.Errorf("String = %s", p)
+	}
+}
+
+func mkResponse(t *testing.T, peer *identity.SigningIdentity, rwset, payload []byte) *Response {
+	t.Helper()
+	r := &Response{
+		TxID:     "tx1",
+		Status:   200,
+		Payload:  payload,
+		RWSet:    rwset,
+		Endorser: peer.Serialize(),
+	}
+	sig, err := peer.Sign(r.SignedBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Signature = sig
+	return r
+}
+
+func TestCheckEndorsements(t *testing.T) {
+	ca1, err := identity.NewCA("Org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := identity.NewCA("Org2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msp := identity.NewMSP(ca1, ca2)
+	p1, err := ca1.Enroll("peer1", identity.RolePeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ca2.Enroll("peer2", identity.RolePeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rws := []byte(`{"writes":[{"key":"k"}]}`)
+	policy := And(SignedBy("Org1MSP"), SignedBy("Org2MSP"))
+
+	t.Run("satisfied", func(t *testing.T) {
+		resps := []*Response{mkResponse(t, p1, rws, nil), mkResponse(t, p2, rws, nil)}
+		if err := CheckEndorsements(policy, msp, resps); err != nil {
+			t.Errorf("CheckEndorsements: %v", err)
+		}
+	})
+	t.Run("insufficient orgs", func(t *testing.T) {
+		resps := []*Response{mkResponse(t, p1, rws, nil)}
+		err := CheckEndorsements(policy, msp, resps)
+		if !errors.Is(err, ErrPolicyNotSatisfied) {
+			t.Errorf("err = %v, want ErrPolicyNotSatisfied", err)
+		}
+	})
+	t.Run("no endorsements", func(t *testing.T) {
+		if err := CheckEndorsements(policy, msp, nil); !errors.Is(err, ErrPolicyNotSatisfied) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("divergent rwsets", func(t *testing.T) {
+		resps := []*Response{
+			mkResponse(t, p1, rws, nil),
+			mkResponse(t, p2, []byte(`{"writes":[{"key":"other"}]}`), nil),
+		}
+		if err := CheckEndorsements(policy, msp, resps); !errors.Is(err, ErrResponseMismatch) {
+			t.Errorf("err = %v, want ErrResponseMismatch", err)
+		}
+	})
+	t.Run("tampered signature", func(t *testing.T) {
+		r := mkResponse(t, p1, rws, nil)
+		r.Payload = []byte("tampered after signing")
+		resps := []*Response{r, mkResponse(t, p2, rws, []byte("tampered after signing"))}
+		if err := CheckEndorsements(policy, msp, resps); err == nil {
+			t.Error("tampered endorsement accepted")
+		}
+	})
+}
+
+func TestProposalSignedBytesStable(t *testing.T) {
+	p := Proposal{TxID: "t", Chaincode: "cc", Function: "set"}
+	a := p.SignedBytes()
+	p.Signature = []byte("sig")
+	b := p.SignedBytes()
+	if string(a) != string(b) {
+		t.Error("SignedBytes covers the signature field")
+	}
+	p.Function = "get"
+	if string(a) == string(p.SignedBytes()) {
+		t.Error("SignedBytes ignores content")
+	}
+}

@@ -1,0 +1,95 @@
+package endorser
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPolicy builds a random policy tree over orgs o0..o(n-1).
+func randomPolicy(rng *rand.Rand, depth, nOrgs int) Policy {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return SignedBy(fmt.Sprintf("o%d", rng.Intn(nOrgs)))
+	}
+	k := rng.Intn(3) + 1
+	subs := make([]Policy, k)
+	for i := range subs {
+		subs[i] = randomPolicy(rng, depth-1, nOrgs)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And(subs...)
+	case 1:
+		return Or(subs...)
+	default:
+		return OutOf(rng.Intn(k)+1, subs...)
+	}
+}
+
+func orgSubset(rng *rand.Rand, nOrgs int) []string {
+	var out []string
+	for i := 0; i < nOrgs; i++ {
+		if rng.Intn(2) == 0 {
+			out = append(out, fmt.Sprintf("o%d", i))
+		}
+	}
+	return out
+}
+
+// Property: policies are monotone — adding endorsing orgs never turns a
+// satisfied policy unsatisfied. This is the safety property the validator
+// relies on when it sees a superset of the client's endorsements.
+func TestQuickPolicyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nOrgs = 5
+		p := randomPolicy(rng, 3, nOrgs)
+		base := orgSubset(rng, nOrgs)
+		if !p.Evaluate(base) {
+			return true // only satisfied sets are interesting
+		}
+		// Any superset must still satisfy.
+		super := append(append([]string{}, base...), fmt.Sprintf("o%d", rng.Intn(nOrgs)))
+		return p.Evaluate(super)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: duplicates never change the outcome (distinct-org semantics).
+func TestQuickPolicyDuplicatesIrrelevant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nOrgs = 5
+		p := randomPolicy(rng, 3, nOrgs)
+		orgs := orgSubset(rng, nOrgs)
+		doubled := append(append([]string{}, orgs...), orgs...)
+		return p.Evaluate(orgs) == p.Evaluate(doubled)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: And is at least as strict as Or over the same subs.
+func TestQuickAndStricterThanOr(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nOrgs = 5
+		subs := []Policy{
+			randomPolicy(rng, 2, nOrgs),
+			randomPolicy(rng, 2, nOrgs),
+			randomPolicy(rng, 2, nOrgs),
+		}
+		orgs := orgSubset(rng, nOrgs)
+		if And(subs...).Evaluate(orgs) && !Or(subs...).Evaluate(orgs) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

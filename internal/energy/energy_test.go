@@ -1,0 +1,167 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPowerModelAnchors(t *testing.T) {
+	m := RPiPowerModel()
+	// Bare idle below HLF idle, which is the paper's 2.71 W.
+	if got := m.Power(0, false); got != m.IdleWatts {
+		t.Errorf("bare idle = %.2f", got)
+	}
+	if got := m.Power(0, true); math.Abs(got-2.71) > 1e-9 {
+		t.Errorf("HLF idle = %.2f, want 2.71", got)
+	}
+	// Peak sustained ≈ idle + 10.7%.
+	peak := m.Power(1, true)
+	if ratio := peak / 2.71; math.Abs(ratio-1.107) > 0.001 {
+		t.Errorf("peak/idle = %.4f, want 1.107", ratio)
+	}
+	if peak >= m.MaxWatts {
+		t.Errorf("sustained peak %.2f not below max %.2f", peak, m.MaxWatts)
+	}
+}
+
+func TestPowerMonotonicInUtil(t *testing.T) {
+	m := RPiPowerModel()
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 0.05 {
+		p := m.Power(u, true)
+		if p < prev {
+			t.Fatalf("power not monotonic at util %.2f", u)
+		}
+		prev = p
+	}
+	// Clamping.
+	if m.Power(-5, true) != m.Power(0, true) || m.Power(5, true) != m.Power(1, true) {
+		t.Error("utilization not clamped")
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	m := NewMeter(PowerModel{HLFIdleWatts: 2, LoadWatts: 4, MaxWatts: 10}, 1)
+	// Constant 2W for 10 seconds = 20 J.
+	for at := time.Duration(0); at <= 10*time.Second; at += time.Second {
+		m.Record(at, 0, true)
+	}
+	rep, err := m.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.EnergyJoules-20) > 1e-9 {
+		t.Errorf("energy = %.2f J, want 20", rep.EnergyJoules)
+	}
+	if math.Abs(rep.AvgWatts-2) > 1e-9 {
+		t.Errorf("avg = %.2f W", rep.AvgWatts)
+	}
+	if rep.Duration != 10*time.Second {
+		t.Errorf("duration = %v", rep.Duration)
+	}
+}
+
+func TestMeterNoSamples(t *testing.T) {
+	m := NewMeter(RPiPowerModel(), 1)
+	if _, err := m.Summarize(); err == nil {
+		t.Error("Summarize of empty meter succeeded")
+	}
+}
+
+func TestSpikesBoundedByMax(t *testing.T) {
+	model := RPiPowerModel()
+	model.SpikePct = 1.0 // force spikes
+	m := NewMeter(model, 42)
+	for at := time.Duration(0); at < time.Minute; at += time.Second {
+		m.Record(at, 1.0, true)
+	}
+	for _, s := range m.Samples() {
+		if s.Watts > model.MaxWatts+1e-9 {
+			t.Fatalf("sample %.3f exceeds max %.2f", s.Watts, model.MaxWatts)
+		}
+	}
+	rep, err := m.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxWatts <= model.LoadWatts {
+		t.Error("forced spikes never exceeded sustained load draw")
+	}
+}
+
+func TestRunPhasesFig3Shape(t *testing.T) {
+	phases := []Phase{
+		{Name: "idle", Duration: 10 * time.Minute, Util: 0, HLFRunning: false},
+		{Name: "idle+HLF", Duration: 10 * time.Minute, Util: 0, HLFRunning: true},
+		{Name: "load-50", Duration: 10 * time.Minute, Util: 0.5, HLFRunning: true},
+		{Name: "peak", Duration: 10 * time.Minute, Util: 1.0, HLFRunning: true},
+	}
+	results, err := RunPhases(RPiPowerModel(), phases, time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	idle := results[0].Report.AvgWatts
+	hlfIdle := results[1].Report.AvgWatts
+	half := results[2].Report.AvgWatts
+	peak := results[3].Report.AvgWatts
+	// Paper's shape: idle < idle+HLF (barely) < load < peak; peak ≈ +10.7%.
+	if !(idle < hlfIdle && hlfIdle < half && half < peak) {
+		t.Errorf("ordering violated: %.2f %.2f %.2f %.2f", idle, hlfIdle, half, peak)
+	}
+	if (hlfIdle-idle)/idle > 0.05 {
+		t.Errorf("HLF idle overhead = %.1f%%, want 'barely any'", (hlfIdle-idle)/idle*100)
+	}
+	if r := peak / hlfIdle; r < 1.08 || r > 1.16 {
+		t.Errorf("peak/HLF-idle = %.3f, want ~1.107", r)
+	}
+}
+
+func TestRunPhasesValidation(t *testing.T) {
+	if _, err := RunPhases(RPiPowerModel(), []Phase{{Name: "x", Duration: time.Minute}}, 0, 1); err == nil {
+		t.Error("zero sample interval accepted")
+	}
+	if _, err := RunPhases(RPiPowerModel(), []Phase{{Name: "x"}}, time.Second, 1); err == nil {
+		t.Error("zero-duration phase accepted")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	results, err := RunPhases(RPiPowerModel(), []Phase{
+		{Name: "idle", Duration: time.Minute, HLFRunning: false},
+	}, time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable(results)
+	if !strings.Contains(out, "idle") || !strings.Contains(out, "avg W") {
+		t.Errorf("table = %s", out)
+	}
+}
+
+// Property: energy over a constant-utilization window equals power x time.
+func TestQuickConstantPowerEnergy(t *testing.T) {
+	f := func(u8 uint8, secs uint8) bool {
+		util := float64(u8) / 255
+		n := int(secs%120) + 2
+		model := PowerModel{HLFIdleWatts: 2.71, LoadWatts: 3.0, MaxWatts: 3.64}
+		m := NewMeter(model, 1)
+		for at := 0; at < n; at++ {
+			m.Record(time.Duration(at)*time.Second, util, true)
+		}
+		rep, err := m.Summarize()
+		if err != nil {
+			return false
+		}
+		want := model.Power(util, true) * float64(n-1)
+		return math.Abs(rep.EnergyJoules-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,373 @@
+// Package fabric assembles a complete permissioned-blockchain network —
+// CAs, peers, an ordering service, and channel configuration — and exposes
+// a Gateway client that drives the execute–order–validate flow end to end.
+// It is the stand-in for the Hyperledger Fabric deployment (peers and
+// orderer in Docker containers) that HyperProv runs on.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/device"
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/gossip"
+	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/orderer"
+	"github.com/hyperprov/hyperprov/internal/peer"
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// ConsensusType selects the ordering implementation.
+type ConsensusType int
+
+// Supported consensus types.
+const (
+	ConsensusSolo ConsensusType = iota + 1
+	ConsensusRaft
+)
+
+// Config describes a network to assemble.
+type Config struct {
+	// ChannelID names the single application channel.
+	ChannelID string
+	// Org is the organization name (the paper's network is single-org
+	// with four peers).
+	Org string
+	// Orgs optionally configures a multi-organization consortium: one CA
+	// per org, peers assigned round-robin, and a majority endorsement
+	// policy. When set, Org is ignored.
+	Orgs []string
+	// PeerProfiles gives one device profile per peer; the network has
+	// len(PeerProfiles) peers.
+	PeerProfiles []device.Profile
+	// OrdererProfile models the ordering node's hardware.
+	OrdererProfile device.Profile
+	// Clock scales modeled time; defaults to device.RealClock{} (1:1).
+	Clock device.Clock
+	// Batch is the orderer's block-cutting configuration.
+	Batch orderer.BatchConfig
+	// Consensus selects solo (default, as in the paper) or raft.
+	Consensus ConsensusType
+	// RaftNodes sizes the raft cluster (default 3).
+	RaftNodes int
+	// Gossip enables pull-based anti-entropy block dissemination between
+	// peers, letting members that lose the ordering service catch up from
+	// neighbours (see internal/gossip).
+	Gossip bool
+	// Seed makes modeled jitter deterministic.
+	Seed int64
+}
+
+// DesktopConfig returns the paper's desktop setup: 4 peers (2 Xeon E5-1603,
+// 1 i7-4700MQ, 1 i3-2310M) with the orderer co-located on a Xeon.
+func DesktopConfig() Config {
+	return Config{
+		ChannelID: "provchannel",
+		Org:       "Org1",
+		PeerProfiles: []device.Profile{
+			device.XeonE51603, device.XeonE51603, device.I74700MQ, device.I32310M,
+		},
+		OrdererProfile: device.XeonE51603,
+		Batch:          orderer.DefaultBatchConfig(),
+		Consensus:      ConsensusSolo,
+	}
+}
+
+// RPiConfig returns the paper's edge setup: 4 Raspberry Pi 3B+ devices on
+// one switch, one of them also running the orderer.
+func RPiConfig() Config {
+	return Config{
+		ChannelID: "provchannel",
+		Org:       "Org1",
+		PeerProfiles: []device.Profile{
+			device.RPi3BPlus, device.RPi3BPlus, device.RPi3BPlus, device.RPi3BPlus,
+		},
+		OrdererProfile: device.RPi3BPlus,
+		Batch:          orderer.DefaultBatchConfig(),
+		Consensus:      ConsensusSolo,
+	}
+}
+
+// Network is an assembled, running network.
+type Network struct {
+	cfg       Config
+	cas       []*identity.CA
+	ca        *identity.CA // CA of the first org; used for client enrollment
+	msp       *identity.MSP
+	peers     []*peer.Peer
+	orderer   orderer.Service
+	gossipNet *gossip.Network
+	clock     device.Clock
+	policy    endorser.Policy
+	clients   int
+}
+
+// NewNetwork assembles and starts a network: it enrolls peer and orderer
+// identities, wires every peer to the ordered block stream, and leaves the
+// network ready for chaincode deployment.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.ChannelID == "" {
+		cfg.ChannelID = "provchannel"
+	}
+	if cfg.Org == "" {
+		cfg.Org = "Org1"
+	}
+	if len(cfg.PeerProfiles) == 0 {
+		return nil, errors.New("fabric: no peer profiles")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = device.RealClock{}
+	}
+	orgs := cfg.Orgs
+	if len(orgs) == 0 {
+		orgs = []string{cfg.Org}
+	}
+	msp := identity.NewMSP()
+	cas := make([]*identity.CA, len(orgs))
+	for i, org := range orgs {
+		ca, err := identity.NewCA(org)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: new CA for %s: %w", org, err)
+		}
+		cas[i] = ca
+		msp.AddCA(ca)
+	}
+	// Single-org channels accept any member's endorsement (the paper's
+	// deployment); consortia require a majority of orgs.
+	policy := endorser.AnyOrg(orgs)
+	if len(orgs) > 1 {
+		policy = endorser.MajorityOrgs(orgs)
+	}
+
+	n := &Network{
+		cfg:    cfg,
+		cas:    cas,
+		ca:     cas[0],
+		msp:    msp,
+		clock:  cfg.Clock,
+		policy: policy,
+	}
+
+	ordExec := device.NewExecutor(cfg.OrdererProfile, cfg.Clock, cfg.Seed+1000)
+	switch cfg.Consensus {
+	case ConsensusRaft:
+		raftNodes := cfg.RaftNodes
+		if raftNodes <= 0 {
+			raftNodes = 3
+		}
+		n.orderer = orderer.NewRaft(raftNodes, cfg.Batch, orderer.DefaultRaftConfig(), ordExec, cfg.Seed)
+	default:
+		n.orderer = orderer.NewSolo(cfg.Batch, ordExec)
+	}
+
+	for i, prof := range cfg.PeerProfiles {
+		orgCA := cas[i%len(cas)]
+		name := fmt.Sprintf("peer%d.%s", i, orgCA.Org())
+		signer, err := orgCA.Enroll(name, identity.RolePeer)
+		if err != nil {
+			n.Stop()
+			return nil, fmt.Errorf("fabric: enroll %s: %w", name, err)
+		}
+		p := peer.New(peer.Config{
+			Name:      name,
+			Signer:    signer,
+			MSP:       msp,
+			Executor:  device.NewExecutor(prof, cfg.Clock, cfg.Seed+int64(i)*17),
+			ChannelID: cfg.ChannelID,
+		})
+		p.Start(n.orderer.Subscribe())
+		n.peers = append(n.peers, p)
+	}
+	if cfg.Gossip {
+		members := make([]gossip.Member, len(n.peers))
+		for i, p := range n.peers {
+			members[i] = p
+		}
+		gcfg := gossip.DefaultConfig()
+		gcfg.Seed = cfg.Seed
+		n.gossipNet = gossip.New(gcfg, members...)
+	}
+	return n, nil
+}
+
+// AddGossipPeer adds a peer that is NOT subscribed to the ordering service:
+// it receives blocks exclusively through gossip anti-entropy, modelling an
+// edge node without connectivity to the orderer. The network must have been
+// created with Gossip enabled. The new peer has the full chaincode set
+// installed.
+func (n *Network) AddGossipPeer(prof device.Profile, ccs map[string]shim.Chaincode) (*peer.Peer, error) {
+	if n.gossipNet == nil {
+		return nil, errors.New("fabric: gossip not enabled")
+	}
+	name := fmt.Sprintf("peer%d.%s", len(n.peers), n.ca.Org())
+	signer, err := n.ca.Enroll(name, identity.RolePeer)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: enroll %s: %w", name, err)
+	}
+	p := peer.New(peer.Config{
+		Name:      name,
+		Signer:    signer,
+		MSP:       n.msp,
+		Executor:  device.NewExecutor(prof, n.clock, n.cfg.Seed+int64(len(n.peers))*17),
+		ChannelID: n.cfg.ChannelID,
+	})
+	for ccName, cc := range ccs {
+		if err := p.InstallChaincode(ccName, cc, n.policy); err != nil {
+			return nil, err
+		}
+	}
+	n.peers = append(n.peers, p)
+	n.gossipNet.Add(p)
+	return p, nil
+}
+
+// Gossip returns the gossip network, or nil when disabled.
+func (n *Network) Gossip() *gossip.Network { return n.gossipNet }
+
+// Stop shuts down the ordering service, gossip, and all peers.
+func (n *Network) Stop() {
+	if n.gossipNet != nil {
+		n.gossipNet.Stop()
+	}
+	if n.orderer != nil {
+		n.orderer.Stop()
+	}
+	for _, p := range n.peers {
+		p.Stop()
+	}
+}
+
+// Peers returns the network's peers.
+func (n *Network) Peers() []*peer.Peer { return n.peers }
+
+// Orderer returns the ordering service.
+func (n *Network) Orderer() orderer.Service { return n.orderer }
+
+// MSP returns the network's membership service provider.
+func (n *Network) MSP() *identity.MSP { return n.msp }
+
+// CA returns the first org's certificate authority (clients enroll here by
+// default).
+func (n *Network) CA() *identity.CA { return n.ca }
+
+// CAs returns every organization's certificate authority.
+func (n *Network) CAs() []*identity.CA { return n.cas }
+
+// NewGatewayFor enrolls a client identity with a specific org's CA.
+func (n *Network) NewGatewayFor(org, clientID string) (*Gateway, error) {
+	for _, ca := range n.cas {
+		if ca.Org() != org {
+			continue
+		}
+		n.clients++
+		signer, err := ca.Enroll(fmt.Sprintf("%s-%d", clientID, n.clients), identity.RoleClient)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: enroll client: %w", err)
+		}
+		exec := device.NewExecutor(n.cfg.PeerProfiles[0], n.clock, n.cfg.Seed+int64(n.clients)*131)
+		return n.newGateway(signer, exec)
+	}
+	return nil, fmt.Errorf("fabric: unknown org %q", org)
+}
+
+// ChannelID returns the application channel name.
+func (n *Network) ChannelID() string { return n.cfg.ChannelID }
+
+// Policy returns the channel's endorsement policy.
+func (n *Network) Policy() endorser.Policy { return n.policy }
+
+// DeployChaincode installs the chaincode on every peer and runs its Init
+// through the normal transaction flow so the instantiation is itself on
+// the ledger.
+func (n *Network) DeployChaincode(name string, mk func() shim.Chaincode) error {
+	for _, p := range n.peers {
+		if err := p.InstallChaincode(name, mk(), n.policy); err != nil {
+			return err
+		}
+	}
+	gw, err := n.NewGateway("deployer-" + name)
+	if err != nil {
+		return err
+	}
+	if _, err := gw.Submit(name, peer.InitFunction); err != nil {
+		return fmt.Errorf("fabric: instantiate %q: %w", name, err)
+	}
+	return nil
+}
+
+// UpgradeChaincode swaps the implementation of a deployed chaincode on
+// every peer and records the upgrade on the ledger by re-running Init
+// through the ordinary transaction flow.
+func (n *Network) UpgradeChaincode(name string, mk func() shim.Chaincode) error {
+	for _, p := range n.peers {
+		if err := p.UpgradeChaincode(name, mk(), n.policy); err != nil {
+			return err
+		}
+	}
+	gw, err := n.NewGateway("upgrader-" + name)
+	if err != nil {
+		return err
+	}
+	if _, err := gw.Submit(name, peer.InitFunction); err != nil {
+		return fmt.Errorf("fabric: upgrade %q: %w", name, err)
+	}
+	return nil
+}
+
+// NewGateway enrolls a client identity and returns a Gateway bound to this
+// network. The gateway endorses on every peer (satisfying any-org and
+// majority policies alike) and waits for commits on peer 0.
+func (n *Network) NewGateway(clientID string) (*Gateway, error) {
+	n.clients++
+	enrollID := fmt.Sprintf("%s-%d", clientID, n.clients)
+	signer, err := n.ca.Enroll(enrollID, identity.RoleClient)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: enroll client: %w", err)
+	}
+	// The client process runs on the same device class as the peers (in
+	// the paper the benchmark client runs on one of the machines).
+	exec := device.NewExecutor(n.cfg.PeerProfiles[0], n.clock, n.cfg.Seed+int64(n.clients)*131)
+	return n.newGateway(signer, exec)
+}
+
+// NewGatewayOn is like NewGateway but binds the client to an existing
+// device executor, so several logical clients share one physical machine —
+// the shape of the paper's benchmark program, which drives many concurrent
+// requests from a single node.
+func (n *Network) NewGatewayOn(clientID string, exec *device.Executor) (*Gateway, error) {
+	n.clients++
+	signer, err := n.ca.Enroll(fmt.Sprintf("%s-%d", clientID, n.clients), identity.RoleClient)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: enroll client: %w", err)
+	}
+	return n.newGateway(signer, exec)
+}
+
+func (n *Network) newGateway(signer *identity.SigningIdentity, exec *device.Executor) (*Gateway, error) {
+	return &Gateway{
+		net:           n,
+		signer:        signer,
+		exec:          exec,
+		commitTimeout: defaultCommitTimeout(n.clock),
+	}, nil
+}
+
+// Clock returns the network's modeled clock.
+func (n *Network) Clock() device.Clock { return n.clock }
+
+// defaultCommitTimeout scales the wall-clock commit timeout with the
+// modeled clock so scaled benchmarks do not time out spuriously.
+func defaultCommitTimeout(clock device.Clock) time.Duration {
+	const modeled = 120 * time.Second
+	scale := clock.Scale()
+	if scale <= 0 || scale >= 1 {
+		return modeled
+	}
+	d := time.Duration(float64(modeled) * scale)
+	if d < 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}

@@ -1,0 +1,223 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/device"
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// Errors returned by the gateway.
+var (
+	ErrCommitTimeout = errors.New("fabric: timed out waiting for commit")
+	ErrTxInvalidated = errors.New("fabric: transaction invalidated at commit")
+	ErrEndorsement   = errors.New("fabric: endorsement failed")
+)
+
+// TxResult reports a committed transaction.
+type TxResult struct {
+	TxID     string
+	BlockNum uint64
+	Code     blockstore.ValidationCode
+	Payload  []byte
+	// Latency is the wall-clock submit-to-commit duration.
+	Latency time.Duration
+}
+
+// Gateway is the client-side library half of the Fabric SDK: it signs
+// proposals, collects endorsements, submits envelopes to ordering, and
+// waits for commit events — the machinery HyperProv's NodeJS client wraps.
+type Gateway struct {
+	net           *Network
+	signer        *identity.SigningIdentity
+	exec          *device.Executor
+	commitTimeout time.Duration
+}
+
+// Identity returns the gateway's signing identity.
+func (g *Gateway) Identity() *identity.SigningIdentity { return g.signer }
+
+// Network returns the network this gateway is bound to.
+func (g *Gateway) Network() *Network { return g.net }
+
+// Executor returns the gateway's client-side device executor.
+func (g *Gateway) Executor() *device.Executor { return g.exec }
+
+// SetCommitTimeout overrides the commit-wait timeout (wall clock).
+func (g *Gateway) SetCommitTimeout(d time.Duration) { g.commitTimeout = d }
+
+// Submit runs the full execute–order–validate flow for one transaction and
+// blocks until it commits (or fails validation / times out).
+func (g *Gateway) Submit(chaincode, fn string, args ...[]byte) (*TxResult, error) {
+	start := time.Now()
+	creator := g.signer.Serialize()
+	txID, err := endorser.NewTxID(creator)
+	if err != nil {
+		return nil, err
+	}
+	prop := &endorser.Proposal{
+		TxID:      txID,
+		ChannelID: g.net.ChannelID(),
+		Chaincode: chaincode,
+		Function:  fn,
+		Args:      args,
+		Creator:   creator,
+		Timestamp: time.Now().UTC(),
+	}
+	if g.exec != nil {
+		g.exec.Sign()
+	}
+	sig, err := g.signer.Sign(prop.SignedBytes())
+	if err != nil {
+		return nil, fmt.Errorf("fabric: sign proposal: %w", err)
+	}
+	prop.Signature = sig
+
+	// Endorse on all peers in parallel (the paper's client library sends
+	// to every peer of the single org).
+	peers := g.net.Peers()
+	type result struct {
+		resp *endorser.Response
+		err  error
+	}
+	results := make([]result, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p interface {
+			ProcessProposal(*endorser.Proposal) (*endorser.Response, error)
+		}) {
+			defer wg.Done()
+			resp, err := p.ProcessProposal(prop)
+			results[i] = result{resp: resp, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+
+	var resps []*endorser.Response
+	var errs []error
+	for _, r := range results {
+		if r.err != nil {
+			errs = append(errs, r.err)
+			continue
+		}
+		resps = append(resps, r.resp)
+	}
+	if len(resps) == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrEndorsement, errors.Join(errs...))
+	}
+	// Client-side policy + consistency check before paying for ordering.
+	// Peers that are catching up may simulate against stale state and
+	// return divergent read sets; keep the largest consistent group that
+	// still satisfies the endorsement policy (as the Fabric SDK does).
+	if g.exec != nil {
+		for range resps {
+			g.exec.Verify()
+		}
+	}
+	resps = largestConsistentGroup(resps)
+	if err := endorser.CheckEndorsements(g.net.Policy(), g.net.MSP(), resps); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEndorsement, err)
+	}
+
+	// Assemble and sign the envelope.
+	env := blockstore.Envelope{
+		TxID:      txID,
+		ChannelID: g.net.ChannelID(),
+		Chaincode: chaincode,
+		Function:  fn,
+		Args:      args,
+		Creator:   creator,
+		Timestamp: prop.Timestamp,
+		RWSet:     resps[0].RWSet,
+		Response:  resps[0].Payload,
+		Events:    resps[0].Events,
+	}
+	for _, r := range resps {
+		env.Endorsements = append(env.Endorsements, blockstore.Endorsement{
+			Endorser:  r.Endorser,
+			Signature: r.Signature,
+		})
+	}
+	if g.exec != nil {
+		g.exec.Sign()
+	}
+	envSig, err := g.signer.Sign(env.SignedBytes())
+	if err != nil {
+		return nil, fmt.Errorf("fabric: sign envelope: %w", err)
+	}
+	env.Signature = envSig
+
+	// Register for the commit event before submitting (no lost wakeups),
+	// then broadcast to ordering.
+	commitPeer := peers[0]
+	wait := commitPeer.RegisterTxListener(txID)
+	if g.exec != nil {
+		g.exec.Transfer(len(resps[0].RWSet) + 768) // client -> orderer
+	}
+	if err := g.net.Orderer().Submit(env); err != nil {
+		return nil, fmt.Errorf("fabric: broadcast: %w", err)
+	}
+
+	select {
+	case ev := <-wait:
+		res := &TxResult{
+			TxID:     txID,
+			BlockNum: ev.BlockNum,
+			Code:     ev.Code,
+			Payload:  resps[0].Payload,
+			Latency:  time.Since(start),
+		}
+		if ev.Code != blockstore.TxValid {
+			return res, fmt.Errorf("%w: %s", ErrTxInvalidated, ev.Code)
+		}
+		return res, nil
+	case <-time.After(g.commitTimeout):
+		return nil, fmt.Errorf("%w: tx %s after %v", ErrCommitTimeout, txID, g.commitTimeout)
+	}
+}
+
+// largestConsistentGroup partitions endorsements by their simulated-result
+// digest and returns the biggest group (ties broken by first occurrence).
+func largestConsistentGroup(resps []*endorser.Response) []*endorser.Response {
+	if len(resps) <= 1 {
+		return resps
+	}
+	groups := make(map[string][]*endorser.Response)
+	order := make([]string, 0, len(resps))
+	for _, r := range resps {
+		sum := sha256.Sum256(append(append([]byte{}, r.RWSet...), r.Payload...))
+		key := string(sum[:])
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], r)
+	}
+	best := groups[order[0]]
+	for _, key := range order[1:] {
+		if len(groups[key]) > len(best) {
+			best = groups[key]
+		}
+	}
+	return best
+}
+
+// Evaluate runs a read-only query against a single peer (round-robin would
+// be a refinement; peer 0 matches the paper's client behaviour).
+func (g *Gateway) Evaluate(chaincode, fn string, args ...[]byte) ([]byte, error) {
+	resp, err := g.net.Peers()[0].Query(chaincode, fn, args, g.signer.Serialize())
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != shim.OK {
+		return nil, fmt.Errorf("fabric: evaluate %s.%s: %s", chaincode, fn, resp.Message)
+	}
+	return resp.Payload, nil
+}

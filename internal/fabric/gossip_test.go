@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
+	"github.com/hyperprov/hyperprov/internal/device"
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// TestGossipOnlyPeerCatchesUp verifies the partition-tolerance property:
+// a peer with no connection to the ordering service converges to the same
+// ledger purely via gossip anti-entropy from its neighbours.
+func TestGossipOnlyPeerCatchesUp(t *testing.T) {
+	cfg := testConfig()
+	cfg.Gossip = true
+	n := newTestNetwork(t, cfg)
+
+	// Add the orderer-less peer BEFORE traffic so it must receive every
+	// block via gossip.
+	edge, err := n.AddGossipPeer(device.RPi3BPlus,
+		map[string]shim.Chaincode{provenance.ChaincodeName: provenance.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gw, err := n.NewGateway("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		setRecord(t, gw, "g-item-"+string(rune('a'+i)), "cs")
+	}
+	target := n.Peers()[0].Height()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for edge.Height() < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("gossip peer at height %d, want %d", edge.Height(), target)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := edge.Ledger().VerifyChain(); err != nil {
+		t.Errorf("gossip peer chain: %v", err)
+	}
+	// The gossip peer answers queries identically to ordered peers.
+	resp, err := edge.Query(provenance.ChaincodeName, provenance.FnGet,
+		[][]byte{[]byte("g-item-a")}, gw.Identity().Serialize())
+	if err != nil || resp.Status != shim.OK {
+		t.Errorf("gossip peer query: %v %+v", err, resp)
+	}
+}
+
+// TestGossipIsolationAndHeal verifies that an isolated gossip-only peer
+// stalls during the partition and converges after healing.
+func TestGossipIsolationAndHeal(t *testing.T) {
+	cfg := testConfig()
+	cfg.Gossip = true
+	n := newTestNetwork(t, cfg)
+	edge, err := n.AddGossipPeer(device.RPi3BPlus,
+		map[string]shim.Chaincode{provenance.ChaincodeName: provenance.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Gossip().Isolate(edge.Name())
+
+	gw, err := n.NewGateway("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setRecord(t, gw, "during-partition", "cs")
+	time.Sleep(150 * time.Millisecond)
+	if edge.Height() != 0 {
+		t.Fatalf("isolated peer received blocks: height %d", edge.Height())
+	}
+
+	n.Gossip().Heal(edge.Name())
+	target := n.Peers()[0].Height()
+	deadline := time.Now().Add(10 * time.Second)
+	for edge.Height() < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("healed peer at height %d, want %d", edge.Height(), target)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAddGossipPeerRequiresGossip verifies the configuration guard.
+func TestAddGossipPeerRequiresGossip(t *testing.T) {
+	n := newTestNetwork(t, testConfig())
+	if _, err := n.AddGossipPeer(device.RPi3BPlus, nil); err == nil {
+		t.Error("AddGossipPeer without gossip succeeded")
+	}
+}

@@ -1,0 +1,54 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// echoChaincode is a trivial v2 contract used to observe an upgrade.
+type echoChaincode struct{}
+
+func (echoChaincode) Init(stub *shim.Stub) shim.Response { return shim.Success(nil) }
+
+func (echoChaincode) Invoke(stub *shim.Stub) shim.Response {
+	return shim.Success([]byte("v2:" + stub.Function()))
+}
+
+func TestChaincodeUpgradeSwapsImplementation(t *testing.T) {
+	n := newTestNetwork(t, testConfig())
+	gw, err := n.NewGateway("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 (provenance) rejects unknown functions.
+	if _, err := gw.Evaluate(provenance.ChaincodeName, "anything"); err == nil {
+		t.Fatal("v1 answered unknown function")
+	}
+	heightBefore := n.Peers()[0].Height()
+
+	if err := n.UpgradeChaincode(provenance.ChaincodeName,
+		func() shim.Chaincode { return echoChaincode{} }); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	// v2 echoes; the upgrade itself added a block.
+	payload, err := gw.Evaluate(provenance.ChaincodeName, "anything")
+	if err != nil {
+		t.Fatalf("v2 evaluate: %v", err)
+	}
+	if string(payload) != "v2:anything" {
+		t.Errorf("payload = %q", payload)
+	}
+	if n.Peers()[0].Height() <= heightBefore {
+		t.Error("upgrade left no ledger record")
+	}
+}
+
+func TestUpgradeUnknownChaincodeFails(t *testing.T) {
+	n := newTestNetwork(t, testConfig())
+	err := n.UpgradeChaincode("ghost", func() shim.Chaincode { return echoChaincode{} })
+	if err == nil {
+		t.Error("upgrade of unknown chaincode succeeded")
+	}
+}

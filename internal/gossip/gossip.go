@@ -1,0 +1,212 @@
+// Package gossip implements pull-based anti-entropy block dissemination
+// between peers: each member periodically asks a random neighbour for
+// blocks beyond its own height and commits what it receives. In the paper's
+// edge setting (and in Vegvisir, which it cites) this is what lets a peer
+// that lost connectivity to the ordering service catch up from its
+// neighbours once the partition heals, without relying on constant
+// connectivity to the cloud.
+package gossip
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+)
+
+// Member is the peer surface gossip needs: report height, serve blocks,
+// and accept blocks.
+type Member interface {
+	// Name identifies the member.
+	Name() string
+	// Height returns the member's committed block height.
+	Height() uint64
+	// BlocksFrom returns committed blocks with number >= from.
+	BlocksFrom(from uint64) []*blockstore.Block
+	// DeliverBlock hands the member a block fetched from a neighbour; the
+	// member validates and commits it exactly like an ordered block.
+	DeliverBlock(b *blockstore.Block)
+}
+
+// Config tunes the gossip protocol.
+type Config struct {
+	// Interval is the anti-entropy round period.
+	Interval time.Duration
+	// Fanout is how many random neighbours are probed per round.
+	Fanout int
+	// Seed fixes neighbour selection.
+	Seed int64
+}
+
+// DefaultConfig returns gossip settings suitable for LAN deployments.
+func DefaultConfig() Config {
+	return Config{Interval: 50 * time.Millisecond, Fanout: 1}
+}
+
+// Network runs anti-entropy rounds among a fixed membership with
+// injectable link failures.
+type Network struct {
+	cfg     Config
+	members []Member
+
+	mu       sync.RWMutex
+	rng      *rand.Rand
+	blocked  map[string]map[string]bool // from -> to -> blocked
+	isolated map[string]bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New creates a gossip network over the given members and starts its
+// anti-entropy loop.
+func New(cfg Config, members ...Member) *Network {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultConfig().Interval
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 1
+	}
+	g := &Network{
+		cfg:      cfg,
+		members:  members,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		blocked:  make(map[string]map[string]bool),
+		isolated: make(map[string]bool),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go g.loop()
+	return g
+}
+
+// Stop terminates the anti-entropy loop.
+func (g *Network) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.done
+}
+
+// Add joins a new member to the gossip membership; it will catch up from
+// its neighbours on the next rounds.
+func (g *Network) Add(m Member) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.members = append(g.members, m)
+}
+
+// Isolate cuts a member off from all gossip traffic (both directions).
+func (g *Network) Isolate(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.isolated[name] = true
+}
+
+// Heal restores a member's gossip connectivity.
+func (g *Network) Heal(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.isolated, name)
+}
+
+// linkOK reports whether a can currently pull from b.
+func (g *Network) linkOK(a, b string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.isolated[a] || g.isolated[b] {
+		return false
+	}
+	return !g.blocked[a][b]
+}
+
+func (g *Network) loop() {
+	defer close(g.done)
+	ticker := time.NewTicker(g.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.round()
+		}
+	}
+}
+
+// round runs one anti-entropy exchange: every member pulls missing blocks
+// from up to Fanout random neighbours.
+func (g *Network) round() {
+	members := g.membersSnapshot()
+	for _, m := range members {
+		for f := 0; f < g.cfg.Fanout; f++ {
+			peer := g.pickNeighbour(m, members)
+			if peer == nil {
+				continue
+			}
+			g.pull(m, peer)
+		}
+	}
+}
+
+func (g *Network) membersSnapshot() []Member {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Member, len(g.members))
+	copy(out, g.members)
+	return out
+}
+
+func (g *Network) pickNeighbour(m Member, members []Member) Member {
+	if len(members) < 2 {
+		return nil
+	}
+	g.mu.Lock()
+	idx := g.rng.Intn(len(members))
+	g.mu.Unlock()
+	peer := members[idx]
+	if peer.Name() == m.Name() {
+		peer = members[(idx+1)%len(members)]
+	}
+	if peer.Name() == m.Name() {
+		return nil
+	}
+	return peer
+}
+
+// pull fetches blocks the puller is missing from the source, in order.
+func (g *Network) pull(puller, source Member) {
+	if !g.linkOK(puller.Name(), source.Name()) {
+		return
+	}
+	have := puller.Height()
+	if source.Height() <= have {
+		return
+	}
+	for _, b := range source.BlocksFrom(have) {
+		puller.DeliverBlock(b)
+	}
+}
+
+// Converged reports whether all non-isolated members are at the same
+// height.
+func (g *Network) Converged() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var h uint64
+	first := true
+	for _, m := range g.members {
+		if g.isolated[m.Name()] {
+			continue
+		}
+		if first {
+			h = m.Height()
+			first = false
+			continue
+		}
+		if m.Height() != h {
+			return false
+		}
+	}
+	return true
+}

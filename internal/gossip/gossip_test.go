@@ -1,0 +1,141 @@
+package gossip
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+)
+
+// fakeMember is an in-memory Member for protocol-level tests.
+type fakeMember struct {
+	name string
+	mu   sync.Mutex
+	sto  *blockstore.Store
+}
+
+func newFakeMember(name string) *fakeMember {
+	return &fakeMember{name: name, sto: blockstore.NewStore()}
+}
+
+func (m *fakeMember) Name() string { return m.name }
+
+func (m *fakeMember) Height() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sto.Height()
+}
+
+func (m *fakeMember) BlocksFrom(from uint64) []*blockstore.Block {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sto.BlocksFrom(from)
+}
+
+func (m *fakeMember) DeliverBlock(b *blockstore.Block) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b.Header.Number != m.sto.Height() {
+		return
+	}
+	_ = m.sto.Append(b)
+}
+
+// appendBlocks extends a member's chain by n blocks.
+func appendBlocks(t *testing.T, m *fakeMember, n int) {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := 0; i < n; i++ {
+		num := m.sto.Height()
+		b, err := blockstore.NewBlock(num, m.sto.LastHash(),
+			[]blockstore.Envelope{{TxID: fmt.Sprintf("%s-tx-%d", m.name, num)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.sto.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func waitConverged(t *testing.T, g *Network, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if g.Converged() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("gossip did not converge")
+}
+
+func TestAntiEntropyCatchUp(t *testing.T) {
+	a, b, c := newFakeMember("a"), newFakeMember("b"), newFakeMember("c")
+	appendBlocks(t, a, 5) // a is ahead; b and c are empty
+	g := New(Config{Interval: 5 * time.Millisecond, Fanout: 2, Seed: 1}, a, b, c)
+	defer g.Stop()
+	waitConverged(t, g, 5*time.Second)
+	if b.Height() != 5 || c.Height() != 5 {
+		t.Errorf("heights after convergence: b=%d c=%d", b.Height(), c.Height())
+	}
+	if err := b.sto.VerifyChain(); err != nil {
+		t.Errorf("b chain: %v", err)
+	}
+}
+
+func TestIsolationBlocksGossipThenHeals(t *testing.T) {
+	a, b := newFakeMember("a"), newFakeMember("b")
+	g := New(Config{Interval: 5 * time.Millisecond, Fanout: 1, Seed: 2}, a, b)
+	defer g.Stop()
+
+	g.Isolate("b")
+	appendBlocks(t, a, 3)
+	time.Sleep(60 * time.Millisecond)
+	if b.Height() != 0 {
+		t.Fatalf("isolated member received blocks: height %d", b.Height())
+	}
+	g.Heal("b")
+	waitConverged(t, g, 5*time.Second)
+	if b.Height() != 3 {
+		t.Errorf("healed member height = %d, want 3", b.Height())
+	}
+}
+
+func TestBidirectionalConvergence(t *testing.T) {
+	// Two members each ahead on disjoint chains cannot merge (different
+	// chains), but a fresh member must catch up from whichever it pulls.
+	a, b := newFakeMember("a"), newFakeMember("b")
+	appendBlocks(t, a, 4)
+	g := New(Config{Interval: 5 * time.Millisecond, Fanout: 1, Seed: 3}, a, b)
+	defer g.Stop()
+	waitConverged(t, g, 5*time.Second)
+	if b.Height() != 4 {
+		t.Errorf("b height = %d", b.Height())
+	}
+	// New blocks keep flowing.
+	appendBlocks(t, a, 2)
+	waitConverged(t, g, 5*time.Second)
+	if b.Height() != 6 {
+		t.Errorf("b height after more blocks = %d", b.Height())
+	}
+}
+
+func TestSingleMemberNoop(t *testing.T) {
+	a := newFakeMember("a")
+	g := New(Config{Interval: 5 * time.Millisecond}, a)
+	defer g.Stop()
+	time.Sleep(20 * time.Millisecond)
+	if !g.Converged() {
+		t.Error("single member not converged")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	g := New(DefaultConfig(), newFakeMember("a"), newFakeMember("b"))
+	g.Stop()
+	g.Stop()
+}

@@ -1,0 +1,65 @@
+// Package historydb records the full write history of every state key —
+// the substrate behind Fabric's GetHistoryForKey and therefore behind
+// HyperProv's GetKeyHistory operator, which returns every version a data
+// item's provenance record has gone through.
+package historydb
+
+import (
+	"sync"
+	"time"
+)
+
+// Entry is one committed write to a key.
+type Entry struct {
+	TxID      string    `json:"txId"`
+	BlockNum  uint64    `json:"blockNum"`
+	TxNum     uint64    `json:"txNum"`
+	Value     []byte    `json:"value,omitempty"`
+	IsDelete  bool      `json:"isDelete,omitempty"`
+	Timestamp time.Time `json:"timestamp"`
+}
+
+// DB stores per-key commit history in commit order (oldest first).
+type DB struct {
+	mu      sync.RWMutex
+	entries map[string][]Entry
+}
+
+// New creates an empty history DB.
+func New() *DB {
+	return &DB{entries: make(map[string][]Entry)}
+}
+
+// Record appends an entry to key's history. Values are copied.
+func (db *DB) Record(key string, e Entry) {
+	val := make([]byte, len(e.Value))
+	copy(val, e.Value)
+	e.Value = val
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries[key] = append(db.entries[key], e)
+}
+
+// History returns key's history oldest-first. The returned slice is a copy.
+func (db *DB) History(key string) []Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	src := db.entries[key]
+	out := make([]Entry, len(src))
+	copy(out, src)
+	return out
+}
+
+// Versions returns the number of committed writes (including deletes) to key.
+func (db *DB) Versions(key string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries[key])
+}
+
+// Keys returns how many distinct keys have history.
+func (db *DB) Keys() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}

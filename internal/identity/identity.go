@@ -1,0 +1,368 @@
+// Package identity implements the membership service provider (MSP)
+// substrate: a certificate authority, ECDSA P-256 X.509 signing identities,
+// and signature verification. It mirrors the role Fabric's MSP plays for
+// HyperProv — every provenance record is bound to the X.509 certificate of
+// the client that created it.
+package identity
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+)
+
+// Role classifies what a certificate is allowed to do inside an org.
+type Role int
+
+// Certificate roles, mirroring Fabric's MSP principal classification.
+const (
+	RoleClient Role = iota + 1
+	RolePeer
+	RoleOrderer
+	RoleAdmin
+)
+
+// String returns the textual form of the role used in certificate OUs.
+func (r Role) String() string {
+	switch r {
+	case RoleClient:
+		return "client"
+	case RolePeer:
+		return "peer"
+	case RoleOrderer:
+		return "orderer"
+	case RoleAdmin:
+		return "admin"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Errors returned by this package.
+var (
+	ErrUnknownOrg         = errors.New("identity: unknown organization")
+	ErrBadSignature       = errors.New("identity: signature verification failed")
+	ErrCertNotSignedByCA  = errors.New("identity: certificate not signed by org CA")
+	ErrCertExpired        = errors.New("identity: certificate outside validity window")
+	ErrMalformedIdentity  = errors.New("identity: malformed serialized identity")
+	ErrRevoked            = errors.New("identity: certificate revoked")
+	ErrDuplicateEnrollKey = errors.New("identity: enrollment id already issued")
+)
+
+// CA is a self-signed certificate authority for one organization. It issues
+// signing identities to clients, peers, and orderers, and verifies that
+// serialized identities presented on the wire chain back to it.
+type CA struct {
+	mu      sync.RWMutex
+	org     string
+	key     *ecdsa.PrivateKey
+	cert    *x509.Certificate
+	certDER []byte
+	serial  int64
+	issued  map[string]bool // enrollment id -> issued
+	revoked map[string]bool // enrollment id -> revoked
+	now     func() time.Time
+}
+
+// NewCA creates a self-signed CA for the given organization name.
+func NewCA(org string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("identity: generate CA key: %w", err)
+	}
+	now := time.Now()
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject: pkix.Name{
+			CommonName:   "ca." + org,
+			Organization: []string{org},
+		},
+		NotBefore:             now.Add(-time.Hour),
+		NotAfter:              now.Add(10 * 365 * 24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("identity: self-sign CA cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("identity: parse CA cert: %w", err)
+	}
+	return &CA{
+		org:     org,
+		key:     key,
+		cert:    cert,
+		certDER: der,
+		serial:  1,
+		issued:  make(map[string]bool),
+		revoked: make(map[string]bool),
+		now:     time.Now,
+	}, nil
+}
+
+// Org returns the organization name this CA serves.
+func (ca *CA) Org() string { return ca.org }
+
+// CertPEM returns the CA certificate in PEM form.
+func (ca *CA) CertPEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: ca.certDER})
+}
+
+// Enroll issues a new signing identity with the given enrollment id and role.
+// Enrollment ids must be unique within the org.
+func (ca *CA) Enroll(enrollID string, role Role) (*SigningIdentity, error) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	if ca.issued[enrollID] {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateEnrollKey, enrollID)
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("identity: generate key for %q: %w", enrollID, err)
+	}
+	ca.serial++
+	now := ca.now()
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(ca.serial),
+		Subject: pkix.Name{
+			CommonName:         enrollID,
+			Organization:       []string{ca.org},
+			OrganizationalUnit: []string{role.String()},
+		},
+		NotBefore: now.Add(-time.Hour),
+		NotAfter:  now.Add(5 * 365 * 24 * time.Hour),
+		KeyUsage:  x509.KeyUsageDigitalSignature,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return nil, fmt.Errorf("identity: issue cert for %q: %w", enrollID, err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("identity: parse issued cert: %w", err)
+	}
+	ca.issued[enrollID] = true
+	return &SigningIdentity{
+		org:     ca.org,
+		id:      enrollID,
+		role:    role,
+		key:     key,
+		cert:    cert,
+		certDER: der,
+	}, nil
+}
+
+// Revoke marks an enrollment id as revoked; subsequently presented
+// certificates for that id fail verification.
+func (ca *CA) Revoke(enrollID string) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	ca.revoked[enrollID] = true
+}
+
+// VerifyCert checks that the certificate was issued by this CA, is inside
+// its validity window, and has not been revoked.
+func (ca *CA) VerifyCert(cert *x509.Certificate) error {
+	if err := cert.CheckSignatureFrom(ca.cert); err != nil {
+		return fmt.Errorf("%w: %v", ErrCertNotSignedByCA, err)
+	}
+	now := ca.now()
+	if now.Before(cert.NotBefore) || now.After(cert.NotAfter) {
+		return ErrCertExpired
+	}
+	ca.mu.RLock()
+	revoked := ca.revoked[cert.Subject.CommonName]
+	ca.mu.RUnlock()
+	if revoked {
+		return fmt.Errorf("%w: %q", ErrRevoked, cert.Subject.CommonName)
+	}
+	return nil
+}
+
+// SigningIdentity is a private key + certificate pair able to sign messages.
+type SigningIdentity struct {
+	org     string
+	id      string
+	role    Role
+	key     *ecdsa.PrivateKey
+	cert    *x509.Certificate
+	certDER []byte
+}
+
+// Org returns the owning organization.
+func (s *SigningIdentity) Org() string { return s.org }
+
+// ID returns the enrollment id (certificate CN).
+func (s *SigningIdentity) ID() string { return s.id }
+
+// Role returns the role baked into the certificate.
+func (s *SigningIdentity) Role() Role { return s.role }
+
+// MSPID returns the Fabric-style MSP identifier ("Org1MSP" style).
+func (s *SigningIdentity) MSPID() string { return s.org + "MSP" }
+
+// Sign signs the SHA-256 digest of msg with the identity's private key.
+func (s *SigningIdentity) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := ecdsa.SignASN1(rand.Reader, s.key, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("identity: sign: %w", err)
+	}
+	return sig, nil
+}
+
+// Serialize returns the wire form of the identity (MSP id + cert DER),
+// matching Fabric's SerializedIdentity proto.
+func (s *SigningIdentity) Serialize() []byte {
+	b, _ := json.Marshal(serializedIdentity{MSPID: s.MSPID(), CertDER: s.certDER})
+	return b
+}
+
+// Identity returns the public (verification-only) half.
+func (s *SigningIdentity) Identity() *Identity {
+	return &Identity{org: s.org, id: s.id, role: s.role, cert: s.cert, certDER: s.certDER}
+}
+
+// CertPEM returns the identity certificate in PEM form; this is what
+// HyperProv stores in each provenance record's creator field.
+func (s *SigningIdentity) CertPEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: s.certDER})
+}
+
+type serializedIdentity struct {
+	MSPID   string `json:"mspid"`
+	CertDER []byte `json:"certDer"`
+}
+
+// Identity is the verification-only view of a member: certificate plus
+// parsed org/role attributes.
+type Identity struct {
+	org     string
+	id      string
+	role    Role
+	cert    *x509.Certificate
+	certDER []byte
+}
+
+// Org returns the owning organization.
+func (id *Identity) Org() string { return id.org }
+
+// ID returns the enrollment id (certificate CN).
+func (id *Identity) ID() string { return id.id }
+
+// Role returns the role parsed from the certificate OU.
+func (id *Identity) Role() Role { return id.role }
+
+// MSPID returns the MSP identifier.
+func (id *Identity) MSPID() string { return id.org + "MSP" }
+
+// Verify checks that sig is a valid signature over msg by this identity.
+func (id *Identity) Verify(msg, sig []byte) error {
+	digest := sha256.Sum256(msg)
+	if !ecdsa.VerifyASN1(id.cert.PublicKey.(*ecdsa.PublicKey), digest[:], sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Subject renders the identity the way HyperProv records it in the creator
+// field of a provenance record.
+func (id *Identity) Subject() string {
+	return fmt.Sprintf("x509::CN=%s,O=%s,OU=%s", id.id, id.org, id.role)
+}
+
+// MSP verifies serialized identities against the set of known org CAs. It is
+// shared by peers, orderers, and clients.
+type MSP struct {
+	mu  sync.RWMutex
+	cas map[string]*CA // org -> CA
+}
+
+// NewMSP creates an MSP trusting the given CAs.
+func NewMSP(cas ...*CA) *MSP {
+	m := &MSP{cas: make(map[string]*CA, len(cas))}
+	for _, ca := range cas {
+		m.cas[ca.org] = ca
+	}
+	return m
+}
+
+// AddCA registers an additional trusted org CA.
+func (m *MSP) AddCA(ca *CA) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cas[ca.org] = ca
+}
+
+// Orgs lists the trusted organization names.
+func (m *MSP) Orgs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.cas))
+	for org := range m.cas {
+		out = append(out, org)
+	}
+	return out
+}
+
+// Deserialize parses and verifies a serialized identity: the certificate
+// must chain to a trusted CA and be within validity.
+func (m *MSP) Deserialize(raw []byte) (*Identity, error) {
+	var si serializedIdentity
+	if err := json.Unmarshal(raw, &si); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedIdentity, err)
+	}
+	cert, err := x509.ParseCertificate(si.CertDER)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedIdentity, err)
+	}
+	org := ""
+	if len(cert.Subject.Organization) > 0 {
+		org = cert.Subject.Organization[0]
+	}
+	m.mu.RLock()
+	ca, ok := m.cas[org]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownOrg, org)
+	}
+	if err := ca.VerifyCert(cert); err != nil {
+		return nil, err
+	}
+	return &Identity{
+		org:     org,
+		id:      cert.Subject.CommonName,
+		role:    parseRole(cert),
+		cert:    cert,
+		certDER: si.CertDER,
+	}, nil
+}
+
+func parseRole(cert *x509.Certificate) Role {
+	if len(cert.Subject.OrganizationalUnit) == 0 {
+		return RoleClient
+	}
+	switch cert.Subject.OrganizationalUnit[0] {
+	case "peer":
+		return RolePeer
+	case "orderer":
+		return RoleOrderer
+	case "admin":
+		return RoleAdmin
+	default:
+		return RoleClient
+	}
+}

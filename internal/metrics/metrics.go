@@ -1,0 +1,95 @@
+// Package metrics provides the lightweight operational counters exposed by
+// peers and the ordering service — the numbers an operator of the paper's
+// edge deployment would scrape (transactions validated/invalidated,
+// endorsements served, blocks cut). Counters are safe for concurrent use
+// and snapshot as a plain map for reporting.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (negative deltas are ignored; counters are monotonic).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry is a named set of counters.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Format renders the snapshot as sorted "name value" lines.
+func (r *Registry) Format() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s %d\n", name, snap[name])
+	}
+	return sb.String()
+}
+
+// Well-known metric names used across the system.
+const (
+	EndorsementsServed = "endorsements_served"
+	EndorsementsFailed = "endorsements_failed"
+	BlocksCommitted    = "blocks_committed"
+	TxValidated        = "tx_validated"
+	TxInvalidated      = "tx_invalidated"
+	QueriesServed      = "queries_served"
+	BatchesCut         = "batches_cut"
+	EnvelopesOrdered   = "envelopes_ordered"
+	GossipBlocksPulled = "gossip_blocks_pulled"
+)

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d, want 5", got)
+	}
+}
+
+func TestRegistryReturnsSameCounter(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Error("Counter returned distinct instances for one name")
+	}
+	a.Inc()
+	if r.Snapshot()["x"] != 1 {
+		t.Errorf("snapshot = %v", r.Snapshot())
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*each {
+		t.Errorf("shared = %d, want %d", got, workers*each)
+	}
+}
+
+func TestFormatSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zebra").Inc()
+	r.Counter("alpha").Add(2)
+	out := r.Format()
+	if !strings.Contains(out, "alpha 2") || !strings.Contains(out, "zebra 1") {
+		t.Errorf("format = %q", out)
+	}
+	if strings.Index(out, "alpha") > strings.Index(out, "zebra") {
+		t.Error("format not sorted")
+	}
+}
+
+// Property: a counter's value equals the sum of positive deltas applied.
+func TestQuickCounterSum(t *testing.T) {
+	f := func(deltas []int16) bool {
+		var c Counter
+		var want int64
+		for _, d := range deltas {
+			c.Add(int64(d))
+			if d > 0 {
+				want += int64(d)
+			}
+		}
+		return c.Value() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

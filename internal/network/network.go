@@ -1,0 +1,127 @@
+// Package network provides the wire primitives shared by the repo's TCP
+// services: length-prefixed JSON message framing and a link shaper that
+// imposes configurable latency and bandwidth on a connection. The shaper is
+// how the off-chain store reproduces the SSHFS-over-LAN transfer costs that
+// dominate HyperProv's large-payload measurements.
+package network
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// MaxFrame bounds a single framed message (64 MiB covers the largest
+// payloads in the paper's sweeps with room to spare).
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("network: frame exceeds maximum size")
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("network: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("network: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("network: read frame body: %w", err)
+	}
+	return payload, nil
+}
+
+// WriteJSON frames and writes a JSON-encoded message.
+func WriteJSON(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("network: marshal: %w", err)
+	}
+	return WriteFrame(w, b)
+}
+
+// ReadJSON reads one frame and decodes it into v.
+func ReadJSON(r io.Reader, v any) error {
+	b, err := ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("network: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// LinkShape describes a simulated link.
+type LinkShape struct {
+	// Latency is added once per transfer direction (one-way delay).
+	Latency time.Duration
+	// Mbps caps throughput; 0 means unshaped.
+	Mbps float64
+	// Scale compresses the imposed delays (matching device.Clock scaling);
+	// 0 means 1.0.
+	Scale float64
+}
+
+// Delay returns the shaped transfer time for n bytes (latency + serialization).
+func (s LinkShape) Delay(n int) time.Duration {
+	d := s.Latency
+	if s.Mbps > 0 && n > 0 {
+		d += time.Duration(float64(n) * 8 / (s.Mbps * 1e6) * float64(time.Second))
+	}
+	scale := s.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	return time.Duration(float64(d) * scale)
+}
+
+// ShapedConn wraps a bidirectional stream, imposing the link shape on
+// writes. Reads are left unshaped (the remote side shapes its own writes).
+type ShapedConn struct {
+	rw    io.ReadWriter
+	shape LinkShape
+	mu    sync.Mutex
+}
+
+// NewShapedConn wraps rw with the given link shape.
+func NewShapedConn(rw io.ReadWriter, shape LinkShape) *ShapedConn {
+	return &ShapedConn{rw: rw, shape: shape}
+}
+
+// Read reads from the underlying stream.
+func (c *ShapedConn) Read(p []byte) (int, error) { return c.rw.Read(p) }
+
+// Write sleeps for the shaped delay of len(p) bytes, then writes.
+func (c *ShapedConn) Write(p []byte) (int, error) {
+	if d := c.shape.Delay(len(p)); d > 0 {
+		time.Sleep(d)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rw.Write(p)
+}

@@ -1,0 +1,121 @@
+package network
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{7}, 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame = %d bytes, want %d", len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("read past end = %v, want EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized write err = %v", err)
+	}
+	// A malicious header announcing an oversized frame must be rejected.
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized read err = %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	type msg struct {
+		A string `json:"a"`
+		B int    `json:"b"`
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, msg{A: "x", B: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var got msg
+	if err := ReadJSON(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.A != "x" || got.B != 7 {
+		t.Errorf("got %+v", got)
+	}
+	// Bad JSON in a valid frame.
+	if err := WriteFrame(&buf, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadJSON(&buf, &got); err == nil {
+		t.Error("ReadJSON accepted bad JSON")
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("complete")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	if _, err := ReadFrame(trunc); err == nil {
+		t.Error("truncated frame read succeeded")
+	}
+}
+
+func TestShapedConnWrites(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewShapedConn(&buf, LinkShape{Latency: 10 * time.Millisecond, Scale: 0.5})
+	start := time.Now()
+	if _, err := c.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Errorf("shaped write returned in %v, want >= ~5ms", elapsed)
+	}
+	if buf.String() != "data" {
+		t.Errorf("written = %q", buf.String())
+	}
+	// Reads pass through unshaped.
+	rbuf := bytes.NewBufferString("incoming")
+	rc := NewShapedConn(rbuf, LinkShape{Latency: time.Hour})
+	p := make([]byte, 8)
+	start = time.Now()
+	if _, err := rc.Read(p); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("read was shaped")
+	}
+}
+
+// Property: arbitrary byte sequences frame-round-trip.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

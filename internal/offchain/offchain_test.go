@@ -1,0 +1,179 @@
+package offchain
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumFormat(t *testing.T) {
+	cs := Checksum([]byte("hello"))
+	if !strings.HasPrefix(cs, "sha256:") || len(cs) != 7+64 {
+		t.Errorf("Checksum = %q", cs)
+	}
+	if Checksum([]byte("hello")) != cs {
+		t.Error("Checksum not deterministic")
+	}
+	if Checksum([]byte("world")) == cs {
+		t.Error("different data, same checksum")
+	}
+}
+
+func TestVerifyChecksum(t *testing.T) {
+	data := []byte("payload")
+	if err := VerifyChecksum(data, Checksum(data)); err != nil {
+		t.Errorf("VerifyChecksum clean: %v", err)
+	}
+	if err := VerifyChecksum([]byte("tampered"), Checksum(data)); !errors.Is(err, ErrChecksumMismatch) {
+		t.Errorf("VerifyChecksum tampered = %v, want ErrChecksumMismatch", err)
+	}
+}
+
+// storeSuite runs the contract tests against any Store implementation.
+func storeSuite(t *testing.T, s Store) {
+	t.Helper()
+	data := []byte("the quick brown fox")
+	ref, err := s.Put(data)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if ref == "" {
+		t.Fatal("empty ref")
+	}
+	got, err := s.Get(ref)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("Get = %q, want %q", got, data)
+	}
+	// Idempotent put (content addressed).
+	ref2, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref2 != ref {
+		t.Errorf("second Put ref = %q, want %q", ref2, ref)
+	}
+	// Unknown ref.
+	if _, err := s.Get(strings.Replace(ref, "a", "b", 1) + "x"); err == nil {
+		t.Error("Get of unknown ref succeeded")
+	}
+	// Malformed ref.
+	if _, err := s.Get("bogus-scheme://zzz"); err == nil {
+		t.Error("Get of malformed ref succeeded")
+	}
+	// Empty payload round-trips.
+	refEmpty, err := s.Put(nil)
+	if err != nil {
+		t.Fatalf("Put(nil): %v", err)
+	}
+	if got, err := s.Get(refEmpty); err != nil || len(got) != 0 {
+		t.Errorf("Get(empty) = %q, %v", got, err)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	storeSuite(t, s)
+	if s.Len() == 0 {
+		t.Error("Len = 0 after puts")
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	s := NewMemStore()
+	data := []byte("original")
+	ref, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // caller mutation must not corrupt the store
+	got, err := s.Get(ref)
+	if err != nil {
+		t.Fatalf("Get after caller mutation: %v", err)
+	}
+	if got[0] != 'o' {
+		t.Error("store aliased caller slice")
+	}
+	got[0] = 'Y' // returned slice mutation must not corrupt the store
+	if again, err := s.Get(ref); err != nil || again[0] != 'o' {
+		t.Errorf("store aliased returned slice: %q %v", again, err)
+	}
+}
+
+func TestMemStoreTamperDetection(t *testing.T) {
+	s := NewMemStore()
+	ref, err := s.Put([]byte("sensor reading 42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Corrupt(ref); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get(ref)
+	if !errors.Is(err, ErrChecksumMismatch) {
+		t.Errorf("Get of corrupted object = %v, want ErrChecksumMismatch", err)
+	}
+}
+
+func TestDirStore(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	storeSuite(t, s)
+}
+
+func TestDirStoreTamperDetection(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Put([]byte("data item"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file on disk.
+	key := strings.TrimPrefix(ref, "file://")
+	if err := os.WriteFile(s.path(key), []byte("evil bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ref); !errors.Is(err, ErrChecksumMismatch) {
+		t.Errorf("Get corrupted file = %v, want ErrChecksumMismatch", err)
+	}
+}
+
+// Property: checksum round-trips for random payloads on MemStore.
+func TestQuickMemRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	f := func(data []byte) bool {
+		ref, err := s.Put(data)
+		if err != nil {
+			return false
+		}
+		got, err := s.Get(ref)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumCollisionResistanceSample(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		cs := Checksum([]byte(fmt.Sprintf("payload-%d", i)))
+		if seen[cs] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[cs] = true
+	}
+}

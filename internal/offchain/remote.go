@@ -1,0 +1,244 @@
+package offchain
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"github.com/hyperprov/hyperprov/internal/network"
+)
+
+// This file implements the remote off-chain store: a TCP object server and
+// its client. It stands in for the paper's SSHFS mount served from a
+// separate node — the client pays a per-operation handshake plus a
+// bandwidth-bound transfer, which is exactly the cost structure that bends
+// the throughput and response-time curves of Figs 1–2 at large payloads.
+
+// remote protocol operations.
+const (
+	opPut = "put"
+	opGet = "get"
+)
+
+type remoteRequest struct {
+	Op   string `json:"op"`
+	Key  string `json:"key,omitempty"`
+	Data []byte `json:"data,omitempty"`
+}
+
+type remoteResponse struct {
+	OK   bool   `json:"ok"`
+	Err  string `json:"err,omitempty"`
+	Key  string `json:"key,omitempty"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// Server is a TCP object server backed by any Store.
+type Server struct {
+	backing Store
+	ln      net.Listener
+	shape   network.LinkShape
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewServer starts an object server on addr ("127.0.0.1:0" for an
+// ephemeral port). shape is applied to the server's responses, modelling
+// the storage node's uplink.
+func NewServer(addr string, backing Store, shape network.LinkShape) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("offchain: listen: %w", err)
+	}
+	s := &Server{backing: backing, ln: ln, shape: shape}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for connection handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	shaped := network.NewShapedConn(conn, s.shape)
+	for {
+		var req remoteRequest
+		if err := network.ReadJSON(conn, &req); err != nil {
+			return // EOF or broken connection
+		}
+		resp := s.handle(&req)
+		if err := network.WriteJSON(shaped, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *remoteRequest) *remoteResponse {
+	switch req.Op {
+	case opPut:
+		ref, err := s.backing.Put(req.Data)
+		if err != nil {
+			return &remoteResponse{Err: err.Error()}
+		}
+		return &remoteResponse{OK: true, Key: ref}
+	case opGet:
+		data, err := s.backing.Get(req.Key)
+		if err != nil {
+			return &remoteResponse{Err: err.Error()}
+		}
+		return &remoteResponse{OK: true, Data: data}
+	default:
+		return &remoteResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// RemoteStore is the client side: it dials the object server and shapes its
+// own uplink writes, so both transfer directions pay the modeled link cost.
+type RemoteStore struct {
+	addr  string
+	shape network.LinkShape
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var _ Store = (*RemoteStore)(nil)
+
+// NewRemoteStore connects to an object server.
+func NewRemoteStore(addr string, shape network.LinkShape) (*RemoteStore, error) {
+	r := &RemoteStore{addr: addr, shape: shape}
+	if err := r.reconnect(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *RemoteStore) reconnect() error {
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		return fmt.Errorf("offchain: dial %s: %w", r.addr, err)
+	}
+	r.conn = conn
+	return nil
+}
+
+// roundTrip sends one request and reads one response, retrying once on a
+// broken connection.
+func (r *RemoteStore) roundTrip(req *remoteRequest) (*remoteResponse, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if r.conn == nil {
+			if err := r.reconnect(); err != nil {
+				return nil, err
+			}
+		}
+		shaped := network.NewShapedConn(r.conn, r.shape)
+		var resp remoteResponse
+		err := network.WriteJSON(shaped, req)
+		if err == nil {
+			err = network.ReadJSON(r.conn, &resp)
+		}
+		if err != nil {
+			r.conn.Close()
+			r.conn = nil
+			if attempt == 0 {
+				continue
+			}
+			return nil, fmt.Errorf("offchain: remote round trip: %w", err)
+		}
+		return &resp, nil
+	}
+}
+
+// Put uploads data and returns a remote reference.
+func (r *RemoteStore) Put(data []byte) (string, error) {
+	resp, err := r.roundTrip(&remoteRequest{Op: opPut, Data: data})
+	if err != nil {
+		return "", err
+	}
+	if !resp.OK {
+		return "", fmt.Errorf("offchain: remote put: %s", resp.Err)
+	}
+	return "remote://" + r.addr + "/" + resp.Key, nil
+}
+
+// Get downloads and verifies the object for ref.
+func (r *RemoteStore) Get(ref string) ([]byte, error) {
+	key, err := r.localKey(ref)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.roundTrip(&remoteRequest{Op: opGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		if strings.Contains(resp.Err, "not found") {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, ref)
+		}
+		if strings.Contains(resp.Err, "checksum") {
+			return nil, ErrChecksumMismatch
+		}
+		return nil, fmt.Errorf("offchain: remote get: %s", resp.Err)
+	}
+	return resp.Data, nil
+}
+
+// localKey strips the remote:// prefix and host, returning the backing
+// store's reference.
+func (r *RemoteStore) localKey(ref string) (string, error) {
+	rest, ok := strings.CutPrefix(ref, "remote://")
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrBadRef, ref)
+	}
+	i := strings.Index(rest, "/")
+	if i < 0 {
+		return "", fmt.Errorf("%w: %q", ErrBadRef, ref)
+	}
+	return rest[i+1:], nil
+}
+
+// Close closes the client connection.
+func (r *RemoteStore) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn != nil {
+		err := r.conn.Close()
+		r.conn = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package orderer implements the ordering service: envelopes are batched by
+// a block cutter (message count / byte size / timeout, exactly the knobs
+// Fabric exposes) and sequenced by a consenter — either the solo consenter
+// the paper's deployment uses, or a Raft consenter for the resilience
+// experiments.
+package orderer
+
+import (
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+)
+
+// BatchConfig are the block-cutting parameters (Fabric's BatchSize /
+// BatchTimeout channel configuration).
+type BatchConfig struct {
+	// MaxMessageCount cuts a batch when this many envelopes are pending.
+	MaxMessageCount int
+	// PreferredMaxBytes cuts a batch when pending envelopes exceed this
+	// many serialized bytes.
+	PreferredMaxBytes int
+	// BatchTimeout cuts a non-empty pending batch after this long.
+	BatchTimeout time.Duration
+}
+
+// DefaultBatchConfig mirrors the Fabric 1.4 sample channel defaults the
+// paper's network used.
+func DefaultBatchConfig() BatchConfig {
+	return BatchConfig{
+		MaxMessageCount:   10,
+		PreferredMaxBytes: 2 * 1024 * 1024,
+		BatchTimeout:      2 * time.Second,
+	}
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	d := DefaultBatchConfig()
+	if c.MaxMessageCount <= 0 {
+		c.MaxMessageCount = d.MaxMessageCount
+	}
+	if c.PreferredMaxBytes <= 0 {
+		c.PreferredMaxBytes = d.PreferredMaxBytes
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = d.BatchTimeout
+	}
+	return c
+}
+
+// blockCutter accumulates envelopes into batches. It is not safe for
+// concurrent use; consenters call it from their single ordering loop.
+type blockCutter struct {
+	cfg          BatchConfig
+	pending      []blockstore.Envelope
+	pendingBytes int
+}
+
+func newBlockCutter(cfg BatchConfig) *blockCutter {
+	return &blockCutter{cfg: cfg.withDefaults()}
+}
+
+// ordered adds env and returns zero or more cut batches. expired reports
+// whether the caller should (re)arm the batch timer: it is true when a
+// batch remains pending.
+func (bc *blockCutter) ordered(env blockstore.Envelope) (batches [][]blockstore.Envelope, pending bool) {
+	raw, err := env.Marshal()
+	size := len(raw)
+	if err != nil {
+		size = 0
+	}
+
+	// An oversized message cuts any pending batch first, then goes alone.
+	if size > bc.cfg.PreferredMaxBytes {
+		if len(bc.pending) > 0 {
+			batches = append(batches, bc.cut())
+		}
+		batches = append(batches, []blockstore.Envelope{env})
+		return batches, false
+	}
+
+	if bc.pendingBytes+size > bc.cfg.PreferredMaxBytes && len(bc.pending) > 0 {
+		batches = append(batches, bc.cut())
+	}
+	bc.pending = append(bc.pending, env)
+	bc.pendingBytes += size
+	if len(bc.pending) >= bc.cfg.MaxMessageCount {
+		batches = append(batches, bc.cut())
+	}
+	return batches, len(bc.pending) > 0
+}
+
+// cut returns the pending batch (possibly empty) and resets state.
+func (bc *blockCutter) cut() []blockstore.Envelope {
+	batch := bc.pending
+	bc.pending = nil
+	bc.pendingBytes = 0
+	return batch
+}

@@ -1,0 +1,130 @@
+package orderer
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+)
+
+func env(id string, payload int) blockstore.Envelope {
+	return blockstore.Envelope{
+		TxID:     id,
+		Function: "set",
+		Args:     [][]byte{make([]byte, payload)},
+	}
+}
+
+func TestCutterMaxMessageCount(t *testing.T) {
+	bc := newBlockCutter(BatchConfig{MaxMessageCount: 3, PreferredMaxBytes: 1 << 30, BatchTimeout: time.Hour})
+	var cuts [][]blockstore.Envelope
+	for i := 0; i < 7; i++ {
+		batches, _ := bc.ordered(env(fmt.Sprintf("t%d", i), 10))
+		cuts = append(cuts, batches...)
+	}
+	if len(cuts) != 2 {
+		t.Fatalf("cuts = %d, want 2 (batches of 3)", len(cuts))
+	}
+	for i, c := range cuts {
+		if len(c) != 3 {
+			t.Errorf("batch %d size = %d, want 3", i, len(c))
+		}
+	}
+	rest := bc.cut()
+	if len(rest) != 1 {
+		t.Errorf("remainder = %d, want 1", len(rest))
+	}
+}
+
+func TestCutterPreferredMaxBytes(t *testing.T) {
+	// Each envelope ~1KB payload; cut when pending bytes would exceed 3KB.
+	bc := newBlockCutter(BatchConfig{MaxMessageCount: 1000, PreferredMaxBytes: 3 * 1024, BatchTimeout: time.Hour})
+	var cuts [][]blockstore.Envelope
+	for i := 0; i < 6; i++ {
+		batches, _ := bc.ordered(env(fmt.Sprintf("t%d", i), 1024))
+		cuts = append(cuts, batches...)
+	}
+	if len(cuts) == 0 {
+		t.Fatal("no byte-triggered cuts")
+	}
+	for i, c := range cuts {
+		if len(c) > 3 {
+			t.Errorf("batch %d has %d messages; byte cap should cut earlier", i, len(c))
+		}
+	}
+}
+
+func TestCutterOversizedMessage(t *testing.T) {
+	bc := newBlockCutter(BatchConfig{MaxMessageCount: 100, PreferredMaxBytes: 1024, BatchTimeout: time.Hour})
+	if _, pending := bc.ordered(env("small", 10)); !pending {
+		t.Fatal("small message should leave a pending batch")
+	}
+	batches, pending := bc.ordered(env("huge", 64*1024))
+	if len(batches) != 2 {
+		t.Fatalf("oversize produced %d batches, want 2 (pending flushed + alone)", len(batches))
+	}
+	if len(batches[0]) != 1 || batches[0][0].TxID != "small" {
+		t.Errorf("first batch = %+v", batches[0])
+	}
+	if len(batches[1]) != 1 || batches[1][0].TxID != "huge" {
+		t.Errorf("second batch = %+v", batches[1])
+	}
+	if pending {
+		t.Error("oversize path left a pending batch")
+	}
+}
+
+func TestCutterDefaults(t *testing.T) {
+	cfg := BatchConfig{}.withDefaults()
+	d := DefaultBatchConfig()
+	if cfg != d {
+		t.Errorf("withDefaults = %+v, want %+v", cfg, d)
+	}
+	// Partial override preserved.
+	cfg2 := BatchConfig{MaxMessageCount: 5}.withDefaults()
+	if cfg2.MaxMessageCount != 5 || cfg2.BatchTimeout != d.BatchTimeout {
+		t.Errorf("partial defaults = %+v", cfg2)
+	}
+}
+
+// Property: no envelope is lost or duplicated through arbitrary cutting.
+func TestQuickCutterConservation(t *testing.T) {
+	f := func(nMsgs uint8, maxCount uint8, payload uint16) bool {
+		n := int(nMsgs%50) + 1
+		mc := int(maxCount%10) + 1
+		bc := newBlockCutter(BatchConfig{
+			MaxMessageCount:   mc,
+			PreferredMaxBytes: int(payload)*2 + 512,
+			BatchTimeout:      time.Hour,
+		})
+		seen := map[string]int{}
+		total := 0
+		for i := 0; i < n; i++ {
+			batches, _ := bc.ordered(env(fmt.Sprintf("t%d", i), int(payload%2048)))
+			for _, b := range batches {
+				for _, e := range b {
+					seen[e.TxID]++
+					total++
+				}
+			}
+		}
+		for _, e := range bc.cut() {
+			seen[e.TxID]++
+			total++
+		}
+		if total != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

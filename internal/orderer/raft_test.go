@@ -1,0 +1,166 @@
+package orderer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+)
+
+func fastRaft() RaftConfig {
+	return RaftConfig{
+		HeartbeatInterval:  5 * time.Millisecond,
+		ElectionTimeoutMin: 25 * time.Millisecond,
+		ElectionTimeoutMax: 60 * time.Millisecond,
+	}
+}
+
+func quickBatch() BatchConfig {
+	return BatchConfig{MaxMessageCount: 1, BatchTimeout: time.Hour, PreferredMaxBytes: 1 << 30}
+}
+
+func TestRaftElectsLeader(t *testing.T) {
+	r := NewRaft(3, quickBatch(), fastRaft(), nil, 1)
+	defer r.Stop()
+	if leader := r.WaitLeader(5 * time.Second); leader < 0 {
+		t.Fatal("no leader elected")
+	}
+}
+
+func TestRaftOrdersEnvelopes(t *testing.T) {
+	r := NewRaft(3, quickBatch(), fastRaft(), nil, 2)
+	defer r.Stop()
+	r.WaitLeader(5 * time.Second)
+	sub := r.Subscribe()
+	for i := 0; i < 5; i++ {
+		if err := r.Submit(env(fmt.Sprintf("t%d", i), 16)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	blocks := collect(t, sub, 5, 10*time.Second)
+	store := blockstore.NewStore()
+	for _, b := range blocks {
+		if err := store.Append(b); err != nil {
+			t.Fatalf("chain broken: %v", err)
+		}
+	}
+	if err := store.VerifyChain(); err != nil {
+		t.Errorf("VerifyChain: %v", err)
+	}
+}
+
+func TestRaftSurvivesLeaderCrash(t *testing.T) {
+	r := NewRaft(3, quickBatch(), fastRaft(), nil, 3)
+	defer r.Stop()
+	leader := r.WaitLeader(5 * time.Second)
+	if leader < 0 {
+		t.Fatal("no initial leader")
+	}
+	sub := r.Subscribe()
+	if err := r.Submit(env("before-crash", 16)); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, sub, 1, 10*time.Second)
+
+	r.KillNode(leader)
+	newLeader := r.WaitLeader(5 * time.Second)
+	if newLeader < 0 {
+		t.Fatal("no leader after crash")
+	}
+	if newLeader == leader {
+		t.Fatalf("dead node %d still leader", leader)
+	}
+	if err := r.Submit(env("after-crash", 16)); err != nil {
+		t.Fatal(err)
+	}
+	blocks := collect(t, sub, 1, 10*time.Second)
+	found := false
+	for _, b := range blocks {
+		for _, e := range b.Envelopes {
+			if e.TxID == "after-crash" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("post-crash envelope not ordered")
+	}
+}
+
+func TestRaftNodeRestartRejoins(t *testing.T) {
+	r := NewRaft(3, quickBatch(), fastRaft(), nil, 4)
+	defer r.Stop()
+	leader := r.WaitLeader(5 * time.Second)
+	r.KillNode(leader)
+	if l := r.WaitLeader(5 * time.Second); l < 0 {
+		t.Fatal("no leader after crash")
+	}
+	r.RestartNode(leader)
+	time.Sleep(100 * time.Millisecond)
+	// Cluster still functional with all nodes back.
+	sub := r.Subscribe()
+	if err := r.Submit(env("post-rejoin", 16)); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, sub, 1, 10*time.Second)
+}
+
+func TestRaftMinorityPartitionStalls(t *testing.T) {
+	r := NewRaft(3, quickBatch(), fastRaft(), nil, 5)
+	defer r.Stop()
+	leader := r.WaitLeader(5 * time.Second)
+	if leader < 0 {
+		t.Fatal("no leader")
+	}
+	// Isolate the leader; the two-node majority must elect a new one.
+	groups := map[int]int{leader: 1}
+	r.Partition(groups)
+	deadline := time.Now().Add(5 * time.Second)
+	var newLeader int = -1
+	for time.Now().Before(deadline) {
+		for _, n := range r.cluster.nodes {
+			if n.id != leader && n.isLeader() {
+				newLeader = n.id
+			}
+		}
+		if newLeader >= 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if newLeader < 0 {
+		t.Fatal("majority side did not elect a leader")
+	}
+	// Heal; the old leader must step down (observe higher term).
+	r.Partition(nil)
+	time.Sleep(200 * time.Millisecond)
+	leaders := 0
+	for _, n := range r.cluster.nodes {
+		if n.isLeader() {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("leaders after heal = %d, want 1", leaders)
+	}
+}
+
+func TestRaftStatusString(t *testing.T) {
+	r := NewRaft(3, quickBatch(), fastRaft(), nil, 6)
+	defer r.Stop()
+	r.WaitLeader(5 * time.Second)
+	for _, n := range r.cluster.nodes {
+		if s := n.status(); s == "" {
+			t.Error("empty status")
+		}
+	}
+}
+
+func TestRaftSubmitAfterStop(t *testing.T) {
+	r := NewRaft(3, quickBatch(), fastRaft(), nil, 7)
+	r.Stop()
+	if err := r.Submit(env("late", 8)); err == nil {
+		t.Error("Submit after Stop succeeded")
+	}
+}

@@ -1,0 +1,229 @@
+package orderer
+
+import (
+	"sync"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/device"
+	"github.com/hyperprov/hyperprov/internal/metrics"
+)
+
+// Raft is a crash-fault-tolerant ordering service backed by an in-process
+// Raft cluster. It batches envelopes with the same block cutter as Solo and
+// replicates each batch as one Raft log entry; committed entries become
+// hash-chained blocks. One block stream is exposed regardless of which
+// node applied the entry (entries at an index are identical on all nodes,
+// so first-apply-wins deduplication is safe).
+type Raft struct {
+	cfg     BatchConfig
+	exec    *device.Executor
+	cluster *raftCluster
+	chain   *chain
+
+	in      chan blockstore.Envelope
+	stop    chan struct{}
+	done    chan struct{}
+	stopMu  sync.Mutex
+	stopped bool
+
+	applyMu   sync.Mutex
+	nextApply int                           // next raft index to turn into a block
+	applied   map[int][]blockstore.Envelope // out-of-order arrivals
+}
+
+var _ Service = (*Raft)(nil)
+
+// NewRaft creates and starts a Raft ordering service with n consenter
+// nodes. exec models the ordering machines' per-batch cost (may be nil).
+func NewRaft(n int, batch BatchConfig, raftCfg RaftConfig, exec *device.Executor, seed int64) *Raft {
+	r := &Raft{
+		cfg:       batch.withDefaults(),
+		exec:      exec,
+		chain:     newChain(),
+		in:        make(chan blockstore.Envelope, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		nextApply: 1,
+		applied:   make(map[int][]blockstore.Envelope),
+	}
+	r.cluster = newRaftCluster(n, raftCfg, r.onApply, seed)
+	r.cluster.start()
+	go r.loop()
+	return r
+}
+
+// onApply receives committed batches from every live node and emits each
+// index exactly once, in order.
+func (r *Raft) onApply(_, index int, batch []blockstore.Envelope) {
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+	if index < r.nextApply {
+		return // duplicate from another node
+	}
+	if _, dup := r.applied[index]; dup {
+		return
+	}
+	r.applied[index] = batch
+	for {
+		b, ok := r.applied[r.nextApply]
+		if !ok {
+			return
+		}
+		delete(r.applied, r.nextApply)
+		r.nextApply++
+		if len(b) == 0 {
+			continue
+		}
+		if r.exec != nil {
+			r.exec.Order()
+		}
+		_, _ = r.chain.appendBatch(b)
+	}
+}
+
+// Submit enqueues an envelope. It returns ErrNoLeader if no leader emerges
+// within the retry budget (e.g. during a total partition).
+func (r *Raft) Submit(env blockstore.Envelope) error {
+	select {
+	case <-r.stop:
+		return ErrStopped
+	default:
+	}
+	select {
+	case r.in <- env:
+		return nil
+	case <-r.stop:
+		return ErrStopped
+	}
+}
+
+// Subscribe returns the ordered block stream with full replay.
+func (r *Raft) Subscribe() <-chan *blockstore.Block { return r.chain.subscribe() }
+
+// Height returns the number of blocks ordered.
+func (r *Raft) Height() uint64 { return r.chain.height() }
+
+// Metrics returns the ordering service's counters.
+func (r *Raft) Metrics() *metrics.Registry { return r.chain.metrics }
+
+// Leader returns the current leader node id, or -1 if none.
+func (r *Raft) Leader() int { return r.cluster.leader() }
+
+// KillNode crashes a consenter node (volatile state lost, log retained).
+func (r *Raft) KillNode(id int) {
+	if id >= 0 && id < len(r.cluster.nodes) {
+		r.cluster.nodes[id].stopNode()
+	}
+}
+
+// RestartNode restarts a previously killed node.
+func (r *Raft) RestartNode(id int) {
+	if id >= 0 && id < len(r.cluster.nodes) {
+		r.cluster.nodes[id].start()
+	}
+}
+
+// Partition splits the consenter nodes into groups that cannot exchange
+// messages; nil heals all partitions.
+func (r *Raft) Partition(groups map[int]int) { r.cluster.setPartition(groups) }
+
+// WaitLeader blocks until a leader is elected or the timeout elapses,
+// returning the leader id or -1.
+func (r *Raft) WaitLeader(timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if l := r.cluster.leader(); l >= 0 {
+			return l
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return r.cluster.leader()
+}
+
+// Stop terminates the service, the consenter nodes, and subscribers.
+func (r *Raft) Stop() {
+	r.stopMu.Lock()
+	if !r.stopped {
+		r.stopped = true
+		close(r.stop)
+	}
+	r.stopMu.Unlock()
+	<-r.done
+	r.cluster.stop()
+	r.chain.close()
+}
+
+// loop runs the batch cutter and proposes cut batches to the current
+// leader, retrying while elections are in progress.
+func (r *Raft) loop() {
+	defer close(r.done)
+	cutter := newBlockCutter(r.cfg)
+	var timer *time.Timer
+	var timeout <-chan time.Time
+
+	batchTimeout := r.cfg.BatchTimeout
+	if r.exec != nil {
+		if scale := r.exec.Clock().Scale(); scale > 0 {
+			batchTimeout = time.Duration(float64(batchTimeout) * scale)
+		}
+	}
+
+	armTimer := func() {
+		if timer == nil {
+			timer = time.NewTimer(batchTimeout)
+			timeout = timer.C
+		}
+	}
+	disarmTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			timeout = nil
+		}
+	}
+
+	for {
+		select {
+		case env := <-r.in:
+			batches, pending := cutter.ordered(env)
+			for _, b := range batches {
+				r.propose(b)
+			}
+			if pending {
+				armTimer()
+			} else {
+				disarmTimer()
+			}
+		case <-timeout:
+			disarmTimer()
+			if b := cutter.cut(); len(b) > 0 {
+				r.propose(b)
+			}
+		case <-r.stop:
+			disarmTimer()
+			if b := cutter.cut(); len(b) > 0 {
+				r.propose(b)
+			}
+			return
+		}
+	}
+}
+
+// propose sends the batch to the current leader, waiting briefly through
+// elections. Batches proposed to a leader that then crashes before
+// replication are lost; clients detect this via commit timeout and retry.
+func (r *Raft) propose(batch []blockstore.Envelope) {
+	for attempt := 0; attempt < 200; attempt++ {
+		leader := r.cluster.leader()
+		if leader >= 0 {
+			r.cluster.send(leader, leader, raftMsg{Type: msgPropose, From: leader, Batch: batch})
+			return
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

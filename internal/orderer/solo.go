@@ -1,0 +1,141 @@
+package orderer
+
+import (
+	"sync"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/device"
+	"github.com/hyperprov/hyperprov/internal/metrics"
+)
+
+// Solo is the single-node consenter (Fabric's "solo"), which the paper's
+// deployments use: one Xeon machine (or one RPi) runs the orderer.
+type Solo struct {
+	cfg     BatchConfig
+	exec    *device.Executor
+	chain   *chain
+	in      chan blockstore.Envelope
+	stop    chan struct{}
+	done    chan struct{}
+	stopMu  sync.Mutex
+	stopped bool
+}
+
+var _ Service = (*Solo)(nil)
+
+// NewSolo creates and starts a solo ordering service. exec models the
+// ordering machine's per-batch cost; it may be nil for zero-cost ordering.
+func NewSolo(cfg BatchConfig, exec *device.Executor) *Solo {
+	s := &Solo{
+		cfg:   cfg.withDefaults(),
+		exec:  exec,
+		chain: newChain(),
+		in:    make(chan blockstore.Envelope, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// Submit enqueues an envelope for ordering. It blocks under backpressure.
+func (s *Solo) Submit(env blockstore.Envelope) error {
+	select {
+	case <-s.stop:
+		return ErrStopped
+	default:
+	}
+	select {
+	case s.in <- env:
+		return nil
+	case <-s.stop:
+		return ErrStopped
+	}
+}
+
+// Subscribe returns the ordered block stream with full replay.
+func (s *Solo) Subscribe() <-chan *blockstore.Block { return s.chain.subscribe() }
+
+// Height returns the number of blocks ordered.
+func (s *Solo) Height() uint64 { return s.chain.height() }
+
+// Metrics returns the ordering service's counters.
+func (s *Solo) Metrics() *metrics.Registry { return s.chain.metrics }
+
+// Stop terminates the ordering loop and closes subscriber channels.
+func (s *Solo) Stop() {
+	s.stopMu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	s.stopMu.Unlock()
+	<-s.done
+}
+
+func (s *Solo) loop() {
+	defer close(s.done)
+	defer s.chain.close()
+
+	cutter := newBlockCutter(s.cfg)
+	var timer *time.Timer
+	var timeout <-chan time.Time
+
+	// The batch timer runs in wall time; when the device clock is scaled,
+	// scale the timeout identically so modeled behaviour is preserved.
+	batchTimeout := s.cfg.BatchTimeout
+	if s.exec != nil {
+		if scale := s.exec.Clock().Scale(); scale > 0 {
+			batchTimeout = time.Duration(float64(batchTimeout) * scale)
+		}
+	}
+
+	armTimer := func() {
+		if timer == nil {
+			timer = time.NewTimer(batchTimeout)
+			timeout = timer.C
+		}
+	}
+	disarmTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			timeout = nil
+		}
+	}
+	emit := func(batch []blockstore.Envelope) {
+		if len(batch) == 0 {
+			return
+		}
+		if s.exec != nil {
+			s.exec.Order()
+		}
+		// appendBatch cannot fail here: numbers and hashes are generated
+		// from the chain itself.
+		_, _ = s.chain.appendBatch(batch)
+	}
+
+	for {
+		select {
+		case env := <-s.in:
+			batches, pending := cutter.ordered(env)
+			for _, b := range batches {
+				emit(b)
+			}
+			if pending {
+				armTimer()
+			} else {
+				disarmTimer()
+			}
+		case <-timeout:
+			disarmTimer()
+			emit(cutter.cut())
+		case <-s.stop:
+			disarmTimer()
+			// Flush any pending batch so submitted txs are not lost.
+			emit(cutter.cut())
+			return
+		}
+	}
+}

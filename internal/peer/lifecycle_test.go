@@ -1,0 +1,173 @@
+package peer
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
+	"github.com/hyperprov/hyperprov/internal/device"
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/metrics"
+)
+
+func TestStartStopConsumesStream(t *testing.T) {
+	f := newFixture(t)
+	blocks := make(chan *blockstore.Block, 4)
+	f.peer.Start(blocks)
+
+	prop := f.propose(InitFunction)
+	resp, err := f.peer.ProcessProposal(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := f.envelopeFor(prop, resp)
+	b, err := blockstore.NewBlock(0, nil, []blockstore.Envelope{env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := f.peer.RegisterTxListener(env.TxID)
+	blocks <- b
+	select {
+	case ev := <-wait:
+		if ev.Code != blockstore.TxValid {
+			t.Errorf("code = %s", ev.Code)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stream-driven commit did not happen")
+	}
+	f.peer.Stop()
+	f.peer.Stop() // idempotent
+}
+
+func TestSubscribeEventsDirect(t *testing.T) {
+	f := newFixture(t)
+	events := f.peer.SubscribeEvents(8)
+
+	// Init emits provenance.init; drive it through CommitBlock.
+	prop := f.propose(InitFunction)
+	resp, err := f.peer.ProcessProposal(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.commitEnvs(f.envelopeFor(prop, resp))
+
+	select {
+	case ev := <-events:
+		if ev.Name != "provenance.init" {
+			t.Errorf("event = %+v", ev)
+		}
+		if ev.BlockNum != 0 {
+			t.Errorf("block = %d", ev.BlockNum)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event delivered")
+	}
+	// Stop closes subscriber channels.
+	f.peer.Stop()
+	if _, ok := <-events; ok {
+		// Drain anything buffered, then expect close.
+		for range events {
+		}
+	}
+	// Subscribing after stop yields a closed channel.
+	if _, ok := <-f.peer.SubscribeEvents(1); ok {
+		t.Error("post-stop subscription delivered an event")
+	}
+}
+
+func TestGossipHooksServeAndAccept(t *testing.T) {
+	f := newFixture(t)
+	prop := f.propose(InitFunction)
+	resp, err := f.peer.ProcessProposal(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.commitEnvs(f.envelopeFor(prop, resp))
+
+	if got := f.peer.BlocksFrom(0); len(got) != 1 {
+		t.Fatalf("BlocksFrom = %d blocks", len(got))
+	}
+	// A second peer accepts the block via the gossip delivery hook.
+	signer, err := f.ca.Enroll("peer1", identity.RolePeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := New(Config{Name: "peer1", Signer: signer, MSP: f.msp, ChannelID: "ch"})
+	if err := p2.InstallChaincode(provenance.ChaincodeName, provenance.New(),
+		endorser.SignedBy("Org1MSP")); err != nil {
+		t.Fatal(err)
+	}
+	p2.DeliverBlock(b)
+	if p2.Height() != 1 {
+		t.Fatalf("gossiped height = %d", p2.Height())
+	}
+	// Duplicate and out-of-order deliveries are ignored.
+	p2.DeliverBlock(b)
+	future, err := blockstore.NewBlock(5, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.DeliverBlock(future)
+	if p2.Height() != 1 {
+		t.Errorf("height after bogus deliveries = %d", p2.Height())
+	}
+}
+
+func TestUpgradeChaincodeDirect(t *testing.T) {
+	f := newFixture(t)
+	if err := f.peer.UpgradeChaincode("ghost", provenance.New(), nil); err == nil {
+		t.Error("upgrade of unknown chaincode succeeded")
+	}
+	if err := f.peer.UpgradeChaincode(provenance.ChaincodeName, provenance.New(),
+		endorser.SignedBy("Org1MSP")); err != nil {
+		t.Errorf("upgrade: %v", err)
+	}
+}
+
+func TestAccessorsAndMetrics(t *testing.T) {
+	f := newFixture(t)
+	if f.peer.Name() != "peer0" {
+		t.Errorf("Name = %q", f.peer.Name())
+	}
+	if f.peer.Executor() != nil {
+		t.Error("expected nil executor in fixture")
+	}
+	prop := f.propose(InitFunction)
+	if _, err := f.peer.ProcessProposal(prop); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.peer.Metrics().Counter(metrics.EndorsementsServed).Value(); got != 1 {
+		t.Errorf("endorsements_served = %d", got)
+	}
+}
+
+func TestWireSizeEstimates(t *testing.T) {
+	prop := &endorser.Proposal{Args: [][]byte{make([]byte, 1000)}, Creator: make([]byte, 100)}
+	if got := proposalWireSize(prop); got < 1100 {
+		t.Errorf("proposalWireSize = %d", got)
+	}
+	b, err := blockstore.NewBlock(0, nil, []blockstore.Envelope{
+		{Args: [][]byte{make([]byte, 2048)}, RWSet: make([]byte, 512)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := blockWireSize(b); got < 2560 {
+		t.Errorf("blockWireSize = %d", got)
+	}
+	// An executor-backed peer accounts transfer costs during commit.
+	exec := device.NewExecutor(device.XeonE51603, device.NopClock{}, 1)
+	f := newFixture(t)
+	f.peer.exec = exec
+	initProp := f.propose(InitFunction)
+	resp, err := f.peer.ProcessProposal(initProp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.commitEnvs(f.envelopeFor(initProp, resp))
+	if exec.BusyTime() == 0 {
+		t.Error("no device cost accounted")
+	}
+}

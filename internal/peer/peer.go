@@ -1,0 +1,491 @@
+// Package peer implements the peer node: it hosts chaincode and serves
+// endorsement requests, and it consumes the ordered block stream, runs the
+// validation pipeline (creator signature, endorsement policy, MVCC), and
+// commits valid transactions to the world state, history, and block store.
+// In the paper's deployments each of the four machines (desktops or RPis)
+// runs one such peer.
+package peer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/device"
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/historydb"
+	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/rwset"
+	"github.com/hyperprov/hyperprov/internal/shim"
+	"github.com/hyperprov/hyperprov/internal/statedb"
+)
+
+// InitFunction is the reserved function name that routes to chaincode Init.
+const InitFunction = "__init"
+
+// Errors returned by the peer.
+var (
+	ErrUnknownChaincode = errors.New("peer: unknown chaincode")
+	ErrChaincodeExists  = errors.New("peer: chaincode already installed")
+	ErrStopped          = errors.New("peer: stopped")
+	ErrSimulationFailed = errors.New("peer: chaincode simulation failed")
+)
+
+// CommitEvent notifies listeners of one committed transaction.
+type CommitEvent struct {
+	TxID     string
+	BlockNum uint64
+	Code     blockstore.ValidationCode
+}
+
+// installedCC pairs a chaincode with its endorsement policy.
+type installedCC struct {
+	cc     shim.Chaincode
+	policy endorser.Policy
+}
+
+// Config assembles a peer.
+type Config struct {
+	// Name identifies the peer (e.g. "peer0.org1").
+	Name string
+	// Signer is the peer's endorsing identity.
+	Signer *identity.SigningIdentity
+	// MSP verifies client and endorser identities.
+	MSP *identity.MSP
+	// Executor models this peer's hardware; nil means zero modeled cost.
+	Executor *device.Executor
+	// ChannelID names the single channel this peer joins.
+	ChannelID string
+}
+
+// Peer is one endorsing/committing node.
+type Peer struct {
+	name      string
+	channelID string
+	signer    *identity.SigningIdentity
+	msp       *identity.MSP
+	exec      *device.Executor
+
+	state   *statedb.Store
+	history *historydb.DB
+	blocks  *blockstore.Store
+
+	ccMu sync.RWMutex
+	ccs  map[string]installedCC
+
+	listenMu    sync.Mutex
+	txListeners map[string][]chan CommitEvent
+
+	events  eventHub
+	metrics *metrics.Registry
+
+	// commitMu serializes block commits: the ordered stream and gossip
+	// deliveries may race, and validation must run against the state as of
+	// exactly the previous block.
+	commitMu sync.Mutex
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+}
+
+// New creates a peer. Call Start to attach it to an ordered block stream.
+func New(cfg Config) *Peer {
+	return &Peer{
+		name:        cfg.Name,
+		channelID:   cfg.ChannelID,
+		signer:      cfg.Signer,
+		msp:         cfg.MSP,
+		exec:        cfg.Executor,
+		state:       statedb.New(),
+		history:     historydb.New(),
+		blocks:      blockstore.NewStore(),
+		ccs:         make(map[string]installedCC),
+		txListeners: make(map[string][]chan CommitEvent),
+		metrics:     metrics.NewRegistry(),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+}
+
+// Name returns the peer's name.
+func (p *Peer) Name() string { return p.name }
+
+// Metrics returns the peer's counter registry.
+func (p *Peer) Metrics() *metrics.Registry { return p.metrics }
+
+// Executor returns the peer's device executor (may be nil).
+func (p *Peer) Executor() *device.Executor { return p.exec }
+
+// Ledger returns the peer's block store (read-only use expected).
+func (p *Peer) Ledger() *blockstore.Store { return p.blocks }
+
+// Height returns the peer's committed block height.
+func (p *Peer) Height() uint64 { return p.blocks.Height() }
+
+// InstallChaincode registers a chaincode and its endorsement policy.
+func (p *Peer) InstallChaincode(name string, cc shim.Chaincode, policy endorser.Policy) error {
+	p.ccMu.Lock()
+	defer p.ccMu.Unlock()
+	if _, dup := p.ccs[name]; dup {
+		return fmt.Errorf("%w: %q", ErrChaincodeExists, name)
+	}
+	p.ccs[name] = installedCC{cc: cc, policy: policy}
+	return nil
+}
+
+// UpgradeChaincode atomically replaces an installed chaincode's
+// implementation and policy (Fabric's upgrade lifecycle). The chaincode
+// must already be installed.
+func (p *Peer) UpgradeChaincode(name string, cc shim.Chaincode, policy endorser.Policy) error {
+	p.ccMu.Lock()
+	defer p.ccMu.Unlock()
+	if _, ok := p.ccs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownChaincode, name)
+	}
+	p.ccs[name] = installedCC{cc: cc, policy: policy}
+	return nil
+}
+
+func (p *Peer) chaincode(name string) (installedCC, error) {
+	p.ccMu.RLock()
+	defer p.ccMu.RUnlock()
+	icc, ok := p.ccs[name]
+	if !ok {
+		return installedCC{}, fmt.Errorf("%w: %q", ErrUnknownChaincode, name)
+	}
+	return icc, nil
+}
+
+// proposalWireSize approximates the proposal's transfer size.
+func proposalWireSize(prop *endorser.Proposal) int {
+	n := 512 + len(prop.Creator)
+	for _, a := range prop.Args {
+		n += len(a)
+	}
+	return n
+}
+
+// ProcessProposal verifies the client signature, simulates the chaincode,
+// and returns a signed endorsement. This is the peer half of HyperProv's
+// Post path.
+func (p *Peer) ProcessProposal(prop *endorser.Proposal) (resp *endorser.Response, err error) {
+	defer func() {
+		if err != nil {
+			p.metrics.Counter(metrics.EndorsementsFailed).Inc()
+		} else {
+			p.metrics.Counter(metrics.EndorsementsServed).Inc()
+		}
+	}()
+	if p.exec != nil {
+		p.exec.Transfer(proposalWireSize(prop)) // receive over the LAN
+	}
+	clientID, err := p.msp.Deserialize(prop.Creator)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: proposal creator: %w", p.name, err)
+	}
+	if p.exec != nil {
+		p.exec.Verify()
+	}
+	if err := clientID.Verify(prop.SignedBytes(), prop.Signature); err != nil {
+		return nil, fmt.Errorf("peer %s: proposal signature: %w", p.name, err)
+	}
+	icc, err := p.chaincode(prop.Chaincode)
+	if err != nil {
+		return nil, err
+	}
+	if p.exec != nil {
+		p.exec.Endorse() // chaincode container round-trip
+	}
+
+	stub := shim.NewStub(shim.Config{
+		TxID:      prop.TxID,
+		ChannelID: prop.ChannelID,
+		Function:  prop.Function,
+		Args:      prop.Args,
+		Creator:   prop.Creator,
+		Timestamp: prop.Timestamp,
+		State:     p.state,
+		History:   p.history,
+	})
+	var simResp shim.Response
+	if prop.Function == InitFunction {
+		simResp = icc.cc.Init(stub)
+	} else {
+		simResp = icc.cc.Invoke(stub)
+	}
+	if simResp.Status != shim.OK {
+		return nil, fmt.Errorf("%w: %s", ErrSimulationFailed, simResp.Message)
+	}
+	rwsBytes, err := stub.RWSet().Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: marshal rwset: %w", p.name, err)
+	}
+	var eventBytes []byte
+	if evs := stub.Events(); len(evs) > 0 {
+		eventBytes, err = json.Marshal(evs)
+		if err != nil {
+			return nil, fmt.Errorf("peer %s: marshal events: %w", p.name, err)
+		}
+	}
+
+	out := &endorser.Response{
+		TxID:     prop.TxID,
+		Status:   simResp.Status,
+		Message:  simResp.Message,
+		Payload:  simResp.Payload,
+		RWSet:    rwsBytes,
+		Events:   eventBytes,
+		Endorser: p.signer.Serialize(),
+	}
+	if p.exec != nil {
+		p.exec.Sign()
+	}
+	sig, err := p.signer.Sign(out.SignedBytes())
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: sign endorsement: %w", p.name, err)
+	}
+	out.Signature = sig
+	if p.exec != nil {
+		p.exec.Transfer(len(out.Payload) + len(rwsBytes) + 512) // send response
+	}
+	return out, nil
+}
+
+// Query runs a read-only chaincode invocation against committed state
+// without recording or committing anything (HyperProv's Get path:
+// "lightweight retrieval of provenance data").
+func (p *Peer) Query(chaincode, fn string, args [][]byte, creator []byte) (shim.Response, error) {
+	icc, err := p.chaincode(chaincode)
+	if err != nil {
+		return shim.Response{}, err
+	}
+	p.metrics.Counter(metrics.QueriesServed).Inc()
+	if p.exec != nil {
+		p.exec.Endorse()
+	}
+	stub := shim.NewStub(shim.Config{
+		TxID:      "query",
+		ChannelID: p.channelID,
+		Function:  fn,
+		Args:      args,
+		Creator:   creator,
+		Timestamp: time.Now(),
+		State:     p.state,
+		History:   p.history,
+	})
+	return icc.cc.Invoke(stub), nil
+}
+
+// RegisterTxListener returns a channel that receives exactly one
+// CommitEvent when txID commits. Register before submitting to ordering.
+func (p *Peer) RegisterTxListener(txID string) <-chan CommitEvent {
+	ch := make(chan CommitEvent, 1)
+	p.listenMu.Lock()
+	p.txListeners[txID] = append(p.txListeners[txID], ch)
+	p.listenMu.Unlock()
+	return ch
+}
+
+func (p *Peer) notifyCommit(ev CommitEvent) {
+	p.listenMu.Lock()
+	chans := p.txListeners[ev.TxID]
+	delete(p.txListeners, ev.TxID)
+	p.listenMu.Unlock()
+	for _, ch := range chans {
+		ch <- ev
+	}
+}
+
+// Start attaches the peer to an ordered block stream and begins committing.
+func (p *Peer) Start(blocks <-chan *blockstore.Block) {
+	p.started = true
+	go func() {
+		defer close(p.done)
+		for {
+			select {
+			case b, ok := <-blocks:
+				if !ok {
+					return
+				}
+				p.CommitBlock(b)
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop detaches the peer from the block stream and closes event streams.
+func (p *Peer) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	if p.started {
+		<-p.done
+	}
+	p.events.close()
+}
+
+// blockWireSize approximates a block's dissemination transfer size.
+func blockWireSize(b *blockstore.Block) int {
+	n := 256
+	for i := range b.Envelopes {
+		n += 768 + len(b.Envelopes[i].RWSet) + len(b.Envelopes[i].Response)
+		for _, a := range b.Envelopes[i].Args {
+			n += len(a)
+		}
+	}
+	return n
+}
+
+// CommitBlock validates every transaction in the block and commits the
+// valid ones. It is exported for single-stepped tests; Start drives it in
+// production.
+func (p *Peer) CommitBlock(ordered *blockstore.Block) {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	// Deliveries may arrive from both the ordering service and gossip;
+	// commit each height exactly once, in order.
+	if ordered.Header.Number != p.blocks.Height() {
+		return
+	}
+	if p.exec != nil {
+		p.exec.Transfer(blockWireSize(ordered)) // block dissemination
+	}
+	b := ordered.Clone()
+	b.TxValidation = make([]blockstore.ValidationCode, len(b.Envelopes))
+
+	batch := statedb.NewUpdateBatch()
+	blockWrites := make(map[string]bool)
+	type histRec struct {
+		key   string
+		entry historydb.Entry
+	}
+	var hist []histRec
+
+	for i := range b.Envelopes {
+		env := &b.Envelopes[i]
+		code := p.validateTx(env, blockWrites)
+		b.TxValidation[i] = code
+		if p.exec != nil {
+			p.exec.Commit()
+		}
+		if code != blockstore.TxValid {
+			continue
+		}
+		rws, err := rwset.Unmarshal(env.RWSet)
+		if err != nil { // unreachable: validateTx parsed it already
+			b.TxValidation[i] = blockstore.TxMalformed
+			continue
+		}
+		ver := statedb.Version{BlockNum: b.Header.Number, TxNum: uint64(i)}
+		for _, w := range rws.Writes {
+			blockWrites[w.Key] = true
+			if w.IsDelete {
+				batch.Delete(w.Key, ver)
+			} else {
+				batch.Put(w.Key, w.Value, ver)
+			}
+			hist = append(hist, histRec{key: w.Key, entry: historydb.Entry{
+				TxID:      env.TxID,
+				BlockNum:  b.Header.Number,
+				TxNum:     uint64(i),
+				Value:     w.Value,
+				IsDelete:  w.IsDelete,
+				Timestamp: env.Timestamp,
+			}})
+		}
+	}
+
+	height := statedb.Version{BlockNum: b.Header.Number, TxNum: uint64(len(b.Envelopes))}
+	if err := p.state.ApplyUpdates(batch, height); err != nil {
+		// A replayed block (height regression) is ignored: the state
+		// already reflects it. This happens when re-subscribing.
+		return
+	}
+	for _, h := range hist {
+		p.history.Record(h.key, h.entry)
+	}
+	if err := p.blocks.Append(b); err != nil {
+		return
+	}
+	p.metrics.Counter(metrics.BlocksCommitted).Inc()
+	for i := range b.Envelopes {
+		if b.TxValidation[i] == blockstore.TxValid {
+			p.metrics.Counter(metrics.TxValidated).Inc()
+			p.publishTxEvents(b.Envelopes[i].TxID, b.Header.Number, b.Envelopes[i].Events)
+		} else {
+			p.metrics.Counter(metrics.TxInvalidated).Inc()
+		}
+		p.notifyCommit(CommitEvent{
+			TxID:     b.Envelopes[i].TxID,
+			BlockNum: b.Header.Number,
+			Code:     b.TxValidation[i],
+		})
+	}
+}
+
+// BlocksFrom returns this peer's committed blocks with number >= from,
+// serving gossip pulls from neighbours.
+func (p *Peer) BlocksFrom(from uint64) []*blockstore.Block {
+	return p.blocks.BlocksFrom(from)
+}
+
+// DeliverBlock accepts a block fetched from a gossip neighbour. The block
+// passes the same validation pipeline as an ordered block; out-of-order or
+// duplicate deliveries are ignored.
+func (p *Peer) DeliverBlock(b *blockstore.Block) {
+	p.CommitBlock(b)
+}
+
+// validateTx runs the per-transaction validation pipeline.
+func (p *Peer) validateTx(env *blockstore.Envelope, blockWrites map[string]bool) blockstore.ValidationCode {
+	// 1. Syntax: the rwset must parse.
+	rws, err := rwset.Unmarshal(env.RWSet)
+	if err != nil {
+		return blockstore.TxMalformed
+	}
+	// 2. Creator signature.
+	clientID, err := p.msp.Deserialize(env.Creator)
+	if err != nil {
+		return blockstore.TxBadSignature
+	}
+	if p.exec != nil {
+		p.exec.Verify()
+	}
+	if err := clientID.Verify(env.SignedBytes(), env.Signature); err != nil {
+		return blockstore.TxBadSignature
+	}
+	// 3. Endorsement policy (VSCC).
+	icc, err := p.chaincode(env.Chaincode)
+	if err != nil {
+		return blockstore.TxMalformed
+	}
+	resps := make([]*endorser.Response, len(env.Endorsements))
+	for j, e := range env.Endorsements {
+		resps[j] = &endorser.Response{
+			TxID:      env.TxID,
+			Status:    shim.OK,
+			Payload:   env.Response,
+			RWSet:     env.RWSet,
+			Events:    env.Events,
+			Endorser:  e.Endorser,
+			Signature: e.Signature,
+		}
+		if p.exec != nil {
+			p.exec.Verify()
+		}
+	}
+	if err := endorser.CheckEndorsements(icc.policy, p.msp, resps); err != nil {
+		return blockstore.TxEndorsementPolicyFailure
+	}
+	// 4. MVCC.
+	if err := rwset.Validate(rws, p.state, blockWrites); err != nil {
+		return blockstore.TxMVCCConflict
+	}
+	return blockstore.TxValid
+}

@@ -1,0 +1,246 @@
+// Package shim is the chaincode programming interface — the analog of
+// Fabric's chaincode shim. Chaincode (such as HyperProv's provenance
+// contract) is written against the Stub, which serves reads from the peer's
+// committed state while transparently recording the read/write set that
+// endorsement returns to the client.
+package shim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/historydb"
+	"github.com/hyperprov/hyperprov/internal/rwset"
+	"github.com/hyperprov/hyperprov/internal/statedb"
+)
+
+// Chaincode is implemented by every smart contract deployed to a channel.
+type Chaincode interface {
+	// Init is invoked once when the chaincode is instantiated.
+	Init(stub *Stub) Response
+	// Invoke dispatches a transaction or query.
+	Invoke(stub *Stub) Response
+}
+
+// Response is the chaincode's result for one invocation.
+type Response struct {
+	Status  int32  `json:"status"`
+	Message string `json:"message,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// Response status codes (aligned with Fabric's shim).
+const (
+	OK    int32 = 200
+	Error int32 = 500
+)
+
+// Success builds a 200 response carrying payload.
+func Success(payload []byte) Response { return Response{Status: OK, Payload: payload} }
+
+// Errorf builds a 500 response with a formatted message.
+func Errorf(format string, args ...any) Response {
+	return Response{Status: Error, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrWrongArgCount is returned by chaincode helpers validating arguments.
+var ErrWrongArgCount = errors.New("shim: wrong argument count")
+
+// Event is a chaincode event emitted during simulation; committed events
+// are delivered to subscribed clients alongside the commit notification.
+type Event struct {
+	Name    string `json:"name"`
+	Payload []byte `json:"payload"`
+}
+
+// HistoryEntry is one version of a key, as returned by GetHistoryForKey.
+type HistoryEntry struct {
+	TxID      string    `json:"txId"`
+	Value     []byte    `json:"value,omitempty"`
+	IsDelete  bool      `json:"isDelete,omitempty"`
+	Timestamp time.Time `json:"timestamp"`
+	BlockNum  uint64    `json:"blockNum"`
+}
+
+// Stub gives one chaincode invocation access to ledger state, identity, and
+// transaction context, recording every access into an rwset.
+type Stub struct {
+	txID      string
+	channelID string
+	fn        string
+	args      [][]byte
+	creator   []byte
+	timestamp time.Time
+
+	state   *statedb.Store
+	history *historydb.DB
+	builder *rwset.Builder
+	events  []Event
+}
+
+// Config carries everything needed to construct a Stub.
+type Config struct {
+	TxID      string
+	ChannelID string
+	Function  string
+	Args      [][]byte
+	Creator   []byte
+	Timestamp time.Time
+	State     *statedb.Store
+	History   *historydb.DB
+}
+
+// NewStub builds a stub for one simulation.
+func NewStub(cfg Config) *Stub {
+	return &Stub{
+		txID:      cfg.TxID,
+		channelID: cfg.ChannelID,
+		fn:        cfg.Function,
+		args:      cfg.Args,
+		creator:   cfg.Creator,
+		timestamp: cfg.Timestamp,
+		state:     cfg.State,
+		history:   cfg.History,
+		builder:   rwset.NewBuilder(),
+	}
+}
+
+// TxID returns the transaction id of this invocation.
+func (s *Stub) TxID() string { return s.txID }
+
+// ChannelID returns the channel this invocation runs on.
+func (s *Stub) ChannelID() string { return s.channelID }
+
+// Function returns the invoked function name.
+func (s *Stub) Function() string { return s.fn }
+
+// Args returns the invocation arguments (excluding the function name).
+func (s *Stub) Args() [][]byte { return s.args }
+
+// StringArgs returns the arguments as strings.
+func (s *Stub) StringArgs() []string {
+	out := make([]string, len(s.args))
+	for i, a := range s.args {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// Creator returns the serialized identity of the submitting client; this is
+// what HyperProv stores as the provenance record's creator certificate.
+func (s *Stub) Creator() []byte { return s.creator }
+
+// TxTimestamp returns the client-asserted transaction timestamp.
+func (s *Stub) TxTimestamp() time.Time { return s.timestamp }
+
+// GetState reads a key, returning nil if absent. Reads see this
+// simulation's own writes first (read-your-writes), then committed state.
+func (s *Stub) GetState(key string) ([]byte, error) {
+	if key == "" {
+		return nil, statedb.ErrEmptyKey
+	}
+	if val, deleted, ok := s.builder.PendingWrite(key); ok {
+		if deleted {
+			return nil, nil
+		}
+		out := make([]byte, len(val))
+		copy(out, val)
+		return out, nil
+	}
+	vv, ok := s.state.Get(key)
+	if !ok {
+		s.builder.AddRead(key, nil)
+		return nil, nil
+	}
+	v := vv.Version
+	s.builder.AddRead(key, &v)
+	out := make([]byte, len(vv.Value))
+	copy(out, vv.Value)
+	return out, nil
+}
+
+// PutState stages a write; it becomes visible only if the transaction
+// commits as valid.
+func (s *Stub) PutState(key string, value []byte) error {
+	if key == "" {
+		return statedb.ErrEmptyKey
+	}
+	s.builder.AddWrite(key, value)
+	return nil
+}
+
+// DelState stages a deletion.
+func (s *Stub) DelState(key string) error {
+	if key == "" {
+		return statedb.ErrEmptyKey
+	}
+	s.builder.AddDelete(key)
+	return nil
+}
+
+// GetStateByRange returns committed entries in [startKey, endKey), recording
+// a range read for phantom protection. In-simulation writes are not merged
+// into range results (matching Fabric's behaviour).
+func (s *Stub) GetStateByRange(startKey, endKey string) ([]statedb.KV, error) {
+	kvs := s.state.GetRange(startKey, endKey)
+	keys := make([]string, len(kvs))
+	for i, kv := range kvs {
+		keys[i] = kv.Key
+	}
+	s.builder.AddRangeRead(startKey, endKey, keys)
+	return kvs, nil
+}
+
+// CreateCompositeKey builds a namespaced composite key.
+func (s *Stub) CreateCompositeKey(objectType string, attrs []string) (string, error) {
+	return statedb.CreateCompositeKey(objectType, attrs)
+}
+
+// SplitCompositeKey decomposes a composite key.
+func (s *Stub) SplitCompositeKey(key string) (string, []string, error) {
+	return statedb.SplitCompositeKey(key)
+}
+
+// GetStateByPartialCompositeKey queries committed composite keys by prefix.
+func (s *Stub) GetStateByPartialCompositeKey(objectType string, attrs []string) ([]statedb.KV, error) {
+	return s.state.GetByPartialCompositeKey(objectType, attrs)
+}
+
+// GetHistoryForKey returns the committed version history of key, newest
+// last. History queries are read-only metadata queries and do not add MVCC
+// read dependencies (as in Fabric).
+func (s *Stub) GetHistoryForKey(key string) ([]HistoryEntry, error) {
+	if s.history == nil {
+		return nil, errors.New("shim: history db not available")
+	}
+	entries := s.history.History(key)
+	out := make([]HistoryEntry, len(entries))
+	for i, e := range entries {
+		out[i] = HistoryEntry{
+			TxID:      e.TxID,
+			Value:     e.Value,
+			IsDelete:  e.IsDelete,
+			Timestamp: e.Timestamp,
+			BlockNum:  e.BlockNum,
+		}
+	}
+	return out, nil
+}
+
+// SetEvent emits a chaincode event delivered on commit.
+func (s *Stub) SetEvent(name string, payload []byte) error {
+	if name == "" {
+		return errors.New("shim: empty event name")
+	}
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	s.events = append(s.events, Event{Name: name, Payload: p})
+	return nil
+}
+
+// Events returns the events emitted so far.
+func (s *Stub) Events() []Event { return s.events }
+
+// RWSet finalizes and returns the recorded read/write set.
+func (s *Stub) RWSet() *rwset.ReadWriteSet { return s.builder.Build() }

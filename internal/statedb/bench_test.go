@@ -1,0 +1,55 @@
+package statedb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkApplyUpdates(b *testing.B) {
+	s := New()
+	val := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		batch := NewUpdateBatch()
+		ver := Version{BlockNum: uint64(i + 1)}
+		batch.Put(fmt.Sprintf("key-%d", i%1024), val, ver)
+		if err := s.ApplyUpdates(batch, ver); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New()
+	batch := NewUpdateBatch()
+	for i := 0; i < 1024; i++ {
+		batch.Put(fmt.Sprintf("key-%d", i), make([]byte, 256), Version{BlockNum: 1})
+	}
+	if err := s.ApplyUpdates(batch, Version{BlockNum: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(fmt.Sprintf("key-%d", i%1024)); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	s := New()
+	batch := NewUpdateBatch()
+	for i := 0; i < 1024; i++ {
+		batch.Put(fmt.Sprintf("key-%04d", i), make([]byte, 64), Version{BlockNum: 1})
+	}
+	if err := s.ApplyUpdates(batch, Version{BlockNum: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.GetRange("key-0100", "key-0200"); len(got) != 100 {
+			b.Fatalf("range = %d", len(got))
+		}
+	}
+}

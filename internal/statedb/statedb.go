@@ -1,0 +1,272 @@
+// Package statedb implements the versioned world-state key-value store that
+// backs each peer's ledger, mirroring Fabric's state database (LevelDB
+// flavour). Every committed value carries the (block, txNum) version used by
+// MVCC validation, and iterators provide ordered range and composite-key
+// queries for chaincode.
+package statedb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Version identifies the transaction that last wrote a key.
+type Version struct {
+	BlockNum uint64 `json:"blockNum"`
+	TxNum    uint64 `json:"txNum"`
+}
+
+// Compare returns -1, 0, or 1 as v is ordered before, equal to, or after o.
+func (v Version) Compare(o Version) int {
+	switch {
+	case v.BlockNum < o.BlockNum:
+		return -1
+	case v.BlockNum > o.BlockNum:
+		return 1
+	case v.TxNum < o.TxNum:
+		return -1
+	case v.TxNum > o.TxNum:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the version as "block:tx".
+func (v Version) String() string { return fmt.Sprintf("%d:%d", v.BlockNum, v.TxNum) }
+
+// VersionedValue is a value plus the version of the tx that wrote it.
+type VersionedValue struct {
+	Value   []byte
+	Version Version
+}
+
+// KV is one key with its committed versioned value, as yielded by iterators.
+type KV struct {
+	Key     string
+	Value   []byte
+	Version Version
+}
+
+// compositeKeySep separates the object type and attributes of composite
+// keys. U+0000 keeps composite keys out of the plain-key namespace, exactly
+// as Fabric does.
+const compositeKeySep = "\x00"
+
+// Errors returned by this package.
+var (
+	ErrEmptyKey          = errors.New("statedb: empty key")
+	ErrInvalidComposite  = errors.New("statedb: invalid composite key")
+	ErrStaleCommitHeight = errors.New("statedb: commit height not monotonically increasing")
+)
+
+// Store is a thread-safe versioned KV store for one channel on one peer.
+// The zero value is not usable; call New.
+type Store struct {
+	mu     sync.RWMutex
+	data   map[string]VersionedValue
+	height Version // version of the last applied update batch
+}
+
+// New creates an empty state store.
+func New() *Store {
+	return &Store{data: make(map[string]VersionedValue)}
+}
+
+// Get returns the committed value and version for key. ok is false if the
+// key is absent (or has been deleted).
+func (s *Store) Get(key string) (vv VersionedValue, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vv, ok = s.data[key]
+	return vv, ok
+}
+
+// GetVersion returns only the version for key; ok is false if absent.
+func (s *Store) GetVersion(key string) (Version, bool) {
+	vv, ok := s.Get(key)
+	return vv.Version, ok
+}
+
+// Height returns the version of the most recently applied update batch.
+func (s *Store) Height() Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.height
+}
+
+// UpdateBatch is a set of writes applied atomically at commit time.
+type UpdateBatch struct {
+	writes map[string]write
+}
+
+type write struct {
+	value  []byte
+	delete bool
+	ver    Version
+}
+
+// NewUpdateBatch creates an empty batch.
+func NewUpdateBatch() *UpdateBatch {
+	return &UpdateBatch{writes: make(map[string]write)}
+}
+
+// Put stages a write of value at version ver.
+func (b *UpdateBatch) Put(key string, value []byte, ver Version) {
+	b.writes[key] = write{value: value, ver: ver}
+}
+
+// Delete stages a deletion of key at version ver.
+func (b *UpdateBatch) Delete(key string, ver Version) {
+	b.writes[key] = write{delete: true, ver: ver}
+}
+
+// Len returns the number of staged writes.
+func (b *UpdateBatch) Len() int { return len(b.writes) }
+
+// Keys returns the staged keys in sorted order.
+func (b *UpdateBatch) Keys() []string {
+	keys := make([]string, 0, len(b.writes))
+	for k := range b.writes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ApplyUpdates applies the batch atomically and records height as the new
+// commit height. Heights must be strictly increasing across calls; this is
+// the ledger invariant that makes peer restarts idempotent.
+func (s *Store) ApplyUpdates(batch *UpdateBatch, height Version) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if height.Compare(s.height) <= 0 && (s.height != Version{}) {
+		return fmt.Errorf("%w: have %v, got %v", ErrStaleCommitHeight, s.height, height)
+	}
+	for key, w := range batch.writes {
+		if w.delete {
+			delete(s.data, key)
+		} else {
+			s.data[key] = VersionedValue{Value: w.value, Version: w.ver}
+		}
+	}
+	s.height = height
+	return nil
+}
+
+// GetRange returns committed entries with startKey <= key < endKey in key
+// order. An empty endKey means "to the end of the keyspace". Composite keys
+// (containing U+0000) are excluded from plain range scans.
+func (s *Store) GetRange(startKey, endKey string) []KV {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]KV, 0, 16)
+	for key, vv := range s.data {
+		if strings.Contains(key, compositeKeySep) {
+			continue
+		}
+		if key < startKey {
+			continue
+		}
+		if endKey != "" && key >= endKey {
+			continue
+		}
+		out = append(out, KV{Key: key, Value: vv.Value, Version: vv.Version})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// CreateCompositeKey builds a composite key from an object type and
+// attribute list, using the same U+0000 framing as Fabric.
+func CreateCompositeKey(objectType string, attrs []string) (string, error) {
+	if objectType == "" {
+		return "", fmt.Errorf("%w: empty object type", ErrInvalidComposite)
+	}
+	if strings.Contains(objectType, compositeKeySep) {
+		return "", fmt.Errorf("%w: object type contains U+0000", ErrInvalidComposite)
+	}
+	var sb strings.Builder
+	sb.WriteString(compositeKeySep)
+	sb.WriteString(objectType)
+	sb.WriteString(compositeKeySep)
+	for _, a := range attrs {
+		if strings.Contains(a, compositeKeySep) {
+			return "", fmt.Errorf("%w: attribute contains U+0000", ErrInvalidComposite)
+		}
+		sb.WriteString(a)
+		sb.WriteString(compositeKeySep)
+	}
+	return sb.String(), nil
+}
+
+// SplitCompositeKey decomposes a composite key into its object type and
+// attributes.
+func SplitCompositeKey(key string) (objectType string, attrs []string, err error) {
+	if !strings.HasPrefix(key, compositeKeySep) {
+		return "", nil, fmt.Errorf("%w: missing prefix", ErrInvalidComposite)
+	}
+	parts := strings.Split(key[1:], compositeKeySep)
+	if len(parts) < 2 {
+		return "", nil, fmt.Errorf("%w: too few components", ErrInvalidComposite)
+	}
+	// Trailing separator yields one empty final element; drop it.
+	return parts[0], parts[1 : len(parts)-1], nil
+}
+
+// GetByPartialCompositeKey returns all entries whose composite key starts
+// with the given object type and attribute prefix, in key order.
+func (s *Store) GetByPartialCompositeKey(objectType string, attrs []string) ([]KV, error) {
+	prefix, err := CreateCompositeKey(objectType, attrs)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]KV, 0, 8)
+	for key, vv := range s.data {
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, KV{Key: key, Value: vv.Value, Version: vv.Version})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Len returns the number of live keys (including composite keys).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Snapshot returns a deep copy of the live state; used by tests and by
+// state-transfer when a peer rejoins after a partition.
+func (s *Store) Snapshot() map[string]VersionedValue {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]VersionedValue, len(s.data))
+	for k, vv := range s.data {
+		val := make([]byte, len(vv.Value))
+		copy(val, vv.Value)
+		out[k] = VersionedValue{Value: val, Version: vv.Version}
+	}
+	return out
+}
+
+// Restore replaces the live state with the given snapshot at the given
+// height; used by state-transfer.
+func (s *Store) Restore(snap map[string]VersionedValue, height Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string]VersionedValue, len(snap))
+	for k, vv := range snap {
+		val := make([]byte, len(vv.Value))
+		copy(val, vv.Value)
+		s.data[k] = VersionedValue{Value: val, Version: vv.Version}
+	}
+	s.height = height
+}

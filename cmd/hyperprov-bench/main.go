@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|all [-quick]
+//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|all [-quick]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, or all")
+		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, or all")
 	quick := flag.Bool("quick", false, "use reduced sweep sizes and windows")
 	flag.Parse()
 	if err := run(*experiment, *quick); err != nil {
@@ -78,6 +78,16 @@ func run(experiment string, quick bool) error {
 			}
 			fmt.Println(off.Format())
 			fmt.Println(on.Format())
+		case "query":
+			cfg := bench.DefaultQueryBench()
+			if quick {
+				cfg = bench.QuickQueryBench()
+			}
+			res, err := bench.RunQueryBench(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
 		case "raft":
 			cfg := bench.DefaultRaftAblation()
 			if quick {
@@ -95,7 +105,7 @@ func run(experiment string, quick bool) error {
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

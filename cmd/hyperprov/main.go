@@ -2,6 +2,14 @@
 // in-process network: it stores data items with provenance, updates them,
 // traces lineage, demonstrates tamper detection, and audits the ledger's
 // hash chain. Use -rpi to run on the Raspberry Pi device profiles.
+//
+// The query subcommand instead exercises the rich-query subsystem: it
+// populates the store with typed records and runs indexed provenance
+// queries (by owner, by type, by time window, and a raw Mango selector)
+// through the gateway:
+//
+//	hyperprov [-rpi] [-items N] [-payload BYTES]
+//	hyperprov query [-selector JSON]
 package main
 
 import (
@@ -19,6 +27,18 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		selector := fs.String("selector",
+			`{"selector":{"meta.type":"aggregate"},"sort":[{"ts":"desc"}]}`,
+			"raw Mango query to run after the built-in queries")
+		_ = fs.Parse(os.Args[2:])
+		if err := runQuery(*selector); err != nil {
+			fmt.Fprintln(os.Stderr, "hyperprov query:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rpi := flag.Bool("rpi", false, "use Raspberry Pi 3B+ device profiles")
 	items := flag.Int("items", 3, "number of data items to store")
 	payload := flag.Int("payload", 4096, "payload size in bytes per item")
@@ -27,6 +47,86 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hyperprov:", err)
 		os.Exit(1)
 	}
+}
+
+// runQuery demonstrates the rich-query subsystem end to end: records land
+// through the normal execute-order-validate pipeline, the peers maintain
+// the chaincode's declared indexes at commit, and every query below is
+// served by the state database's Mango engine through the gateway.
+func runQuery(rawQuery string) error {
+	cfg := fabric.DesktopConfig()
+	cfg.Batch = orderer.BatchConfig{
+		MaxMessageCount: 10, BatchTimeout: 200 * time.Millisecond, PreferredMaxBytes: 8 << 20,
+	}
+	fmt.Println("starting HyperProv network with indexed state database")
+	n, err := fabric.NewNetwork(cfg)
+	if err != nil {
+		return err
+	}
+	defer n.Stop()
+	if err := n.DeployChaincode(provenance.ChaincodeName,
+		func() shim.Chaincode { return provenance.New() }); err != nil {
+		return err
+	}
+	gw, err := n.NewGateway("cli")
+	if err != nil {
+		return err
+	}
+	client, err := core.New(core.Config{Gateway: gw, Store: offchain.NewMemStore()})
+	if err != nil {
+		return err
+	}
+
+	// Populate: sensors produce raw readings, a pipeline derives aggregates.
+	types := []string{"raw", "raw", "raw", "aggregate", "aggregate"}
+	start := time.Now().UTC()
+	for i, typ := range types {
+		key := fmt.Sprintf("reading-%d", i)
+		data := []byte(fmt.Sprintf("measurement %d", i))
+		opts := core.PostOptions{Meta: map[string]string{"type": typ, "sensor": fmt.Sprintf("s%d", i%2)}}
+		if typ == "aggregate" {
+			opts.Parents = []string{"reading-0"}
+		}
+		if _, err := client.StoreData(key, data, opts); err != nil {
+			return fmt.Errorf("store %s: %w", key, err)
+		}
+	}
+	fmt.Printf("stored %d records as %s\n\n", len(types), client.Subject())
+
+	// Indexed query 1: everything this identity owns (by-owner index).
+	mine, err := client.GetMine()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("records by owner (by-owner index): %d\n", len(mine))
+
+	// Indexed query 2: records by type (by-type index).
+	raws, err := client.GetByType("raw")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("records with meta.type=raw (by-type index): %d\n", len(raws))
+	for _, r := range raws {
+		fmt.Printf("  %-10s sensor=%s ts=%s\n", r.Key, r.Meta["sensor"], r.Timestamp.Format(time.RFC3339))
+	}
+
+	// Indexed query 3: time window (by-time index).
+	windowed, err := client.GetByTimeRange(start.Add(-time.Minute), start.Add(time.Hour))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("records in the last-hour window (by-time index): %d\n", len(windowed))
+
+	// Raw Mango selector through the same engine.
+	page, err := client.RichQuery(rawQuery)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrich query %s\n-> %d records\n", rawQuery, len(page.Records))
+	for _, r := range page.Records {
+		fmt.Printf("  %-10s type=%s parents=%v\n", r.Key, r.Meta["type"], r.Parents)
+	}
+	return nil
 }
 
 func run(rpi bool, items, payload int) error {

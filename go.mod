@@ -1,0 +1,3 @@
+module github.com/hyperprov/hyperprov
+
+go 1.24

@@ -58,6 +58,10 @@ type Record struct {
 	Meta      map[string]string `json:"meta,omitempty"`
 	TxID      string            `json:"txid"`
 	Timestamp time.Time         `json:"timestamp"`
+	// TSMillis is Timestamp as integer Unix milliseconds. RFC 3339 strings
+	// do not collate correctly across fractional-second precision, so time
+	//-window rich queries (and the by-time index) use this field instead.
+	TSMillis int64 `json:"ts"`
 }
 
 // HistoryRecord is one historical version of a record.
@@ -121,6 +125,14 @@ func (cc *Chaincode) Invoke(stub *shim.Stub) shim.Response {
 		return cc.getChildren(stub)
 	case FnVersion:
 		return cc.version(stub)
+	case FnRichQuery:
+		return cc.richQuery(stub)
+	case FnGetByOwner:
+		return cc.getByOwner(stub)
+	case FnGetByType:
+		return cc.getByType(stub)
+	case FnGetByTimeRange:
+		return cc.getByTimeRange(stub)
 	default:
 		return shim.Errorf("unknown function %q", stub.Function())
 	}
@@ -190,6 +202,7 @@ func (cc *Chaincode) set(stub *shim.Stub) shim.Response {
 		Meta:      in.Meta,
 		TxID:      stub.TxID(),
 		Timestamp: stub.TxTimestamp(),
+		TSMillis:  stub.TxTimestamp().UnixMilli(),
 	}
 	if rec.Creator == "" {
 		rec.Creator = client.Subject
@@ -210,14 +223,9 @@ func (cc *Chaincode) set(stub *shim.Stub) shim.Response {
 	if err := stub.PutState(csKey, []byte(in.Key)); err != nil {
 		return shim.Errorf("set: checksum index write: %v", err)
 	}
-	// creator -> key index for getByCreator.
-	crKey, err := stub.CreateCompositeKey(idxCreator, []string{creatorIndexKey(rec.Creator), in.Key})
-	if err != nil {
-		return shim.Errorf("set: creator index: %v", err)
-	}
-	if err := stub.PutState(crKey, []byte{1}); err != nil {
-		return shim.Errorf("set: creator index write: %v", err)
-	}
+	// Creator and owner lookups are served by the state database's
+	// secondary indexes (see Indexes), so no per-record creator index
+	// entries are written.
 	// parent -> child edges for getDescendants.
 	for _, p := range in.Parents {
 		edge, err := stub.CreateCompositeKey(idxChild, []string{p, in.Key})

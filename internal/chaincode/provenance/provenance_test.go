@@ -17,14 +17,21 @@ import (
 type ledger struct {
 	t       *testing.T
 	cc      *Chaincode
-	state   *statedb.Store
+	state   statedb.StateDB
 	history *historydb.DB
 	block   uint64
 }
 
+// newLedger uses the plain LevelDB-flavour store, so rich queries exercise
+// the shim's filtered-scan fallback path.
 func newLedger(t *testing.T) *ledger {
 	t.Helper()
-	l := &ledger{t: t, cc: New(), state: statedb.New(), history: historydb.New(), block: 0}
+	return newLedgerOn(t, statedb.New())
+}
+
+func newLedgerOn(t *testing.T, state statedb.StateDB) *ledger {
+	t.Helper()
+	l := &ledger{t: t, cc: New(), state: state, history: historydb.New(), block: 0}
 	resp := l.commitInvoke("", nil, func(stub *shim.Stub) shim.Response { return l.cc.Init(stub) })
 	if resp.Status != shim.OK {
 		t.Fatalf("Init: %+v", resp)

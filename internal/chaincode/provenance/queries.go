@@ -2,7 +2,6 @@ package provenance
 
 import (
 	"encoding/json"
-	"strconv"
 	"strings"
 
 	"github.com/hyperprov/hyperprov/internal/shim"
@@ -23,10 +22,7 @@ const (
 )
 
 // Version is the deployed contract version, bumped by upgrades.
-const Version = "1.1.0"
-
-// idxCreator indexes (creatorID, key) pairs for getByCreator.
-const idxCreator = "by-creator"
+const Version = "1.2.0"
 
 // listArgs is the JSON argument to FnList.
 type listArgs struct {
@@ -99,72 +95,38 @@ func (cc *Chaincode) list(stub *shim.Stub) shim.Response {
 }
 
 // getByCreator returns every record whose creator matches args[0] (the
-// creator subject string recorded on the records).
+// display creator subject recorded on the records). Served by the rich-
+// query engine through the by-display-creator index; before the rich-query
+// subsystem this needed a hand-maintained composite-key index per record.
 func (cc *Chaincode) getByCreator(stub *shim.Stub) shim.Response {
 	args := stub.StringArgs()
 	if len(args) != 1 {
 		return shim.Errorf("getByCreator: want 1 arg, got %d", len(args))
 	}
-	kvs, err := stub.GetStateByPartialCompositeKey(idxCreator, []string{creatorIndexKey(args[0])})
-	if err != nil {
-		return shim.Errorf("getByCreator: %v", err)
-	}
-	out := make([]Record, 0, len(kvs))
-	for _, kv := range kvs {
-		_, attrs, err := stub.SplitCompositeKey(kv.Key)
-		if err != nil || len(attrs) != 2 {
-			return shim.Errorf("getByCreator: corrupt index %q", kv.Key)
-		}
-		raw, err := stub.GetState(attrs[1])
-		if err != nil {
-			return shim.Errorf("getByCreator: read %q: %v", attrs[1], err)
-		}
-		if raw == nil {
-			continue // tombstoned
-		}
-		var rec Record
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			return shim.Errorf("getByCreator: corrupt record %q: %v", attrs[1], err)
-		}
-		if rec.Creator == args[0] {
-			out = append(out, rec)
-		}
-	}
-	payload, err := json.Marshal(out)
-	if err != nil {
-		return shim.Errorf("getByCreator: marshal: %v", err)
-	}
-	return shim.Success(payload)
-}
-
-// creatorIndexKey derives a fixed-length index attribute from a creator
-// subject (subjects contain arbitrary characters).
-func creatorIndexKey(creator string) string {
-	return strconv.FormatUint(fnv64(creator), 16)
-}
-
-// fnv64 is a small inline FNV-1a so the index key is deterministic without
-// importing hash/fnv into the hot path.
-func fnv64(s string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime64
-	}
-	return h
+	return cc.fieldQuery(stub, "creator", args[0])
 }
 
 // queryMeta returns records whose metadata field args[0] equals args[1].
-// It is a scan query intended for Evaluate only.
+// Served by the rich-query engine (indexed for meta.type, filtered scan for
+// other metadata fields); before the rich-query subsystem this was always a
+// full chaincode-level scan. Two cases keep the scan path: metadata keys
+// containing "." or "$" cannot be addressed as selector paths, and an empty
+// value has always matched records *lacking* the key (a map read of a
+// missing key yields ""), which a selector condition cannot express.
 func (cc *Chaincode) queryMeta(stub *shim.Stub) shim.Response {
 	args := stub.StringArgs()
 	if len(args) != 2 {
 		return shim.Errorf("queryMeta: want 2 args (key, value), got %d", len(args))
 	}
+	if strings.ContainsAny(args[0], ".$") || args[1] == "" {
+		return cc.queryMetaScan(stub, args[0], args[1])
+	}
+	return cc.fieldQuery(stub, "meta."+args[0], args[1])
+}
+
+// queryMetaScan is the pre-rich-query scan path, kept for metadata keys the
+// selector language cannot address.
+func (cc *Chaincode) queryMetaScan(stub *shim.Stub, key, value string) shim.Response {
 	kvs, err := stub.GetStateByRange("", "")
 	if err != nil {
 		return shim.Errorf("queryMeta: %v", err)
@@ -175,7 +137,7 @@ func (cc *Chaincode) queryMeta(stub *shim.Stub) shim.Response {
 		if err := json.Unmarshal(kv.Value, &rec); err != nil {
 			continue
 		}
-		if rec.Meta[args[0]] == args[1] {
+		if rec.Meta[key] == value {
 			out = append(out, rec)
 		}
 	}

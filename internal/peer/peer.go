@@ -19,6 +19,7 @@ import (
 	"github.com/hyperprov/hyperprov/internal/historydb"
 	"github.com/hyperprov/hyperprov/internal/identity"
 	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/richquery"
 	"github.com/hyperprov/hyperprov/internal/rwset"
 	"github.com/hyperprov/hyperprov/internal/shim"
 	"github.com/hyperprov/hyperprov/internal/statedb"
@@ -70,7 +71,7 @@ type Peer struct {
 	msp       *identity.MSP
 	exec      *device.Executor
 
-	state   *statedb.Store
+	state   statedb.StateDB
 	history *historydb.DB
 	blocks  *blockstore.Store
 
@@ -95,14 +96,21 @@ type Peer struct {
 }
 
 // New creates a peer. Call Start to attach it to an ordered block stream.
+// The peer runs the CouchDB-flavour indexed state database, so installed
+// chaincodes that declare indexes get rich provenance queries served from
+// secondary indexes maintained at block commit.
 func New(cfg Config) *Peer {
+	state, err := statedb.NewIndexed()
+	if err != nil { // unreachable: no definitions yet
+		panic(err)
+	}
 	return &Peer{
 		name:        cfg.Name,
 		channelID:   cfg.ChannelID,
 		signer:      cfg.Signer,
 		msp:         cfg.MSP,
 		exec:        cfg.Executor,
-		state:       statedb.New(),
+		state:       state,
 		history:     historydb.New(),
 		blocks:      blockstore.NewStore(),
 		ccs:         make(map[string]installedCC),
@@ -128,12 +136,24 @@ func (p *Peer) Ledger() *blockstore.Store { return p.blocks }
 // Height returns the peer's committed block height.
 func (p *Peer) Height() uint64 { return p.blocks.Height() }
 
-// InstallChaincode registers a chaincode and its endorsement policy.
+// IndexDeclarer is implemented by chaincodes that ship secondary-index
+// declarations for the state database — the analog of the CouchDB index
+// definitions Fabric chaincode packages carry in META-INF/statedb. The
+// peer applies the declarations at install (and upgrade) time.
+type IndexDeclarer interface {
+	Indexes() []richquery.IndexDef
+}
+
+// InstallChaincode registers a chaincode and its endorsement policy, and
+// applies any state-database indexes the chaincode declares.
 func (p *Peer) InstallChaincode(name string, cc shim.Chaincode, policy endorser.Policy) error {
 	p.ccMu.Lock()
 	defer p.ccMu.Unlock()
 	if _, dup := p.ccs[name]; dup {
 		return fmt.Errorf("%w: %q", ErrChaincodeExists, name)
+	}
+	if err := p.defineIndexes(name, cc); err != nil {
+		return err
 	}
 	p.ccs[name] = installedCC{cc: cc, policy: policy}
 	return nil
@@ -141,14 +161,41 @@ func (p *Peer) InstallChaincode(name string, cc shim.Chaincode, policy endorser.
 
 // UpgradeChaincode atomically replaces an installed chaincode's
 // implementation and policy (Fabric's upgrade lifecycle). The chaincode
-// must already be installed.
+// must already be installed; indexes newly declared by the upgraded
+// version are built over existing state.
 func (p *Peer) UpgradeChaincode(name string, cc shim.Chaincode, policy endorser.Policy) error {
 	p.ccMu.Lock()
 	defer p.ccMu.Unlock()
 	if _, ok := p.ccs[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownChaincode, name)
 	}
+	if err := p.defineIndexes(name, cc); err != nil {
+		return err
+	}
 	p.ccs[name] = installedCC{cc: cc, policy: policy}
+	return nil
+}
+
+// defineIndexes applies a chaincode's index declarations to the state
+// database atomically (all validated before any is built, so a rejected
+// install leaves no partial index set), namespacing index names by
+// chaincode.
+func (p *Peer) defineIndexes(ccName string, cc shim.Chaincode) error {
+	decl, ok := cc.(IndexDeclarer)
+	if !ok {
+		return nil
+	}
+	ixdb, ok := p.state.(*statedb.IndexedStore)
+	if !ok {
+		return nil // plain store: declarations are advisory, queries scan
+	}
+	defs := decl.Indexes()
+	for i := range defs {
+		defs[i].Name = ccName + "." + defs[i].Name
+	}
+	if err := ixdb.DefineIndexes(defs); err != nil {
+		return fmt.Errorf("peer %s: define indexes: %w", p.name, err)
+	}
 	return nil
 }
 

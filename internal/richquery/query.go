@@ -1,0 +1,121 @@
+package richquery
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SortField is one sort directive.
+type SortField struct {
+	Field      string
+	Descending bool
+}
+
+// Query is a parsed Mango query: selector plus result shaping.
+type Query struct {
+	Selector *Selector
+	Sort     []SortField
+	// Limit caps the page size; 0 means unlimited.
+	Limit int
+	// Bookmark resumes a paginated query; it is the opaque value returned
+	// by a previous execution.
+	Bookmark string
+	// UseIndex names an index the caller wants the planner to use; the
+	// planner ignores it if that index cannot serve the selector.
+	UseIndex string
+}
+
+// queryWire is the JSON wire form, matching CouchDB's _find body.
+type queryWire struct {
+	Selector json.RawMessage   `json:"selector"`
+	Sort     []json.RawMessage `json:"sort,omitempty"`
+	Limit    *int              `json:"limit,omitempty"`
+	Bookmark string            `json:"bookmark,omitempty"`
+	UseIndex string            `json:"use_index,omitempty"`
+}
+
+// ParseQuery parses a Mango query document:
+//
+//	{"selector": {"owner": "alice", "size": {"$gt": 100}},
+//	 "sort": [{"timestamp": "desc"}], "limit": 25, "bookmark": "..."}
+//
+// A bare selector object (no "selector" wrapper) is also accepted, matching
+// the convenience form Fabric chaincode often passes to GetQueryResult.
+func ParseQuery(raw []byte) (*Query, error) {
+	var w queryWire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, fmt.Errorf("richquery: query must be a JSON object: %w", err)
+	}
+	if len(w.Selector) == 0 {
+		// Bare selector form.
+		sel, err := ParseSelector(raw)
+		if err != nil {
+			return nil, err
+		}
+		return &Query{Selector: sel}, nil
+	}
+	sel, err := ParseSelector(w.Selector)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Selector: sel, Bookmark: w.Bookmark, UseIndex: w.UseIndex}
+	if w.Limit != nil {
+		if *w.Limit < 0 {
+			return nil, fmt.Errorf("richquery: negative limit %d", *w.Limit)
+		}
+		q.Limit = *w.Limit
+	}
+	for _, s := range w.Sort {
+		sf, err := parseSortField(s)
+		if err != nil {
+			return nil, err
+		}
+		q.Sort = append(q.Sort, sf)
+	}
+	return q, nil
+}
+
+// parseSortField accepts "field", {"field": "asc"}, or {"field": "desc"}.
+func parseSortField(raw json.RawMessage) (SortField, error) {
+	var name string
+	if err := json.Unmarshal(raw, &name); err == nil {
+		return SortField{Field: name}, nil
+	}
+	var obj map[string]string
+	if err := json.Unmarshal(raw, &obj); err != nil || len(obj) != 1 {
+		return SortField{}, fmt.Errorf("richquery: sort element must be a field name or {field: dir}")
+	}
+	for field, dir := range obj {
+		switch dir {
+		case "asc":
+			return SortField{Field: field}, nil
+		case "desc":
+			return SortField{Field: field, Descending: true}, nil
+		default:
+			return SortField{}, fmt.Errorf("richquery: sort direction %q (want asc or desc)", dir)
+		}
+	}
+	return SortField{}, fmt.Errorf("richquery: empty sort element")
+}
+
+// Marshal renders the query back to its canonical wire form, preserving the
+// original selector bytes. Used to embed queries in read/write sets.
+func (q *Query) Marshal() ([]byte, error) {
+	w := queryWire{Selector: q.Selector.Raw(), Bookmark: q.Bookmark, UseIndex: q.UseIndex}
+	if q.Limit > 0 {
+		lim := q.Limit
+		w.Limit = &lim
+	}
+	for _, s := range q.Sort {
+		dir := "asc"
+		if s.Descending {
+			dir = "desc"
+		}
+		el, err := json.Marshal(map[string]string{s.Field: dir})
+		if err != nil {
+			return nil, err
+		}
+		w.Sort = append(w.Sort, el)
+	}
+	return json.Marshal(w)
+}

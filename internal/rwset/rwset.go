@@ -35,11 +35,23 @@ type RangeRead struct {
 	Keys     []string `json:"keys"` // keys observed, in order
 }
 
+// QueryRead records a rich (Mango) query performed during simulation: the
+// query document itself plus the keys it returned, in order. It is the
+// rich-query analog of RangeRead: when the committing state database can
+// execute rich queries, validation re-runs the query and fails the
+// transaction if the result set changed (phantom protection); otherwise it
+// falls back to checking the observed keys against earlier-in-block writes.
+type QueryRead struct {
+	Query json.RawMessage `json:"query"`
+	Keys  []string        `json:"keys"` // keys observed, in order
+}
+
 // ReadWriteSet is the complete effect of simulating one transaction.
 type ReadWriteSet struct {
 	Reads      []Read      `json:"reads,omitempty"`
 	Writes     []Write     `json:"writes,omitempty"`
 	RangeReads []RangeRead `json:"rangeReads,omitempty"`
+	QueryReads []QueryRead `json:"queryReads,omitempty"`
 }
 
 // Marshal encodes the rwset deterministically (reads/writes sorted by key).
@@ -88,6 +100,7 @@ type Builder struct {
 	reads      map[string]*statedb.Version
 	writes     map[string]Write
 	rangeReads []RangeRead
+	queryReads []QueryRead
 }
 
 // NewBuilder creates an empty rwset builder.
@@ -131,6 +144,15 @@ func (b *Builder) AddRangeRead(start, end string, keys []string) {
 	b.rangeReads = append(b.rangeReads, RangeRead{StartKey: start, EndKey: end, Keys: ks})
 }
 
+// AddQueryRead records a rich query and the keys it observed.
+func (b *Builder) AddQueryRead(query []byte, keys []string) {
+	q := make(json.RawMessage, len(query))
+	copy(q, query)
+	ks := make([]string, len(keys))
+	copy(ks, keys)
+	b.queryReads = append(b.queryReads, QueryRead{Query: q, Keys: ks})
+}
+
 // PendingWrite returns the in-simulation written value for key, if any.
 // deleted reports whether the pending write is a delete.
 func (b *Builder) PendingWrite(key string) (value []byte, deleted, ok bool) {
@@ -151,6 +173,7 @@ func (b *Builder) Build() *ReadWriteSet {
 		rws.Writes = append(rws.Writes, w)
 	}
 	rws.RangeReads = append(rws.RangeReads, b.rangeReads...)
+	rws.QueryReads = append(rws.QueryReads, b.queryReads...)
 	rws.normalize()
 	return rws
 }
@@ -158,7 +181,9 @@ func (b *Builder) Build() *ReadWriteSet {
 // Validate performs the MVCC check for one transaction against current
 // committed state, also considering writes applied earlier in the same
 // block (blockWrites). It returns nil if every read version still matches.
-func Validate(rws *ReadWriteSet, state *statedb.Store, blockWrites map[string]bool) error {
+// It works against any StateDB implementation; rich-query phantom checks
+// engage only when the state database supports rich queries.
+func Validate(rws *ReadWriteSet, state statedb.StateDB, blockWrites map[string]bool) error {
 	for _, r := range rws.Reads {
 		if blockWrites[r.Key] {
 			return fmt.Errorf("rwset: mvcc conflict on %q: written earlier in block", r.Key)
@@ -179,10 +204,15 @@ func Validate(rws *ReadWriteSet, state *statedb.Store, blockWrites map[string]bo
 			return err
 		}
 	}
+	for _, qr := range rws.QueryReads {
+		if err := validateQuery(qr, state, blockWrites); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-func validateRange(rr RangeRead, state *statedb.Store, blockWrites map[string]bool) error {
+func validateRange(rr RangeRead, state statedb.StateDB, blockWrites map[string]bool) error {
 	cur := state.GetRange(rr.StartKey, rr.EndKey)
 	if len(cur) != len(rr.Keys) {
 		return fmt.Errorf("rwset: phantom in range [%q,%q): %d keys now vs %d simulated",
@@ -195,6 +225,37 @@ func validateRange(rr RangeRead, state *statedb.Store, blockWrites map[string]bo
 		}
 		if blockWrites[kv.Key] {
 			return fmt.Errorf("rwset: mvcc conflict in range on %q: written earlier in block", kv.Key)
+		}
+	}
+	return nil
+}
+
+// validateQuery is the rich-query phantom check. When the committing state
+// database can execute rich queries, the query is re-run and its key set
+// compared against the simulated one; otherwise (plain LevelDB-flavour
+// store) the observed keys are checked against earlier-in-block writes,
+// matching Fabric's weaker guarantees for rich queries on CouchDB.
+func validateQuery(qr QueryRead, state statedb.StateDB, blockWrites map[string]bool) error {
+	for _, key := range qr.Keys {
+		if blockWrites[key] {
+			return fmt.Errorf("rwset: mvcc conflict in query on %q: written earlier in block", key)
+		}
+	}
+	rq, ok := state.(statedb.RichQueryer)
+	if !ok {
+		return nil
+	}
+	res, err := rq.ExecuteQuery(qr.Query)
+	if err != nil {
+		return fmt.Errorf("rwset: re-execute query: %w", err)
+	}
+	if len(res.KVs) != len(qr.Keys) {
+		return fmt.Errorf("rwset: phantom in query: %d keys now vs %d simulated",
+			len(res.KVs), len(qr.Keys))
+	}
+	for i, kv := range res.KVs {
+		if kv.Key != qr.Keys[i] {
+			return fmt.Errorf("rwset: phantom in query: key %q != simulated %q", kv.Key, qr.Keys[i])
 		}
 	}
 	return nil

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/hyperprov/hyperprov/internal/historydb"
+	"github.com/hyperprov/hyperprov/internal/richquery"
 	"github.com/hyperprov/hyperprov/internal/rwset"
 	"github.com/hyperprov/hyperprov/internal/statedb"
 )
@@ -73,7 +74,7 @@ type Stub struct {
 	creator   []byte
 	timestamp time.Time
 
-	state   *statedb.Store
+	state   statedb.StateDB
 	history *historydb.DB
 	builder *rwset.Builder
 	events  []Event
@@ -87,7 +88,7 @@ type Config struct {
 	Args      [][]byte
 	Creator   []byte
 	Timestamp time.Time
-	State     *statedb.Store
+	State     statedb.StateDB
 	History   *historydb.DB
 }
 
@@ -205,6 +206,69 @@ func (s *Stub) SplitCompositeKey(key string) (string, []string, error) {
 // GetStateByPartialCompositeKey queries committed composite keys by prefix.
 func (s *Stub) GetStateByPartialCompositeKey(objectType string, attrs []string) ([]statedb.KV, error) {
 	return s.state.GetByPartialCompositeKey(objectType, attrs)
+}
+
+// GetQueryResult runs a rich (Mango) query against committed state and
+// returns the matching entries in result order. The query is a JSON
+// document (see richquery.ParseQuery): a selector plus optional sort and
+// limit. Like range queries, rich-query results are served from committed
+// state only (in-simulation writes are not merged), and the query is
+// recorded in the rwset both as per-key version reads and as a re-executable
+// query read for phantom protection.
+func (s *Stub) GetQueryResult(query string) ([]statedb.KV, error) {
+	kvs, _, err := s.executeQuery([]byte(query), 0, "")
+	return kvs, err
+}
+
+// GetQueryResultWithPagination runs a rich query bounded to pageSize
+// results, resuming from bookmark (empty for the first page). It returns
+// the page and the bookmark for the next page ("" when exhausted).
+func (s *Stub) GetQueryResultWithPagination(query string, pageSize int, bookmark string) ([]statedb.KV, string, error) {
+	if pageSize <= 0 {
+		return nil, "", errors.New("shim: pagination wants a positive page size")
+	}
+	return s.executeQuery([]byte(query), pageSize, bookmark)
+}
+
+// executeQuery parses and shapes the query, executes it on the state
+// database (natively when it supports rich queries, by filtered scan
+// otherwise), and records the read dependencies.
+func (s *Stub) executeQuery(query []byte, pageSize int, bookmark string) ([]statedb.KV, string, error) {
+	q, err := richquery.ParseQuery(query)
+	if err != nil {
+		return nil, "", err
+	}
+	if pageSize > 0 {
+		q.Limit = pageSize
+	}
+	if bookmark != "" {
+		q.Bookmark = bookmark
+	}
+	wire, err := q.Marshal()
+	if err != nil {
+		return nil, "", fmt.Errorf("shim: marshal query: %w", err)
+	}
+
+	var res *statedb.QueryResult
+	if rq, ok := s.state.(statedb.RichQueryer); ok {
+		res, err = rq.ExecuteQuery(wire)
+	} else {
+		// LevelDB-flavour fallback: filtered scan through the exact
+		// pipeline IndexedStore runs, so results are identical.
+		res, err = statedb.ScanQuery(s.state, wire)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+
+	keys := make([]string, len(res.KVs))
+	for i, kv := range res.KVs {
+		keys[i] = kv.Key
+		v := kv.Version
+		s.builder.AddRead(kv.Key, &v)
+	}
+	s.builder.AddQueryRead(wire, keys)
+	return res.KVs, res.Bookmark, nil
 }
 
 // GetHistoryForKey returns the committed version history of key, newest

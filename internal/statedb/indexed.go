@@ -1,0 +1,244 @@
+package statedb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/hyperprov/hyperprov/internal/richquery"
+)
+
+// IndexedStore is the CouchDB-flavour state database: a versioned KV store
+// that additionally decodes JSON document values, maintains declared
+// secondary field indexes incrementally at commit time, and serves
+// Mango-style rich queries through a planner that uses an index when the
+// selector constrains an indexed field and falls back to a filtered scan
+// otherwise. This is the component that makes HyperProv's provenance
+// queries (by owner, by type, by time window) practical at scale, mirroring
+// the paper's use of CouchDB rich queries on Hyperledger Fabric.
+// The zero value is not usable; call NewIndexed.
+type IndexedStore struct {
+	// mu serializes index maintenance against query execution. The inner
+	// Store has its own lock; mu is always taken first.
+	mu      sync.RWMutex
+	store   *Store
+	indexes map[string]*richquery.Index // by index name
+}
+
+// NewIndexed creates an empty indexed state database with the given index
+// definitions.
+func NewIndexed(defs ...richquery.IndexDef) (*IndexedStore, error) {
+	s := &IndexedStore{store: New(), indexes: make(map[string]*richquery.Index)}
+	for _, def := range defs {
+		if err := s.DefineIndex(def); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// DefineIndex declares a new index and builds it over existing state. It is
+// how chaincode-shipped index declarations (Fabric's META-INF/statedb
+// directory) land in the state database at install time. Redefining an
+// existing name with the same field is a no-op; with a different field it
+// is an error.
+func (s *IndexedStore) DefineIndex(def richquery.IndexDef) error {
+	return s.DefineIndexes([]richquery.IndexDef{def})
+}
+
+// DefineIndexes declares a set of indexes atomically: every definition is
+// validated against the existing indexes (and the rest of the batch) before
+// any is built, so a rejected chaincode install cannot leave a partial set
+// of its indexes behind. Definitions that exactly match an existing index
+// are skipped.
+func (s *IndexedStore) DefineIndexes(defs []richquery.IndexDef) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fresh := make([]richquery.IndexDef, 0, len(defs))
+	inBatch := make(map[string]string, len(defs))
+	for _, def := range defs {
+		if err := def.Validate(); err != nil {
+			return err
+		}
+		if old, ok := s.indexes[def.Name]; ok {
+			if old.Def().Field == def.Field {
+				continue
+			}
+			return fmt.Errorf("statedb: index %q already defined on field %q", def.Name, old.Def().Field)
+		}
+		if field, ok := inBatch[def.Name]; ok {
+			if field == def.Field {
+				continue
+			}
+			return fmt.Errorf("statedb: index %q declared twice with fields %q and %q", def.Name, field, def.Field)
+		}
+		inBatch[def.Name] = def.Field
+		fresh = append(fresh, def)
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	docs := scanCandidates(s.store)
+	for _, def := range fresh {
+		ix := richquery.NewIndex(def)
+		ix.Load(docs)
+		s.indexes[def.Name] = ix
+	}
+	return nil
+}
+
+// IndexDefs returns the definitions of all declared indexes.
+func (s *IndexedStore) IndexDefs() []richquery.IndexDef {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]richquery.IndexDef, 0, len(s.indexes))
+	for _, ix := range s.indexes {
+		out = append(out, ix.Def())
+	}
+	return out
+}
+
+// Get returns the committed value and version for key.
+func (s *IndexedStore) Get(key string) (VersionedValue, bool) { return s.store.Get(key) }
+
+// GetVersion returns only the version for key.
+func (s *IndexedStore) GetVersion(key string) (Version, bool) { return s.store.GetVersion(key) }
+
+// Height returns the version of the last applied update batch.
+func (s *IndexedStore) Height() Version { return s.store.Height() }
+
+// GetRange returns committed entries with startKey <= key < endKey.
+func (s *IndexedStore) GetRange(startKey, endKey string) []KV {
+	return s.store.GetRange(startKey, endKey)
+}
+
+// GetByPartialCompositeKey queries composite keys by prefix.
+func (s *IndexedStore) GetByPartialCompositeKey(objectType string, attrs []string) ([]KV, error) {
+	return s.store.GetByPartialCompositeKey(objectType, attrs)
+}
+
+// Len returns the number of live keys.
+func (s *IndexedStore) Len() int { return s.store.Len() }
+
+// Snapshot returns a deep copy of the live state.
+func (s *IndexedStore) Snapshot() map[string]VersionedValue { return s.store.Snapshot() }
+
+// ApplyUpdates applies the batch to the underlying store and maintains
+// every declared index incrementally: deleted keys leave the indexes,
+// written keys are (re)indexed from their new JSON document. Composite keys
+// and non-JSON values are never indexed. Index maintenance is atomic with
+// respect to queries (both sides take mu).
+func (s *IndexedStore) ApplyUpdates(batch *UpdateBatch, height Version) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.store.ApplyUpdates(batch, height); err != nil {
+		return err
+	}
+	for _, key := range batch.Keys() {
+		if strings.Contains(key, compositeKeySep) {
+			continue
+		}
+		vv, ok := s.store.Get(key)
+		var doc map[string]any
+		if ok {
+			doc, _ = richquery.DecodeDoc(vv.Value)
+		}
+		for _, ix := range s.indexes {
+			if doc != nil {
+				ix.Put(key, doc)
+			} else {
+				ix.Delete(key)
+			}
+		}
+	}
+	return nil
+}
+
+// Restore replaces the live state with a snapshot and rebuilds every index
+// from it (state-transfer after a partition heals).
+func (s *IndexedStore) Restore(snap map[string]VersionedValue, height Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.Restore(snap, height)
+	docs := scanCandidates(s.store)
+	for name, ix := range s.indexes {
+		fresh := richquery.NewIndex(ix.Def())
+		fresh.Load(docs)
+		s.indexes[name] = fresh
+	}
+}
+
+// ExecuteQuery runs a Mango query against live state. The planner serves
+// the candidate set from a declared index when the selector constrains that
+// index's field, and from a full scan otherwise; both paths run the same
+// filter/sort/pagination pipeline (finishQuery), so they return identical
+// pages.
+func (s *IndexedStore) ExecuteQuery(query []byte) (*QueryResult, error) {
+	q, err := richquery.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	all := make([]*richquery.Index, 0, len(s.indexes))
+	for _, ix := range s.indexes {
+		all = append(all, ix)
+	}
+	plan := richquery.ChooseIndex(q, all)
+	if plan.Index == nil {
+		return finishQuery(s.store, q, scanCandidates(s.store))
+	}
+	var cands []richquery.Candidate
+	for _, key := range plan.Index.Range(plan.Low, plan.High) {
+		vv, ok := s.store.Get(key)
+		if !ok {
+			continue
+		}
+		if doc, ok := richquery.DecodeDoc(vv.Value); ok {
+			cands = append(cands, richquery.Candidate{Key: key, Doc: doc})
+		}
+	}
+	return finishQuery(s.store, q, cands)
+}
+
+// ScanQuery executes a Mango query against any StateDB with a filtered
+// full scan — the fallback for stores without rich-query support (the
+// shim's LevelDB-flavour path). It runs the identical pipeline IndexedStore
+// uses, which is what keeps fallback and indexed results interchangeable.
+func ScanQuery(s StateDB, query []byte) (*QueryResult, error) {
+	q, err := richquery.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return finishQuery(s, q, scanCandidates(s))
+}
+
+// scanCandidates decodes every live JSON document in s.
+func scanCandidates(s StateDB) []richquery.Candidate {
+	var cands []richquery.Candidate
+	for _, kv := range s.GetRange("", "") {
+		if doc, ok := richquery.DecodeDoc(kv.Value); ok {
+			cands = append(cands, richquery.Candidate{Key: kv.Key, Doc: doc})
+		}
+	}
+	return cands
+}
+
+// finishQuery runs the shared filter/sort/pagination pipeline over cands
+// and materializes the matching entries from s.
+func finishQuery(s StateDB, q *richquery.Query, cands []richquery.Candidate) (*QueryResult, error) {
+	keys, bookmark, err := richquery.Apply(q, cands)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{Bookmark: bookmark}
+	for _, key := range keys {
+		vv, ok := s.Get(key)
+		if !ok {
+			continue // candidate vanished mid-query; defensive
+		}
+		res.KVs = append(res.KVs, KV{Key: key, Value: vv.Value, Version: vv.Version})
+	}
+	return res, nil
+}

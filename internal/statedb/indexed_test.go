@@ -1,0 +1,315 @@
+package statedb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/hyperprov/hyperprov/internal/richquery"
+)
+
+func mustIndexed(t *testing.T, defs ...richquery.IndexDef) *IndexedStore {
+	t.Helper()
+	s, err := NewIndexed(defs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func docBytes(t *testing.T, fields map[string]any) []byte {
+	t.Helper()
+	b, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func queryKeys(t *testing.T, s *IndexedStore, query string) []string {
+	t.Helper()
+	res, err := s.ExecuteQuery([]byte(query))
+	if err != nil {
+		t.Fatalf("query %s: %v", query, err)
+	}
+	keys := make([]string, len(res.KVs))
+	for i, kv := range res.KVs {
+		keys[i] = kv.Key
+	}
+	return keys
+}
+
+func TestIndexedStoreQueryIndexVsScan(t *testing.T) {
+	indexed := mustIndexed(t, richquery.IndexDef{Name: "by-owner", Field: "owner"})
+	plain := mustIndexed(t) // no indexes: every query scans
+
+	owners := []string{"alice", "bob", "carol"}
+	for block := uint64(1); block <= 3; block++ {
+		b := NewUpdateBatch()
+		for i := 0; i < 20; i++ {
+			key := fmt.Sprintf("rec-%d-%02d", block, i)
+			doc := docBytes(t, map[string]any{"owner": owners[i%len(owners)], "n": i})
+			ver := Version{BlockNum: block, TxNum: uint64(i)}
+			b.Put(key, doc, ver)
+		}
+		for _, s := range []*IndexedStore{indexed, plain} {
+			if err := s.ApplyUpdates(cloneBatch(b), Version{BlockNum: block, TxNum: 99}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for _, q := range []string{
+		`{"selector":{"owner":"alice"}}`,
+		`{"selector":{"owner":{"$in":["bob","carol"]}}}`,
+		`{"selector":{"owner":{"$gte":"b"}},"sort":[{"owner":"desc"}]}`,
+		`{"selector":{"n":{"$lt":5}}}`, // unindexed field: both scan
+	} {
+		a, b := queryKeys(t, indexed, q), queryKeys(t, plain, q)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Errorf("query %s: indexed %v != scan %v", q, a, b)
+		}
+		if len(a) == 0 {
+			t.Errorf("query %s returned nothing", q)
+		}
+	}
+}
+
+// cloneBatch copies a batch so two stores can apply "the same" commit.
+func cloneBatch(b *UpdateBatch) *UpdateBatch {
+	out := NewUpdateBatch()
+	for k, w := range b.writes {
+		if w.delete {
+			out.Delete(k, w.ver)
+		} else {
+			out.Put(k, w.value, w.ver)
+		}
+	}
+	return out
+}
+
+// TestIndexedStoreMaintenanceAcrossCommits drives random batches of puts,
+// updates, deletes, and re-adds across increasing heights and checks every
+// indexed query against the scan answer after each commit.
+func TestIndexedStoreMaintenanceAcrossCommits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	indexed := mustIndexed(t,
+		richquery.IndexDef{Name: "by-owner", Field: "owner"},
+		richquery.IndexDef{Name: "by-size", Field: "size"})
+	shadow := map[string]bool{}
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%02d", i)
+	}
+	owners := []string{"alice", "bob"}
+
+	for block := uint64(1); block <= 120; block++ {
+		b := NewUpdateBatch()
+		for n := 0; n < 1+rng.Intn(4); n++ {
+			key := keys[rng.Intn(len(keys))]
+			ver := Version{BlockNum: block, TxNum: uint64(n)}
+			if shadow[key] && rng.Intn(3) == 0 {
+				b.Delete(key, ver)
+				shadow[key] = false
+			} else {
+				doc := docBytes(t, map[string]any{
+					"owner": owners[rng.Intn(len(owners))],
+					"size":  float64(rng.Intn(10)),
+				})
+				b.Put(key, doc, ver)
+				shadow[key] = true
+			}
+		}
+		if err := indexed.ApplyUpdates(b, Version{BlockNum: block, TxNum: 10}); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, q := range []string{
+			`{"selector":{"owner":"alice"}}`,
+			`{"selector":{"size":{"$gte":3,"$lt":8}}}`,
+		} {
+			got := queryKeys(t, indexed, q)
+			want := scanReference(t, indexed, q)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("block %d query %s: indexed %v != scan %v", block, q, got, want)
+			}
+		}
+	}
+
+	// Restore must rebuild indexes: move state to a fresh store.
+	snap := indexed.Snapshot()
+	restored := mustIndexed(t,
+		richquery.IndexDef{Name: "by-owner", Field: "owner"},
+		richquery.IndexDef{Name: "by-size", Field: "size"})
+	restored.Restore(snap, indexed.Height())
+	for _, q := range []string{`{"selector":{"owner":"alice"}}`, `{"selector":{"size":{"$lt":4}}}`} {
+		if fmt.Sprint(queryKeys(t, restored, q)) != fmt.Sprint(queryKeys(t, indexed, q)) {
+			t.Errorf("restored store answers %s differently", q)
+		}
+	}
+}
+
+// scanReference answers q by brute force over a snapshot through the same
+// Apply pipeline but with no index involved.
+func scanReference(t *testing.T, s *IndexedStore, query string) []string {
+	t.Helper()
+	q, err := richquery.ParseQuery([]byte(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands []richquery.Candidate
+	for _, kv := range s.GetRange("", "") {
+		if doc, ok := richquery.DecodeDoc(kv.Value); ok {
+			cands = append(cands, richquery.Candidate{Key: kv.Key, Doc: doc})
+		}
+	}
+	keys, _, err := richquery.Apply(q, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+func TestDefineIndexOverExistingState(t *testing.T) {
+	s := mustIndexed(t)
+	b := NewUpdateBatch()
+	for i := 0; i < 10; i++ {
+		b.Put(fmt.Sprintf("k%d", i), docBytes(t, map[string]any{"owner": fmt.Sprintf("o%d", i%2)}),
+			Version{BlockNum: 1, TxNum: uint64(i)})
+	}
+	if err := s.ApplyUpdates(b, Version{BlockNum: 1, TxNum: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Declared after the data landed: must be built over existing state.
+	if err := s.DefineIndex(richquery.IndexDef{Name: "by-owner", Field: "owner"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryKeys(t, s, `{"selector":{"owner":"o1"}}`); len(got) != 5 {
+		t.Errorf("late-defined index found %v", got)
+	}
+	// Same name, same field: idempotent. Same name, new field: error.
+	if err := s.DefineIndex(richquery.IndexDef{Name: "by-owner", Field: "owner"}); err != nil {
+		t.Errorf("idempotent redefine rejected: %v", err)
+	}
+	if err := s.DefineIndex(richquery.IndexDef{Name: "by-owner", Field: "size"}); err == nil {
+		t.Error("conflicting redefine accepted")
+	}
+	if err := s.DefineIndex(richquery.IndexDef{Name: "", Field: "x"}); err == nil {
+		t.Error("empty index name accepted")
+	}
+}
+
+// TestDefineIndexesAtomic: a batch containing one bad definition must not
+// leave any of the batch's good definitions behind (chaincode install
+// failure cannot strand half an index set).
+func TestDefineIndexesAtomic(t *testing.T) {
+	s := mustIndexed(t, richquery.IndexDef{Name: "existing", Field: "owner"})
+	err := s.DefineIndexes([]richquery.IndexDef{
+		{Name: "new-1", Field: "a"},
+		{Name: "existing", Field: "different"}, // conflicts
+		{Name: "new-2", Field: "b"},
+	})
+	if err == nil {
+		t.Fatal("conflicting batch accepted")
+	}
+	defs := s.IndexDefs()
+	if len(defs) != 1 || defs[0].Name != "existing" {
+		t.Fatalf("partial batch applied: %+v", defs)
+	}
+	// Duplicate names with divergent fields inside one batch also fail whole.
+	err = s.DefineIndexes([]richquery.IndexDef{
+		{Name: "dup", Field: "a"},
+		{Name: "dup", Field: "b"},
+	})
+	if err == nil {
+		t.Fatal("divergent duplicate accepted")
+	}
+	if len(s.IndexDefs()) != 1 {
+		t.Fatalf("partial duplicate batch applied: %+v", s.IndexDefs())
+	}
+}
+
+// TestScanQueryMatchesExecuteQuery pins the shared-pipeline property the
+// shim fallback relies on.
+func TestScanQueryMatchesExecuteQuery(t *testing.T) {
+	s := mustIndexed(t, richquery.IndexDef{Name: "by-owner", Field: "owner"})
+	b := NewUpdateBatch()
+	for i := 0; i < 9; i++ {
+		b.Put(fmt.Sprintf("k%d", i), docBytes(t, map[string]any{"owner": fmt.Sprintf("o%d", i%3)}),
+			Version{BlockNum: 1, TxNum: uint64(i)})
+	}
+	if err := s.ApplyUpdates(b, Version{BlockNum: 1, TxNum: 20}); err != nil {
+		t.Fatal(err)
+	}
+	query := []byte(`{"selector":{"owner":"o1"},"sort":[{"owner":"desc"}]}`)
+	indexed, err := s.ExecuteQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := ScanQuery(s, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(indexed.KVs) != fmt.Sprint(scanned.KVs) {
+		t.Errorf("ScanQuery diverges from ExecuteQuery:\n%v\n%v", scanned.KVs, indexed.KVs)
+	}
+	if len(indexed.KVs) != 3 {
+		t.Errorf("query found %d, want 3", len(indexed.KVs))
+	}
+}
+
+func TestIndexedStorePagination(t *testing.T) {
+	s := mustIndexed(t, richquery.IndexDef{Name: "by-owner", Field: "owner"})
+	b := NewUpdateBatch()
+	for i := 0; i < 23; i++ {
+		b.Put(fmt.Sprintf("k%02d", i), docBytes(t, map[string]any{"owner": "alice", "n": i}),
+			Version{BlockNum: 1, TxNum: uint64(i)})
+	}
+	if err := s.ApplyUpdates(b, Version{BlockNum: 1, TxNum: 30}); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	bookmark := ""
+	for page := 0; ; page++ {
+		q := map[string]any{"selector": map[string]any{"owner": "alice"}, "limit": 5}
+		if bookmark != "" {
+			q["bookmark"] = bookmark
+		}
+		raw, _ := json.Marshal(q)
+		res, err := s.ExecuteQuery(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kv := range res.KVs {
+			got = append(got, kv.Key)
+		}
+		if res.Bookmark == "" {
+			break
+		}
+		bookmark = res.Bookmark
+		if page > 10 {
+			t.Fatal("pagination did not terminate")
+		}
+	}
+	if len(got) != 23 {
+		t.Fatalf("paged %d keys, want 23", len(got))
+	}
+	seen := map[string]bool{}
+	for _, k := range got {
+		if seen[k] {
+			t.Errorf("duplicate %q across pages", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestIndexedStoreRejectsBadQuery(t *testing.T) {
+	s := mustIndexed(t)
+	if _, err := s.ExecuteQuery([]byte(`{"selector":{"a":{"$bogus":1}}}`)); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := s.ExecuteQuery([]byte(`not json`)); err == nil {
+		t.Error("non-JSON query accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package statedb
+
+// StateDB is the pluggable world-state interface a peer commits to and a
+// chaincode stub reads from. The LevelDB-flavour Store and the
+// CouchDB-flavour IndexedStore both implement it; higher layers (shim,
+// rwset validation, peer) depend only on this interface, mirroring
+// Fabric's VersionedDB seam that lets deployments choose their state
+// database.
+type StateDB interface {
+	// Get returns the committed value and version for key.
+	Get(key string) (VersionedValue, bool)
+	// GetVersion returns only the version for key.
+	GetVersion(key string) (Version, bool)
+	// Height returns the version of the last applied update batch.
+	Height() Version
+	// ApplyUpdates applies a batch atomically at the given commit height.
+	ApplyUpdates(batch *UpdateBatch, height Version) error
+	// GetRange returns committed entries with startKey <= key < endKey.
+	GetRange(startKey, endKey string) []KV
+	// GetByPartialCompositeKey queries composite keys by prefix.
+	GetByPartialCompositeKey(objectType string, attrs []string) ([]KV, error)
+	// Len returns the number of live keys.
+	Len() int
+	// Snapshot returns a deep copy of the live state.
+	Snapshot() map[string]VersionedValue
+	// Restore replaces the live state with a snapshot at the given height.
+	Restore(snap map[string]VersionedValue, height Version)
+}
+
+// QueryResult is one page of a rich query.
+type QueryResult struct {
+	// KVs are the matching entries in result order.
+	KVs []KV
+	// Bookmark resumes the query on the next page; empty when exhausted.
+	Bookmark string
+}
+
+// RichQueryer is implemented by state databases that can execute Mango
+// queries (the CouchDB-flavour IndexedStore). Callers should type-assert:
+// a plain Store does not support rich queries, exactly as Fabric's LevelDB
+// state database does not.
+type RichQueryer interface {
+	// ExecuteQuery runs a Mango query document (see richquery.ParseQuery)
+	// against live state and returns one result page.
+	ExecuteQuery(query []byte) (*QueryResult, error)
+}
+
+// Compile-time interface checks.
+var (
+	_ StateDB     = (*Store)(nil)
+	_ StateDB     = (*IndexedStore)(nil)
+	_ RichQueryer = (*IndexedStore)(nil)
+)

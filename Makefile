@@ -1,0 +1,44 @@
+# Development and CI entry points. CI jobs invoke exactly these targets, so
+# local runs and the matrix exercise identical commands.
+
+GO ?= go
+
+.PHONY: all fmt fmt-check vet lint build test race bench bench-commit
+
+all: build test
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# staticcheck is optional locally (the container may lack network to install
+# it); CI installs it and fails the lint job on findings.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime=500ms -run '^$$' ./...
+
+bench-commit:
+	$(GO) run ./cmd/hyperprov-bench -experiment commit -out BENCH_commit.json

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|all [-quick]
+//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|all [-quick] [-out file]
 package main
 
 import (
@@ -18,16 +18,18 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, or all")
+		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, or all")
 	quick := flag.Bool("quick", false, "use reduced sweep sizes and windows")
+	out := flag.String("out", "BENCH_commit.json",
+		"path the commit experiment writes its JSON result to (empty disables)")
 	flag.Parse()
-	if err := run(*experiment, *quick); err != nil {
+	if err := run(*experiment, *quick, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, quick bool) error {
+func run(experiment string, quick bool, out string) error {
 	sweep := bench.DefaultSweep()
 	energyCfg := bench.DefaultEnergy()
 	if quick {
@@ -98,6 +100,22 @@ func run(experiment string, quick bool) error {
 				return err
 			}
 			fmt.Println(res.Format())
+		case "commit":
+			cfg := bench.DefaultCommitBench()
+			if quick {
+				cfg = bench.QuickCommitBench()
+			}
+			res, err := bench.RunCommitBench(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+			if out != "" {
+				if err := res.WriteJSON(out); err != nil {
+					return err
+				}
+				fmt.Println("wrote", out)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -105,7 +123,7 @@ func run(experiment string, quick bool) error {
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

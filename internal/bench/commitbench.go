@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/committer"
+	"github.com/hyperprov/hyperprov/internal/device"
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/historydb"
+	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/rwset"
+	"github.com/hyperprov/hyperprov/internal/shim"
+	"github.com/hyperprov/hyperprov/internal/statedb"
+)
+
+// This file holds the commit-throughput experiment: serial vs pipelined
+// block commit across block sizes and pre-validation worker counts. Each
+// committing peer is modeled as one of the paper's devices (default: the
+// Xeon E5-1603 desktop, 4 cores): per-operation costs are charged through
+// a device.Executor whose core semaphore is what the pipeline's parallel
+// workers contend for, exactly as the throughput figures elsewhere in this
+// package model their hardware. Signatures are still real ECDSA P-256 and
+// every pipelined run is checked for verdict-and-state equivalence against
+// the serial baseline before its timing is reported. Rates are in modeled
+// hardware time.
+
+// CommitBenchConfig parameterizes the commit experiment.
+type CommitBenchConfig struct {
+	// BlockSizes are the transactions-per-block points on the x-axis.
+	BlockSizes []int
+	// Workers are the pipeline pre-validation worker counts; serial is the
+	// baseline each is compared against.
+	Workers []int
+	// Blocks is the stream length per measurement.
+	Blocks int
+	// WritesPerTx is the number of state writes each transaction carries.
+	WritesPerTx int
+	// Profile models the committing peer's hardware; its core count is the
+	// modeled parallelism ceiling.
+	Profile device.Profile
+	// Scale compresses modeled time (0.5 runs 2x faster than the modeled
+	// hardware); results are reported in modeled units.
+	Scale float64
+	// Seed fixes modeled jitter.
+	Seed int64
+}
+
+// DefaultCommitBench returns the figure-quality configuration.
+func DefaultCommitBench() CommitBenchConfig {
+	return CommitBenchConfig{
+		BlockSizes:  []int{10, 50, 100, 250},
+		Workers:     []int{1, 2, 4, 8},
+		Blocks:      20,
+		WritesPerTx: 2,
+		Profile:     device.XeonE51603,
+		Scale:       0.5,
+		Seed:        1,
+	}
+}
+
+// QuickCommitBench returns a reduced run for smoke tests.
+func QuickCommitBench() CommitBenchConfig {
+	return CommitBenchConfig{
+		BlockSizes:  []int{10, 100},
+		Workers:     []int{1, 4},
+		Blocks:      5,
+		WritesPerTx: 2,
+		Profile:     device.XeonE51603,
+		Scale:       0.2,
+		Seed:        1,
+	}
+}
+
+// CommitBenchRow is one measured (block size, workers) point.
+type CommitBenchRow struct {
+	BlockSize   int     `json:"blockSize"`
+	Workers     int     `json:"workers"`
+	SerialTps   float64 `json:"serialTxPerSec"`
+	PipelineTps float64 `json:"pipelineTxPerSec"`
+	Speedup     float64 `json:"speedup"`
+	SerialMs    float64 `json:"serialMsPerBlock"`
+	PipelineMs  float64 `json:"pipelineMsPerBlock"`
+}
+
+// CommitBenchResult is the regenerated comparison table.
+type CommitBenchResult struct {
+	Name        string           `json:"name"`
+	Description string           `json:"description"`
+	Rows        []CommitBenchRow `json:"rows"`
+}
+
+// Format renders the comparison table.
+func (r CommitBenchResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n%s\n", r.Name, r.Description)
+	fmt.Fprintf(&sb, "%-10s %8s %14s %14s %10s\n",
+		"blocksize", "workers", "serial(tx/s)", "pipeline(tx/s)", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10d %8d %14.0f %14.0f %9.2fx\n",
+			row.BlockSize, row.Workers, row.SerialTps, row.PipelineTps, row.Speedup)
+	}
+	return sb.String()
+}
+
+// WriteJSON writes the result to path (the BENCH_commit.json artifact the
+// CI benchmark job uploads).
+func (r CommitBenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal commit result: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// commitFixture holds the identities a signed block stream needs.
+type commitFixture struct {
+	msp      *identity.MSP
+	client   *identity.SigningIdentity
+	endorser *identity.SigningIdentity
+	policy   endorser.Policy
+}
+
+func newCommitFixture() (*commitFixture, error) {
+	ca, err := identity.NewCA("Org1")
+	if err != nil {
+		return nil, err
+	}
+	client, err := ca.Enroll("bench-client", identity.RoleClient)
+	if err != nil {
+		return nil, err
+	}
+	peerID, err := ca.Enroll("bench-peer", identity.RolePeer)
+	if err != nil {
+		return nil, err
+	}
+	return &commitFixture{
+		msp:      identity.NewMSP(ca),
+		client:   client,
+		endorser: peerID,
+		policy:   endorser.SignedBy("Org1MSP"),
+	}, nil
+}
+
+func (f *commitFixture) verifier(exec *device.Executor) committer.Verifier {
+	return &committer.EnvelopeVerifier{
+		MSP:    f.msp,
+		Policy: func(string) (endorser.Policy, bool) { return f.policy, true },
+		Exec:   exec,
+	}
+}
+
+// buildStream assembles `blocks` chained blocks of `blockSize` fully signed
+// transactions, each writing writesPerTx unique JSON documents — the block
+// stream a peer under sustained provenance load commits.
+func (f *commitFixture) buildStream(blocks, blockSize, writesPerTx int) ([]*blockstore.Block, error) {
+	out := make([]*blockstore.Block, 0, blocks)
+	var prev []byte
+	tx := 0
+	for bn := 0; bn < blocks; bn++ {
+		envs := make([]blockstore.Envelope, blockSize)
+		for i := range envs {
+			rws := &rwset.ReadWriteSet{}
+			for w := 0; w < writesPerTx; w++ {
+				key := fmt.Sprintf("item-%07d-%d", tx, w)
+				doc, err := json.Marshal(map[string]any{
+					"key":      key,
+					"checksum": fmt.Sprintf("sha256:%07d", tx),
+					"owner":    "x509::CN=bench-client,O=Org1",
+					"ts":       1700000000000 + int64(tx),
+				})
+				if err != nil {
+					return nil, err
+				}
+				rws.Writes = append(rws.Writes, rwset.Write{Key: key, Value: doc})
+			}
+			env, err := f.envelope(fmt.Sprintf("tx-%07d", tx), rws)
+			if err != nil {
+				return nil, err
+			}
+			envs[i] = env
+			tx++
+		}
+		b, err := blockstore.NewBlock(uint64(bn), prev, envs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+		prev = b.Header.Hash()
+	}
+	return out, nil
+}
+
+func (f *commitFixture) envelope(txID string, rws *rwset.ReadWriteSet) (blockstore.Envelope, error) {
+	rwsBytes, err := rws.Marshal()
+	if err != nil {
+		return blockstore.Envelope{}, err
+	}
+	resp := &endorser.Response{
+		TxID:     txID,
+		Status:   shim.OK,
+		RWSet:    rwsBytes,
+		Endorser: f.endorser.Serialize(),
+	}
+	endSig, err := f.endorser.Sign(resp.SignedBytes())
+	if err != nil {
+		return blockstore.Envelope{}, err
+	}
+	env := blockstore.Envelope{
+		TxID:      txID,
+		ChannelID: "bench",
+		Chaincode: "bench",
+		Function:  "set",
+		Creator:   f.client.Serialize(),
+		Timestamp: time.Unix(1700000000, 0).UTC(),
+		RWSet:     rwsBytes,
+		Endorsements: []blockstore.Endorsement{
+			{Endorser: resp.Endorser, Signature: endSig},
+		},
+	}
+	sig, err := f.client.Sign(env.SignedBytes())
+	if err != nil {
+		return blockstore.Envelope{}, err
+	}
+	env.Signature = sig
+	return env, nil
+}
+
+// commitRun feeds the stream through one committer engine over fresh
+// stores and a fresh modeled device, and returns the elapsed wall time
+// plus the final state fingerprint and per-block validation codes for
+// equivalence checking.
+func commitRun(f *commitFixture, bc CommitBenchConfig, stream []*blockstore.Block, workers int, pipelined bool) (time.Duration, string, [][]blockstore.ValidationCode, error) {
+	exec := device.NewExecutor(bc.Profile, device.RealClock{ScaleFactor: bc.Scale}, bc.Seed)
+	state := statedb.New()
+	cfg := committer.Config{
+		State:    state,
+		History:  historydb.New(),
+		Blocks:   blockstore.NewStore(),
+		Verifier: f.verifier(exec),
+		Workers:  workers,
+	}
+	var eng committer.Committer
+	if pipelined {
+		eng = committer.New(cfg)
+	} else {
+		eng = committer.NewSerial(cfg)
+	}
+	start := time.Now()
+	for _, b := range stream {
+		if !eng.Submit(b) {
+			eng.Close()
+			return 0, "", nil, fmt.Errorf("bench: block %d rejected", b.Header.Number)
+		}
+	}
+	eng.Sync()
+	elapsed := time.Since(start)
+	eng.Close()
+
+	codes := make([][]blockstore.ValidationCode, len(stream))
+	for n := range stream {
+		b, err := cfg.Blocks.GetByNumber(uint64(n))
+		if err != nil {
+			return 0, "", nil, err
+		}
+		codes[n] = b.TxValidation
+	}
+	return elapsed, committer.StateFingerprint(state), codes, nil
+}
+
+// RunCommitBench runs the serial-vs-pipelined commit comparison.
+func RunCommitBench(cfg CommitBenchConfig) (CommitBenchResult, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	res := CommitBenchResult{
+		Name: "Commit pipeline: serial vs pipelined block commit",
+		Description: fmt.Sprintf(
+			"%d blocks per run, %d writes/tx, real ECDSA P-256 signatures; modeled peer: %s (%d cores); rates in modeled tx/s",
+			cfg.Blocks, cfg.WritesPerTx, cfg.Profile.Name, cfg.Profile.Cores),
+	}
+	f, err := newCommitFixture()
+	if err != nil {
+		return CommitBenchResult{}, err
+	}
+	// Wall time = modeled time x Scale, so modeled tx/s = wall tx/s x Scale
+	// (same convention as RunResult.ModeledThroughput).
+	modeledMs := func(d time.Duration) float64 {
+		return float64(d.Milliseconds()) / cfg.Scale / float64(cfg.Blocks)
+	}
+	for _, size := range cfg.BlockSizes {
+		stream, err := f.buildStream(cfg.Blocks, size, cfg.WritesPerTx)
+		if err != nil {
+			return CommitBenchResult{}, err
+		}
+		serialDur, serialFP, serialCodes, err := commitRun(f, cfg, stream, 1, false)
+		if err != nil {
+			return CommitBenchResult{}, err
+		}
+		totalTx := float64(cfg.Blocks * size)
+		for _, workers := range cfg.Workers {
+			pipeDur, pipeFP, pipeCodes, err := commitRun(f, cfg, stream, workers, true)
+			if err != nil {
+				return CommitBenchResult{}, err
+			}
+			if err := sameVerdicts(serialFP, pipeFP, serialCodes, pipeCodes); err != nil {
+				return CommitBenchResult{}, fmt.Errorf("bench: size %d workers %d: %w", size, workers, err)
+			}
+			row := CommitBenchRow{
+				BlockSize:   size,
+				Workers:     workers,
+				SerialTps:   totalTx / serialDur.Seconds() * cfg.Scale,
+				PipelineTps: totalTx / pipeDur.Seconds() * cfg.Scale,
+				SerialMs:    modeledMs(serialDur),
+				PipelineMs:  modeledMs(pipeDur),
+			}
+			if pipeDur > 0 {
+				row.Speedup = float64(serialDur) / float64(pipeDur)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// sameVerdicts confirms a pipelined run reproduced the serial baseline
+// exactly: same final state hash, same validation code for every tx.
+func sameVerdicts(serialFP, pipeFP string, serial, pipe [][]blockstore.ValidationCode) error {
+	if serialFP != pipeFP {
+		return fmt.Errorf("state fingerprint mismatch: serial=%s pipeline=%s", serialFP, pipeFP)
+	}
+	if len(serial) != len(pipe) {
+		return fmt.Errorf("block count mismatch: %d vs %d", len(serial), len(pipe))
+	}
+	for n := range serial {
+		if len(serial[n]) != len(pipe[n]) {
+			return fmt.Errorf("block %d code count mismatch", n)
+		}
+		for i := range serial[n] {
+			if serial[n][i] != pipe[n][i] {
+				return fmt.Errorf("block %d tx %d: serial=%s pipeline=%s",
+					n, i, serial[n][i], pipe[n][i])
+			}
+		}
+	}
+	return nil
+}

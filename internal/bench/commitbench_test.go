@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hyperprov/hyperprov/internal/device"
+)
+
+// TestCommitBenchSmoke runs a tiny configuration end to end: every row must
+// carry sane numbers, and the equivalence guard inside RunCommitBench must
+// have passed for every (size, workers) point.
+func TestCommitBenchSmoke(t *testing.T) {
+	cfg := CommitBenchConfig{
+		BlockSizes:  []int{4, 16},
+		Workers:     []int{1, 4},
+		Blocks:      3,
+		WritesPerTx: 2,
+		Profile:     device.XeonE51603,
+		Scale:       0.02,
+		Seed:        1,
+	}
+	res, err := RunCommitBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfg.BlockSizes) * len(cfg.Workers); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if row.SerialTps <= 0 || row.PipelineTps <= 0 || row.Speedup <= 0 {
+			t.Errorf("row %+v has non-positive rates", row)
+		}
+	}
+	if res.Format() == "" {
+		t.Error("empty format")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_commit.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CommitBenchResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(res.Rows) {
+		t.Errorf("round-trip rows = %d, want %d", len(back.Rows), len(res.Rows))
+	}
+}

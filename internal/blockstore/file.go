@@ -119,6 +119,9 @@ func (s *FileStore) GetByHash(h []byte) (*Block, error) { return s.mem.GetByHash
 // GetTx returns the envelope and validation code for a transaction id.
 func (s *FileStore) GetTx(txID string) (*Envelope, ValidationCode, error) { return s.mem.GetTx(txID) }
 
+// Locate returns where a transaction committed.
+func (s *FileStore) Locate(txID string) (TxLocator, bool) { return s.mem.Locate(txID) }
+
 // VerifyChain audits the whole persisted chain.
 func (s *FileStore) VerifyChain() error { return s.mem.VerifyChain() }
 

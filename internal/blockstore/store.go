@@ -108,6 +108,16 @@ func (s *Store) GetByHash(hash []byte) (*Block, error) {
 	return s.blocks[n], nil
 }
 
+// Locate returns where a transaction committed (block number, index, and
+// validation code) without materializing the envelope. The peer uses it to
+// answer listener registrations for transactions that already committed.
+func (s *Store) Locate(txID string) (TxLocator, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.byTxID[txID]
+	return loc, ok
+}
+
 // GetTx returns the envelope and validation code for a transaction id. This
 // backs HyperProv's CheckTxn operator.
 func (s *Store) GetTx(txID string) (*Envelope, ValidationCode, error) {

@@ -1,0 +1,247 @@
+// Package committer implements the peer's block-commit path. It offers two
+// interchangeable engines over the same per-transaction validation logic:
+//
+//   - Serial replays the classic one-goroutine loop: each block's
+//     transactions are signature-checked, MVCC-validated, and applied one
+//     after another. It exists as the reference implementation and as the
+//     baseline the commit benchmark compares against.
+//
+//   - Pipeline is the FastFabric-style three-stage pipeline. Stage 1
+//     (pre-validation) fans endorsement-signature verification and rwset
+//     deserialization across a worker pool; stage 2 (MVCC) walks the block's
+//     transactions in order against committed state plus intra-block writes
+//     and applies one accumulated UpdateBatch; stage 3 (persistence) appends
+//     the block, records history, and notifies listeners while stage 2 is
+//     already validating the next block.
+//
+// Both engines produce identical validation verdicts and identical final
+// state for the same block stream — the equivalence test in this package
+// pins that property.
+package committer
+
+import (
+	"bytes"
+	"runtime"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/historydb"
+	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/rwset"
+	"github.com/hyperprov/hyperprov/internal/statedb"
+)
+
+// PrevalResult is the outcome of stage-1 validation for one transaction:
+// everything that does not depend on world-state versions (rwset parse,
+// creator signature, endorsement policy). RWSet is the deserialized rwset
+// when parsing succeeded, handed to the MVCC stage so the hot path parses
+// each transaction exactly once.
+type PrevalResult struct {
+	Code  blockstore.ValidationCode
+	RWSet *rwset.ReadWriteSet
+}
+
+// Verifier runs stage-1 validation for one transaction. Implementations
+// must be safe for concurrent use: the pipeline calls Prevalidate from many
+// workers at once.
+type Verifier interface {
+	Prevalidate(env *blockstore.Envelope) PrevalResult
+}
+
+// Config assembles a committer over a peer's ledger resources.
+type Config struct {
+	// State is the world-state database updates are applied to.
+	State statedb.StateDB
+	// History records per-key write history; may be nil.
+	History *historydb.DB
+	// Blocks is the append-only block store; its height seeds the
+	// committer's next-expected block number.
+	Blocks *blockstore.Store
+	// Verifier runs stage-1 validation. Required.
+	Verifier Verifier
+	// Workers sizes the pre-validation worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Metrics, when set, receives per-stage latency histograms
+	// (metrics.CommitStage*).
+	Metrics *metrics.Registry
+	// OnAccepted, when set, is called synchronously from Submit after the
+	// height check accepts a block and before it enters the pipeline. The
+	// peer charges modeled block-transfer cost here.
+	OnAccepted func(b *blockstore.Block)
+	// OnCommitted, when set, is called once per committed block, in block
+	// order, after the block and its history are persisted. The peer
+	// publishes chaincode events and commit notifications here.
+	OnCommitted func(b *blockstore.Block)
+}
+
+func (cfg Config) workerCount() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Committer commits an ordered block stream. Submit accepts the next
+// expected block (duplicates and out-of-order deliveries are dropped) and
+// Sync blocks until every accepted block is fully persisted.
+type Committer interface {
+	// Submit offers a block. It reports whether the block was accepted —
+	// false means a duplicate, an out-of-order delivery, a block failing
+	// integrity checks (data hash, previous-hash linkage), or a closed
+	// committer.
+	Submit(b *blockstore.Block) bool
+	// Sync blocks until every block accepted so far is persisted: state,
+	// history, and block store all reflect it and OnCommitted has run.
+	Sync()
+	// Watermark returns the number of fully persisted blocks (the height
+	// queries may safely read at).
+	Watermark() uint64
+	// Close drains in-flight blocks and releases resources. Submit after
+	// Close returns false. Close is idempotent.
+	Close()
+}
+
+// admissible reports whether b is the next expected block AND passes
+// integrity checks: its data hash covers its envelopes and its header
+// chains onto lastHash. Integrity is checked here — before any stage runs —
+// because world state is applied in stage 2, ahead of the stage-3 ledger
+// append: a block the store would reject must never reach the apply step,
+// or state and ledger would silently fork. Rejected blocks do not consume
+// their height, so the genuine block can still commit later (a tampered
+// gossip delivery cannot wedge the peer).
+func admissible(b *blockstore.Block, next uint64, lastHash []byte) bool {
+	if b.Header.Number != next {
+		return false
+	}
+	if next > 0 && !bytes.Equal(b.Header.PreviousHash, lastHash) {
+		return false
+	}
+	return b.VerifyData() == nil
+}
+
+// task carries one block through the stages.
+type task struct {
+	b      *blockstore.Block
+	preval []PrevalResult
+	batch  *statedb.UpdateBatch
+	hist   []historydb.KeyedEntry
+}
+
+// newTask clones the ordered block (peers must not annotate the orderer's
+// copy) and allocates its validation flags.
+func newTask(ordered *blockstore.Block) *task {
+	b := ordered.Clone()
+	b.TxValidation = make([]blockstore.ValidationCode, len(b.Envelopes))
+	return &task{b: b}
+}
+
+// prevalidate runs stage 1 for every transaction of the block, fanning the
+// work across up to `workers` goroutines. Results land at their
+// transaction's index, so downstream stages see block order regardless of
+// which worker finished first.
+func prevalidate(v Verifier, b *blockstore.Block, workers int) []PrevalResult {
+	res := make([]PrevalResult, len(b.Envelopes))
+	if workers > len(b.Envelopes) {
+		workers = len(b.Envelopes)
+	}
+	if workers <= 1 {
+		for i := range b.Envelopes {
+			res[i] = v.Prevalidate(&b.Envelopes[i])
+		}
+		return res
+	}
+	// Striped assignment: worker w takes txs w, w+workers, w+2*workers, …
+	// Static striping avoids a shared counter; per-tx cost is dominated by
+	// signature verification, which is uniform enough that stripes balance.
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := w; i < len(b.Envelopes); i += workers {
+				res[i] = v.Prevalidate(&b.Envelopes[i])
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return res
+}
+
+// mvccFinalize runs stage 2's sequential walk: it settles each
+// transaction's final validation code (pre-validated transactions can still
+// lose an MVCC conflict), and accumulates one state UpdateBatch plus the
+// block's history entries. It reads state versions but does not apply the
+// batch — the caller does, so Serial and Pipeline share identical
+// semantics.
+func mvccFinalize(state statedb.StateDB, t *task) {
+	b := t.b
+	t.batch = statedb.NewUpdateBatch()
+	blockWrites := make(map[string]bool)
+	for i := range b.Envelopes {
+		env := &b.Envelopes[i]
+		pr := t.preval[i]
+		code := pr.Code
+		if code == blockstore.TxValid {
+			if err := rwset.Validate(pr.RWSet, state, blockWrites); err != nil {
+				code = blockstore.TxMVCCConflict
+			}
+		}
+		b.TxValidation[i] = code
+		if code != blockstore.TxValid {
+			continue
+		}
+		ver := statedb.Version{BlockNum: b.Header.Number, TxNum: uint64(i)}
+		for _, w := range pr.RWSet.Writes {
+			blockWrites[w.Key] = true
+			if w.IsDelete {
+				t.batch.Delete(w.Key, ver)
+			} else {
+				t.batch.Put(w.Key, w.Value, ver)
+			}
+			t.hist = append(t.hist, historydb.KeyedEntry{Key: w.Key, Entry: historydb.Entry{
+				TxID:      env.TxID,
+				BlockNum:  b.Header.Number,
+				TxNum:     uint64(i),
+				Value:     w.Value,
+				IsDelete:  w.IsDelete,
+				Timestamp: env.Timestamp,
+			}})
+		}
+	}
+}
+
+// applyState applies the block's accumulated batch at the block's commit
+// height. A height regression (replayed block against restored state) is
+// reported so the block is dropped rather than persisted twice.
+func applyState(state statedb.StateDB, t *task) error {
+	height := statedb.Version{
+		BlockNum: t.b.Header.Number,
+		TxNum:    uint64(len(t.b.Envelopes)),
+	}
+	return state.ApplyUpdates(t.batch, height)
+}
+
+// persist runs stage 3 for one block: history entries, block-store append,
+// and the committed callback. Admission already checked sequence, linkage,
+// and data integrity, so Append cannot fail here short of a programming
+// error; the guard stays so a bug surfaces as a missing commit callback
+// rather than a corrupted store.
+func persist(cfg Config, t *task) {
+	if cfg.History != nil {
+		cfg.History.RecordBatch(t.hist)
+	}
+	if err := cfg.Blocks.Append(t.b); err != nil {
+		return
+	}
+	if cfg.OnCommitted != nil {
+		cfg.OnCommitted(t.b)
+	}
+}
+
+// observe records one stage-latency sample when metrics are configured.
+func observe(reg *metrics.Registry, name string, since time.Time) {
+	if reg != nil {
+		reg.Histogram(name).Observe(time.Since(since))
+	}
+}

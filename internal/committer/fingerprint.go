@@ -1,0 +1,39 @@
+package committer
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"github.com/hyperprov/hyperprov/internal/statedb"
+)
+
+// StateFingerprint returns a deterministic hash over a state database's
+// live keys, values, and versions. Two stores that committed the same block
+// stream — through any committer engine — have equal fingerprints; the
+// equivalence test and the commit benchmark both lean on this.
+func StateFingerprint(s statedb.StateDB) string {
+	snap := s.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	var num [8]byte
+	for _, k := range keys {
+		vv := snap[k]
+		binary.BigEndian.PutUint64(num[:], uint64(len(k)))
+		h.Write(num[:])
+		h.Write([]byte(k))
+		binary.BigEndian.PutUint64(num[:], uint64(len(vv.Value)))
+		h.Write(num[:])
+		h.Write(vv.Value)
+		binary.BigEndian.PutUint64(num[:], vv.Version.BlockNum)
+		h.Write(num[:])
+		binary.BigEndian.PutUint64(num[:], vv.Version.TxNum)
+		h.Write(num[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

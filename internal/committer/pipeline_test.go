@@ -1,0 +1,195 @@
+package committer
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+)
+
+// TestPipelineDedupAndOrdering: duplicate and out-of-order submissions are
+// dropped, concurrent submitters (ordering stream vs gossip) commit each
+// height exactly once.
+func TestPipelineDedupAndOrdering(t *testing.T) {
+	f := newTxFactory(t)
+	stream := buildStream(t, f)
+	l := newLedger()
+	pipe := New(l.config(f, 2))
+	defer pipe.Close()
+
+	// Out-of-order: block 1 before block 0.
+	if pipe.Submit(stream[1]) {
+		t.Fatal("accepted out-of-order block")
+	}
+	// Two goroutines race the same stream; every height must commit once.
+	var wg sync.WaitGroup
+	accepted := make([]int, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, b := range stream {
+				if pipe.Submit(b) {
+					accepted[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	pipe.Sync()
+	if got := accepted[0] + accepted[1]; got != len(stream) {
+		t.Errorf("accepted %d blocks total, want %d", got, len(stream))
+	}
+	if h := l.blocks.Height(); h != uint64(len(stream)) {
+		t.Errorf("height = %d, want %d", h, len(stream))
+	}
+	if w := pipe.Watermark(); w != uint64(len(stream)) {
+		t.Errorf("watermark = %d, want %d", w, len(stream))
+	}
+	// Replays of already-committed heights are dropped.
+	if pipe.Submit(stream[0]) {
+		t.Error("accepted replayed block")
+	}
+}
+
+// TestPipelineSyncWatermark: after Submit returns the block may not be
+// persisted yet, but after Sync it must be — state, history, and block
+// store all reflect it.
+func TestPipelineSyncWatermark(t *testing.T) {
+	f := newTxFactory(t)
+	stream := buildStream(t, f)
+	l := newLedger()
+	pipe := New(l.config(f, 2))
+	defer pipe.Close()
+	for _, b := range stream {
+		pipe.Submit(b)
+	}
+	pipe.Sync()
+	if h := l.blocks.Height(); h != uint64(len(stream)) {
+		t.Fatalf("height after Sync = %d, want %d", h, len(stream))
+	}
+	if n := l.history.Versions("a"); n != 2 { // write in block 0, delete in block 5
+		t.Errorf("history versions of a = %d, want 2", n)
+	}
+}
+
+// TestPipelineCloseIdempotent: Close drains in-flight work, is callable
+// twice, and Submit afterwards is rejected.
+func TestPipelineCloseIdempotent(t *testing.T) {
+	f := newTxFactory(t)
+	stream := buildStream(t, f)
+	l := newLedger()
+	pipe := New(l.config(f, 2))
+	for _, b := range stream {
+		pipe.Submit(b)
+	}
+	pipe.Close()
+	pipe.Close()
+	if h := l.blocks.Height(); h != uint64(len(stream)) {
+		t.Errorf("height after Close = %d, want %d", h, len(stream))
+	}
+	if pipe.Submit(stream[0]) {
+		t.Error("Submit accepted after Close")
+	}
+	pipe.Sync() // must not hang or panic on a closed pipeline
+}
+
+// TestTamperedBlocksRejectedAtAdmission: a block whose data hash or
+// previous-hash linkage fails is rejected before any stage runs — state is
+// untouched, the height is not consumed, and the genuine block at that
+// height still commits afterwards (a byzantine gossip delivery cannot fork
+// state from the ledger or wedge the peer).
+func TestTamperedBlocksRejectedAtAdmission(t *testing.T) {
+	f := newTxFactory(t)
+	stream := buildStream(t, f)
+	for _, eng := range []struct {
+		name string
+		mk   func(*ledger) Committer
+	}{
+		{"serial", func(l *ledger) Committer { return NewSerial(l.config(f, 1)) }},
+		{"pipeline", func(l *ledger) Committer { return New(l.config(f, 4)) }},
+	} {
+		t.Run(eng.name, func(t *testing.T) {
+			l := newLedger()
+			c := eng.mk(l)
+			defer c.Close()
+			c.Submit(stream[0])
+			c.Sync()
+			before := StateFingerprint(l.state)
+
+			// Tampered data: envelope swapped after the header was built.
+			tampered := stream[1].Clone()
+			tampered.Envelopes[0] = stream[2].Envelopes[0]
+			if c.Submit(tampered) {
+				t.Fatal("accepted block with broken data hash")
+			}
+			// Tampered linkage: valid data hash, wrong previous hash.
+			badPrev, err := blockstore.NewBlock(1, []byte("bogus"), stream[1].Envelopes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Submit(badPrev) {
+				t.Fatal("accepted block with broken previous-hash linkage")
+			}
+			c.Sync()
+			if got := StateFingerprint(l.state); got != before {
+				t.Error("rejected block mutated state")
+			}
+			// The genuine block at the same height still commits.
+			if !c.Submit(stream[1]) {
+				t.Fatal("genuine block rejected after tampered delivery")
+			}
+			c.Sync()
+			if h := l.blocks.Height(); h != 2 {
+				t.Errorf("height = %d, want 2", h)
+			}
+		})
+	}
+}
+
+// TestPipelineEmptyAndAllInvalidBlocks: an empty block and a block whose
+// every transaction fails validation both advance the chain without
+// touching state.
+func TestPipelineEmptyAndAllInvalidBlocks(t *testing.T) {
+	f := newTxFactory(t)
+	l := newLedger()
+	pipe := New(l.config(f, 2))
+	defer pipe.Close()
+
+	empty, err := blockstore.NewBlock(0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Submit(empty)
+	pipe.Sync()
+	before := StateFingerprint(l.state)
+
+	bad := f.envelope(f.txID(), writeSet("x"), nil)
+	bad.Function = "tampered"
+	noEnd := f.envelope(f.txID(), writeSet("y"), func(env *blockstore.Envelope) {
+		env.Endorsements = nil
+	})
+	invalid, err := blockstore.NewBlock(1, empty.Header.Hash(),
+		[]blockstore.Envelope{bad, noEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Submit(invalid)
+	pipe.Sync()
+
+	if h := l.blocks.Height(); h != 2 {
+		t.Fatalf("height = %d, want 2", h)
+	}
+	if after := StateFingerprint(l.state); after != before {
+		t.Error("all-invalid block mutated state")
+	}
+	b, err := l.blocks.GetByNumber(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range b.TxValidation {
+		if c == blockstore.TxValid {
+			t.Errorf("tx %d marked valid in all-invalid block", i)
+		}
+	}
+}

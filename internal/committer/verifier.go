@@ -1,0 +1,87 @@
+package committer
+
+import (
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/device"
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/rwset"
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// PolicyFunc resolves a chaincode name to its endorsement policy. ok is
+// false for unknown chaincodes. Implementations must be safe for
+// concurrent use.
+type PolicyFunc func(chaincode string) (endorser.Policy, bool)
+
+// EnvelopeVerifier is the stage-1 validator: rwset syntax, creator
+// signature, and endorsement policy — every check that does not depend on
+// world-state versions and therefore parallelizes across a block's
+// transactions. It is safe for concurrent use; the peer plugs one into its
+// commit pipeline, and the benchmark drives one directly.
+type EnvelopeVerifier struct {
+	// MSP resolves and verifies creator and endorser identities.
+	MSP *identity.MSP
+	// Policy resolves chaincode endorsement policies.
+	Policy PolicyFunc
+	// Exec, when set, charges the modeled per-operation hardware cost
+	// (signature verifications and the fixed per-transaction commit
+	// overhead). The executor's core semaphore is what lets parallel
+	// workers model — and on real hardware, use — multiple cores.
+	Exec *device.Executor
+}
+
+var _ Verifier = (*EnvelopeVerifier)(nil)
+
+// Prevalidate runs the version-independent validation pipeline for one
+// transaction.
+func (v *EnvelopeVerifier) Prevalidate(env *blockstore.Envelope) PrevalResult {
+	code, rws := v.prevalidate(env)
+	if v.Exec != nil {
+		v.Exec.Commit() // fixed per-tx commit cost, charged where the work runs
+	}
+	return PrevalResult{Code: code, RWSet: rws}
+}
+
+func (v *EnvelopeVerifier) prevalidate(env *blockstore.Envelope) (blockstore.ValidationCode, *rwset.ReadWriteSet) {
+	// 1. Syntax: the rwset must parse.
+	rws, err := rwset.Unmarshal(env.RWSet)
+	if err != nil {
+		return blockstore.TxMalformed, nil
+	}
+	// 2. Creator signature.
+	clientID, err := v.MSP.Deserialize(env.Creator)
+	if err != nil {
+		return blockstore.TxBadSignature, rws
+	}
+	if v.Exec != nil {
+		v.Exec.Verify()
+	}
+	if err := clientID.Verify(env.SignedBytes(), env.Signature); err != nil {
+		return blockstore.TxBadSignature, rws
+	}
+	// 3. Endorsement policy (VSCC).
+	policy, ok := v.Policy(env.Chaincode)
+	if !ok {
+		return blockstore.TxMalformed, rws
+	}
+	resps := make([]*endorser.Response, len(env.Endorsements))
+	for j, e := range env.Endorsements {
+		resps[j] = &endorser.Response{
+			TxID:      env.TxID,
+			Status:    shim.OK,
+			Payload:   env.Response,
+			RWSet:     env.RWSet,
+			Events:    env.Events,
+			Endorser:  e.Endorser,
+			Signature: e.Signature,
+		}
+		if v.Exec != nil {
+			v.Exec.Verify()
+		}
+	}
+	if err := endorser.CheckEndorsements(policy, v.MSP, resps); err != nil {
+		return blockstore.TxEndorsementPolicyFailure, rws
+	}
+	return blockstore.TxValid, rws
+}

@@ -176,29 +176,51 @@ func MajorityOrgs(orgs []string) Policy {
 	return OutOf(len(orgs)/2+1, subs...)
 }
 
-// CheckEndorsements verifies every endorsement signature and evaluates the
-// policy over the endorsing orgs. It also checks that all endorsements
-// agree on the rwset digest (divergent simulation means a non-deterministic
-// chaincode or a byzantine peer).
-func CheckEndorsements(policy Policy, msp *identity.MSP, responses []*Response) error {
+// Digest returns the hex digest binding the response's simulated effect
+// (rwset plus payload). All correct endorsers of one proposal produce the
+// same digest.
+func (r *Response) Digest() string {
+	sum := sha256.Sum256(append(append([]byte{}, r.RWSet...), r.Payload...))
+	return hex.EncodeToString(sum[:])
+}
+
+// VerifyEndorsements verifies every endorsement signature and checks that
+// all endorsements agree on the rwset digest (divergent simulation means a
+// non-deterministic chaincode or a byzantine peer). It returns the MSP IDs
+// of the endorsing orgs, in response order.
+//
+// The function touches no shared mutable state beyond the MSP's internal
+// read-locking, so the committing peer's pre-validation stage may call it
+// for many transactions concurrently.
+func VerifyEndorsements(msp *identity.MSP, responses []*Response) ([]string, error) {
 	if len(responses) == 0 {
-		return fmt.Errorf("%w: no endorsements", ErrPolicyNotSatisfied)
+		return nil, fmt.Errorf("%w: no endorsements", ErrPolicyNotSatisfied)
 	}
-	var orgs []string
+	orgs := make([]string, 0, len(responses))
 	var digest string
 	for i, r := range responses {
 		id, err := r.Verify(msp)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		sum := sha256.Sum256(append(append([]byte{}, r.RWSet...), r.Payload...))
-		d := hex.EncodeToString(sum[:])
+		d := r.Digest()
 		if i == 0 {
 			digest = d
 		} else if d != digest {
-			return ErrResponseMismatch
+			return nil, ErrResponseMismatch
 		}
 		orgs = append(orgs, id.MSPID())
+	}
+	return orgs, nil
+}
+
+// CheckEndorsements verifies every endorsement signature and evaluates the
+// policy over the endorsing orgs. Like VerifyEndorsements it is safe to
+// call concurrently from validation workers.
+func CheckEndorsements(policy Policy, msp *identity.MSP, responses []*Response) error {
+	orgs, err := VerifyEndorsements(msp, responses)
+	if err != nil {
+		return err
 	}
 	if !policy.Evaluate(orgs) {
 		return fmt.Errorf("%w: have %v, need %s", ErrPolicyNotSatisfied, orgs, policy)

@@ -40,6 +40,30 @@ func (db *DB) Record(key string, e Entry) {
 	db.entries[key] = append(db.entries[key], e)
 }
 
+// KeyedEntry pairs a state key with one history entry, for batch recording.
+type KeyedEntry struct {
+	Key   string
+	Entry Entry
+}
+
+// RecordBatch appends every entry under a single lock acquisition — the
+// commit pipeline records one batch per block instead of locking per write.
+// Entries must be in commit order. Values are copied.
+func (db *DB) RecordBatch(recs []KeyedEntry) {
+	if len(recs) == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, r := range recs {
+		e := r.Entry
+		val := make([]byte, len(e.Value))
+		copy(val, e.Value)
+		e.Value = val
+		db.entries[r.Key] = append(db.entries[r.Key], e)
+	}
+}
+
 // History returns key's history oldest-first. The returned slice is a copy.
 func (db *DB) History(key string) []Entry {
 	db.mu.RLock()

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing counter.
@@ -31,15 +32,67 @@ func (c *Counter) Add(delta int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Registry is a named set of counters.
+// Histogram records duration observations and reports summary statistics.
+// It is safe for concurrent use. The commit pipeline uses one histogram per
+// stage, so an operator can see where commit latency accumulates.
+type Histogram struct {
+	mu    sync.Mutex
+	count int64
+	sum   time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration sample. Negative durations are ignored.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// HistogramSummary is a snapshot of one histogram's statistics.
+type HistogramSummary struct {
+	Count int64
+	Sum   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+}
+
+// Summary returns the histogram's current statistics.
+func (h *Histogram) Summary() HistogramSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSummary{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / time.Duration(h.count)
+	}
+	return s
+}
+
+// Registry is a named set of counters and histograms.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter)}
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+	}
 }
 
 // Counter returns the counter with the given name, creating it on first
@@ -53,6 +106,36 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSummaries returns the current summary of every histogram.
+func (r *Registry) HistogramSummaries() map[string]HistogramSummary {
+	r.mu.Lock()
+	hs := make([]*Histogram, 0, len(r.histograms))
+	names := make([]string, 0, len(r.histograms))
+	for name, h := range r.histograms {
+		names = append(names, name)
+		hs = append(hs, h)
+	}
+	r.mu.Unlock()
+	out := make(map[string]HistogramSummary, len(hs))
+	for i, h := range hs {
+		out[names[i]] = h.Summary()
+	}
+	return out
 }
 
 // Snapshot returns the current value of every counter.
@@ -78,6 +161,17 @@ func (r *Registry) Format() string {
 	for _, name := range names {
 		fmt.Fprintf(&sb, "%s %d\n", name, snap[name])
 	}
+	sums := r.HistogramSummaries()
+	hnames := make([]string, 0, len(sums))
+	for name := range sums {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		s := sums[name]
+		fmt.Fprintf(&sb, "%s_count %d\n%s_sum_ns %d\n%s_mean_ns %d\n",
+			name, s.Count, name, s.Sum.Nanoseconds(), name, s.Mean.Nanoseconds())
+	}
 	return sb.String()
 }
 
@@ -92,4 +186,12 @@ const (
 	BatchesCut         = "batches_cut"
 	EnvelopesOrdered   = "envelopes_ordered"
 	GossipBlocksPulled = "gossip_blocks_pulled"
+)
+
+// Well-known histogram names: per-block latency of each commit-pipeline
+// stage.
+const (
+	CommitStagePreval  = "commit_stage_preval"
+	CommitStageMVCC    = "commit_stage_mvcc"
+	CommitStagePersist = "commit_stage_persist"
 )

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestCounterBasics(t *testing.T) {
@@ -59,6 +60,46 @@ func TestFormatSorted(t *testing.T) {
 	}
 	if strings.Index(out, "alpha") > strings.Index(out, "zebra") {
 		t.Error("format not sorted")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(CommitStagePreval)
+	if h != r.Histogram(CommitStagePreval) {
+		t.Error("Histogram returned distinct instances for one name")
+	}
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	h.Observe(-time.Millisecond) // ignored
+	s := h.Summary()
+	if s.Count != 2 || s.Sum != 6*time.Millisecond ||
+		s.Min != 2*time.Millisecond || s.Max != 4*time.Millisecond ||
+		s.Mean != 3*time.Millisecond {
+		t.Errorf("summary = %+v", s)
+	}
+	out := r.Format()
+	if !strings.Contains(out, CommitStagePreval+"_count 2") {
+		t.Errorf("format lacks histogram lines: %q", out)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Summary(); s.Count != workers*each {
+		t.Errorf("count = %d, want %d", s.Count, workers*each)
 	}
 }
 

@@ -1,0 +1,147 @@
+package peer
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
+	"github.com/hyperprov/hyperprov/internal/metrics"
+)
+
+// Edge-case coverage for the pipelined commit path: empty blocks,
+// all-invalid blocks, duplicate txIDs inside one block, and listeners that
+// register after the transaction already committed.
+
+func TestCommitEmptyBlock(t *testing.T) {
+	f := newFixture(t)
+	f.commitEnvs() // block 0 with zero transactions
+	if h := f.peer.Height(); h != 1 {
+		t.Fatalf("height = %d, want 1", h)
+	}
+	if w := f.peer.Watermark(); w != 1 {
+		t.Fatalf("watermark = %d, want 1", w)
+	}
+	if got := f.peer.Metrics().Counter(metrics.BlocksCommitted).Value(); got != 1 {
+		t.Errorf("blocks_committed = %d, want 1", got)
+	}
+	if err := f.peer.Ledger().VerifyChain(); err != nil {
+		t.Errorf("VerifyChain: %v", err)
+	}
+}
+
+func TestCommitAllInvalidBlock(t *testing.T) {
+	f := newFixture(t)
+	prop := f.propose(InitFunction)
+	resp, err := f.peer.ProcessProposal(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := f.envelopeFor(prop, resp)
+	env.Function = "tampered-after-signing" // breaks the creator signature
+	b := f.commitEnvs(env)
+
+	if h := f.peer.Height(); h != 1 {
+		t.Fatalf("height = %d, want 1", h)
+	}
+	got, err := f.peer.Ledger().GetByNumber(b.Header.Number)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TxValidation[0] != blockstore.TxBadSignature {
+		t.Errorf("code = %s, want BAD_SIGNATURE", got.TxValidation[0])
+	}
+	if n := f.peer.Metrics().Counter(metrics.TxInvalidated).Value(); n != 1 {
+		t.Errorf("tx_invalidated = %d, want 1", n)
+	}
+	if n := f.peer.Metrics().Counter(metrics.TxValidated).Value(); n != 0 {
+		t.Errorf("tx_validated = %d, want 0", n)
+	}
+}
+
+func TestDuplicateTxIDWithinBlock(t *testing.T) {
+	f := newFixture(t)
+	propInit := f.propose(InitFunction)
+	respInit, err := f.peer.ProcessProposal(propInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.commitEnvs(f.envelopeFor(propInit, respInit))
+
+	prop := f.propose(provenance.FnSet, `{"key":"dup-key","checksum":"c"}`)
+	resp, err := f.peer.ProcessProposal(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := f.envelopeFor(prop, resp)
+	wait := f.peer.RegisterTxListener(env.TxID)
+	b := f.commitEnvs(env, env) // the same envelope (and txID) twice
+
+	got, err := f.peer.Ledger().GetByNumber(b.Header.Number)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first copy wins; the second loses MVCC against the first's write.
+	if got.TxValidation[0] != blockstore.TxValid {
+		t.Errorf("first copy = %s, want VALID", got.TxValidation[0])
+	}
+	if got.TxValidation[1] != blockstore.TxMVCCConflict {
+		t.Errorf("second copy = %s, want MVCC_READ_CONFLICT", got.TxValidation[1])
+	}
+	// The listener observes exactly one event — the first copy's verdict.
+	select {
+	case ev := <-wait:
+		if ev.Code != blockstore.TxValid {
+			t.Errorf("listener code = %s, want VALID", ev.Code)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no commit event")
+	}
+}
+
+func TestListenerRegisteredAfterCommit(t *testing.T) {
+	f := newFixture(t)
+	prop := f.propose(InitFunction)
+	resp, err := f.peer.ProcessProposal(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := f.envelopeFor(prop, resp)
+	f.commitEnvs(env)
+
+	// Registration after commit must deliver the event immediately rather
+	// than hang forever (the pre-pipeline behavior).
+	select {
+	case ev := <-f.peer.RegisterTxListener(env.TxID):
+		if ev.Code != blockstore.TxValid || ev.BlockNum != 0 {
+			t.Errorf("event = %+v, want VALID at block 0", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("late listener never notified")
+	}
+}
+
+// TestNotifyCommitNonBlocking pins the drop-or-log contract: a listener
+// whose 1-slot buffer is already full must not stall delivery.
+func TestNotifyCommitNonBlocking(t *testing.T) {
+	f := newFixture(t)
+	ch := make(chan CommitEvent, 1)
+	ch <- CommitEvent{TxID: "stale"} // fill the buffer
+	f.peer.listenMu.Lock()
+	f.peer.txListeners["tx-full"] = []chan CommitEvent{ch}
+	f.peer.listenMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		f.peer.notifyCommit(CommitEvent{TxID: "tx-full", Code: blockstore.TxValid})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("notifyCommit blocked on a full listener channel")
+	}
+	if ev := <-ch; ev.TxID != "stale" {
+		t.Errorf("buffered event = %+v, want the pre-existing one", ev)
+	}
+}

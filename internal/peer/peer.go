@@ -14,13 +14,13 @@ import (
 	"time"
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/committer"
 	"github.com/hyperprov/hyperprov/internal/device"
 	"github.com/hyperprov/hyperprov/internal/endorser"
 	"github.com/hyperprov/hyperprov/internal/historydb"
 	"github.com/hyperprov/hyperprov/internal/identity"
 	"github.com/hyperprov/hyperprov/internal/metrics"
 	"github.com/hyperprov/hyperprov/internal/richquery"
-	"github.com/hyperprov/hyperprov/internal/rwset"
 	"github.com/hyperprov/hyperprov/internal/shim"
 	"github.com/hyperprov/hyperprov/internal/statedb"
 )
@@ -61,6 +61,9 @@ type Config struct {
 	Executor *device.Executor
 	// ChannelID names the single channel this peer joins.
 	ChannelID string
+	// CommitWorkers sizes the commit pipeline's pre-validation worker
+	// pool; 0 means one worker per available CPU.
+	CommitWorkers int
 }
 
 // Peer is one endorsing/committing node.
@@ -84,10 +87,11 @@ type Peer struct {
 	events  eventHub
 	metrics *metrics.Registry
 
-	// commitMu serializes block commits: the ordered stream and gossip
-	// deliveries may race, and validation must run against the state as of
-	// exactly the previous block.
-	commitMu sync.Mutex
+	// committer runs the pipelined commit path: parallel pre-validation,
+	// sequential MVCC + state apply, async persistence. It owns block
+	// deduplication, so racing deliveries from the ordered stream and
+	// gossip commit each height exactly once, in order.
+	committer *committer.Pipeline
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -104,7 +108,7 @@ func New(cfg Config) *Peer {
 	if err != nil { // unreachable: no definitions yet
 		panic(err)
 	}
-	return &Peer{
+	p := &Peer{
 		name:        cfg.Name,
 		channelID:   cfg.ChannelID,
 		signer:      cfg.Signer,
@@ -119,6 +123,35 @@ func New(cfg Config) *Peer {
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	p.committer = committer.New(committer.Config{
+		State:   p.state,
+		History: p.history,
+		Blocks:  p.blocks,
+		Verifier: &committer.EnvelopeVerifier{
+			MSP:    p.msp,
+			Policy: p.policyFor,
+			Exec:   p.exec,
+		},
+		Workers: cfg.CommitWorkers,
+		Metrics: p.metrics,
+		OnAccepted: func(b *blockstore.Block) {
+			if p.exec != nil {
+				p.exec.Transfer(blockWireSize(b)) // block dissemination
+			}
+		},
+		OnCommitted: p.onBlockCommitted,
+	})
+	return p
+}
+
+// policyFor resolves an installed chaincode's endorsement policy for the
+// commit pipeline's validation workers.
+func (p *Peer) policyFor(chaincode string) (endorser.Policy, bool) {
+	icc, err := p.chaincode(chaincode)
+	if err != nil {
+		return nil, false
+	}
+	return icc.policy, true
 }
 
 // Name returns the peer's name.
@@ -306,8 +339,11 @@ func (p *Peer) ProcessProposal(prop *endorser.Proposal) (resp *endorser.Response
 
 // Query runs a read-only chaincode invocation against committed state
 // without recording or committing anything (HyperProv's Get path:
-// "lightweight retrieval of provenance data").
+// "lightweight retrieval of provenance data"). It first waits for the
+// commit pipeline's persistence watermark, so a query never observes state
+// from a block whose ledger append and history are still in flight.
 func (p *Peer) Query(chaincode, fn string, args [][]byte, creator []byte) (shim.Response, error) {
+	p.committer.Sync()
 	icc, err := p.chaincode(chaincode)
 	if err != nil {
 		return shim.Response{}, err
@@ -330,26 +366,66 @@ func (p *Peer) Query(chaincode, fn string, args [][]byte, creator []byte) (shim.
 }
 
 // RegisterTxListener returns a channel that receives exactly one
-// CommitEvent when txID commits. Register before submitting to ordering.
+// CommitEvent when txID commits. If the transaction already committed, the
+// event is delivered immediately, so registering after commit (a client
+// reconnecting mid-flight) does not hang forever.
 func (p *Peer) RegisterTxListener(txID string) <-chan CommitEvent {
 	ch := make(chan CommitEvent, 1)
+	if loc, ok := p.blocks.Locate(txID); ok {
+		ch <- CommitEvent{TxID: txID, BlockNum: loc.BlockNum, Code: loc.Code}
+		return ch
+	}
 	p.listenMu.Lock()
 	p.txListeners[txID] = append(p.txListeners[txID], ch)
 	p.listenMu.Unlock()
+	// The commit pipeline may have persisted the block between the lookup
+	// and the registration; re-check and self-deliver if notify raced past.
+	if loc, ok := p.blocks.Locate(txID); ok && p.removeListener(txID, ch) {
+		ch <- CommitEvent{TxID: txID, BlockNum: loc.BlockNum, Code: loc.Code}
+	}
 	return ch
 }
 
+// removeListener detaches one registered channel; it reports false when the
+// channel was already consumed (and notified) by notifyCommit.
+func (p *Peer) removeListener(txID string, ch chan CommitEvent) bool {
+	p.listenMu.Lock()
+	defer p.listenMu.Unlock()
+	chans := p.txListeners[txID]
+	for i, c := range chans {
+		if c == ch {
+			chans = append(chans[:i], chans[i+1:]...)
+			if len(chans) == 0 {
+				delete(p.txListeners, txID)
+			} else {
+				p.txListeners[txID] = chans
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// notifyCommit delivers a commit event to the transaction's listeners.
+// Delivery is non-blocking: a listener whose buffer is already full has its
+// event dropped, so a slow consumer can never stall the commit pipeline's
+// persistence stage.
 func (p *Peer) notifyCommit(ev CommitEvent) {
 	p.listenMu.Lock()
 	chans := p.txListeners[ev.TxID]
 	delete(p.txListeners, ev.TxID)
 	p.listenMu.Unlock()
 	for _, ch := range chans {
-		ch <- ev
+		select {
+		case ch <- ev:
+		default: // slow listener: drop rather than stall commits
+		}
 	}
 }
 
 // Start attaches the peer to an ordered block stream and begins committing.
+// Blocks are handed to the commit pipeline without waiting for persistence,
+// so block N's ledger append overlaps block N+1's validation.
 func (p *Peer) Start(blocks <-chan *blockstore.Block) {
 	p.started = true
 	go func() {
@@ -360,7 +436,7 @@ func (p *Peer) Start(blocks <-chan *blockstore.Block) {
 				if !ok {
 					return
 				}
-				p.CommitBlock(b)
+				p.committer.Submit(b)
 			case <-p.stop:
 				return
 			}
@@ -368,14 +444,24 @@ func (p *Peer) Start(blocks <-chan *blockstore.Block) {
 	}()
 }
 
-// Stop detaches the peer from the block stream and closes event streams.
+// Stop detaches the peer from the block stream, drains the commit
+// pipeline, and closes event streams.
 func (p *Peer) Stop() {
 	p.stopOnce.Do(func() { close(p.stop) })
 	if p.started {
 		<-p.done
 	}
+	p.committer.Close()
 	p.events.close()
 }
+
+// Sync blocks until every block accepted by the commit pipeline is fully
+// persisted (state, history, block store, and commit notifications).
+func (p *Peer) Sync() { p.committer.Sync() }
+
+// Watermark returns the number of fully persisted blocks — the height up
+// to which queries are guaranteed to read committed-only data.
+func (p *Peer) Watermark() uint64 { return p.committer.Watermark() }
 
 // blockWireSize approximates a block's dissemination transfer size.
 func blockWireSize(b *blockstore.Block) int {
@@ -389,77 +475,20 @@ func blockWireSize(b *blockstore.Block) int {
 	return n
 }
 
-// CommitBlock validates every transaction in the block and commits the
-// valid ones. It is exported for single-stepped tests; Start drives it in
+// CommitBlock validates every transaction in the block, commits the valid
+// ones, and waits for persistence. It is exported for single-stepped tests
+// and gossip delivery; Start feeds the pipeline asynchronously in
 // production.
 func (p *Peer) CommitBlock(ordered *blockstore.Block) {
-	p.commitMu.Lock()
-	defer p.commitMu.Unlock()
-	// Deliveries may arrive from both the ordering service and gossip;
-	// commit each height exactly once, in order.
-	if ordered.Header.Number != p.blocks.Height() {
-		return
-	}
-	if p.exec != nil {
-		p.exec.Transfer(blockWireSize(ordered)) // block dissemination
-	}
-	b := ordered.Clone()
-	b.TxValidation = make([]blockstore.ValidationCode, len(b.Envelopes))
+	p.committer.Submit(ordered)
+	p.committer.Sync()
+}
 
-	batch := statedb.NewUpdateBatch()
-	blockWrites := make(map[string]bool)
-	type histRec struct {
-		key   string
-		entry historydb.Entry
-	}
-	var hist []histRec
-
-	for i := range b.Envelopes {
-		env := &b.Envelopes[i]
-		code := p.validateTx(env, blockWrites)
-		b.TxValidation[i] = code
-		if p.exec != nil {
-			p.exec.Commit()
-		}
-		if code != blockstore.TxValid {
-			continue
-		}
-		rws, err := rwset.Unmarshal(env.RWSet)
-		if err != nil { // unreachable: validateTx parsed it already
-			b.TxValidation[i] = blockstore.TxMalformed
-			continue
-		}
-		ver := statedb.Version{BlockNum: b.Header.Number, TxNum: uint64(i)}
-		for _, w := range rws.Writes {
-			blockWrites[w.Key] = true
-			if w.IsDelete {
-				batch.Delete(w.Key, ver)
-			} else {
-				batch.Put(w.Key, w.Value, ver)
-			}
-			hist = append(hist, histRec{key: w.Key, entry: historydb.Entry{
-				TxID:      env.TxID,
-				BlockNum:  b.Header.Number,
-				TxNum:     uint64(i),
-				Value:     w.Value,
-				IsDelete:  w.IsDelete,
-				Timestamp: env.Timestamp,
-			}})
-		}
-	}
-
-	height := statedb.Version{BlockNum: b.Header.Number, TxNum: uint64(len(b.Envelopes))}
-	if err := p.state.ApplyUpdates(batch, height); err != nil {
-		// A replayed block (height regression) is ignored: the state
-		// already reflects it. This happens when re-subscribing.
-		return
-	}
-	for _, h := range hist {
-		p.history.Record(h.key, h.entry)
-	}
-	if err := p.blocks.Append(b); err != nil {
-		return
-	}
+// onBlockCommitted runs in the commit pipeline's persistence stage, once
+// per committed block in block order: it bumps the peer's commit counters,
+// publishes chaincode events of valid transactions, and notifies
+// registered transaction listeners.
+func (p *Peer) onBlockCommitted(b *blockstore.Block) {
 	p.metrics.Counter(metrics.BlocksCommitted).Inc()
 	for i := range b.Envelopes {
 		if b.TxValidation[i] == blockstore.TxValid {
@@ -487,52 +516,4 @@ func (p *Peer) BlocksFrom(from uint64) []*blockstore.Block {
 // duplicate deliveries are ignored.
 func (p *Peer) DeliverBlock(b *blockstore.Block) {
 	p.CommitBlock(b)
-}
-
-// validateTx runs the per-transaction validation pipeline.
-func (p *Peer) validateTx(env *blockstore.Envelope, blockWrites map[string]bool) blockstore.ValidationCode {
-	// 1. Syntax: the rwset must parse.
-	rws, err := rwset.Unmarshal(env.RWSet)
-	if err != nil {
-		return blockstore.TxMalformed
-	}
-	// 2. Creator signature.
-	clientID, err := p.msp.Deserialize(env.Creator)
-	if err != nil {
-		return blockstore.TxBadSignature
-	}
-	if p.exec != nil {
-		p.exec.Verify()
-	}
-	if err := clientID.Verify(env.SignedBytes(), env.Signature); err != nil {
-		return blockstore.TxBadSignature
-	}
-	// 3. Endorsement policy (VSCC).
-	icc, err := p.chaincode(env.Chaincode)
-	if err != nil {
-		return blockstore.TxMalformed
-	}
-	resps := make([]*endorser.Response, len(env.Endorsements))
-	for j, e := range env.Endorsements {
-		resps[j] = &endorser.Response{
-			TxID:      env.TxID,
-			Status:    shim.OK,
-			Payload:   env.Response,
-			RWSet:     env.RWSet,
-			Events:    env.Events,
-			Endorser:  e.Endorser,
-			Signature: e.Signature,
-		}
-		if p.exec != nil {
-			p.exec.Verify()
-		}
-	}
-	if err := endorser.CheckEndorsements(icc.policy, p.msp, resps); err != nil {
-		return blockstore.TxEndorsementPolicyFailure
-	}
-	// 4. MVCC.
-	if err := rwset.Validate(rws, p.state, blockWrites); err != nil {
-		return blockstore.TxMVCCConflict
-	}
-	return blockstore.TxValid
 }

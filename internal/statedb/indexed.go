@@ -127,21 +127,25 @@ func (s *IndexedStore) Snapshot() map[string]VersionedValue { return s.store.Sna
 // every declared index incrementally: deleted keys leave the indexes,
 // written keys are (re)indexed from their new JSON document. Composite keys
 // and non-JSON values are never indexed. Index maintenance is atomic with
-// respect to queries (both sides take mu).
+// respect to queries (both sides take mu), and indexes are fed straight
+// from the batch's staged values, so a block's worth of writes is applied
+// without re-reading each key from the store.
 func (s *IndexedStore) ApplyUpdates(batch *UpdateBatch, height Version) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.store.ApplyUpdates(batch, height); err != nil {
 		return err
 	}
-	for _, key := range batch.Keys() {
+	if len(s.indexes) == 0 {
+		return nil
+	}
+	batch.Range(func(key string, value []byte, isDelete bool, _ Version) {
 		if strings.Contains(key, compositeKeySep) {
-			continue
+			return
 		}
-		vv, ok := s.store.Get(key)
 		var doc map[string]any
-		if ok {
-			doc, _ = richquery.DecodeDoc(vv.Value)
+		if !isDelete {
+			doc, _ = richquery.DecodeDoc(value)
 		}
 		for _, ix := range s.indexes {
 			if doc != nil {
@@ -150,7 +154,7 @@ func (s *IndexedStore) ApplyUpdates(batch *UpdateBatch, height Version) error {
 				ix.Delete(key)
 			}
 		}
-	}
+	})
 	return nil
 }
 

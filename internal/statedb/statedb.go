@@ -137,6 +137,16 @@ func (b *UpdateBatch) Keys() []string {
 	return keys
 }
 
+// Range calls f for every staged write (in no particular order) with the
+// staged value, delete flag, and version. It lets batch consumers — the
+// indexed store's secondary-index maintenance, most importantly — apply a
+// whole block's writes without re-reading each key from the store.
+func (b *UpdateBatch) Range(f func(key string, value []byte, isDelete bool, ver Version)) {
+	for key, w := range b.writes {
+		f(key, w.value, w.delete, w.ver)
+	}
+}
+
 // ApplyUpdates applies the batch atomically and records height as the new
 // commit height. Heights must be strictly increasing across calls; this is
 // the ledger invariant that makes peer restarts idempotent.

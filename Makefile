@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-commit
+# Total-coverage floor enforced by `make cover` (ratcheted, not lowered:
+# raise it when coverage grows). Current total at the time of setting: 85.9%.
+COVER_FLOOR ?= 84.0
+
+.PHONY: all fmt fmt-check vet lint build test race bench bench-commit \
+	bench-recovery cover crash-test cross
 
 all: build test
 
@@ -42,3 +47,29 @@ bench:
 
 bench-commit:
 	$(GO) run ./cmd/hyperprov-bench -experiment commit -out BENCH_commit.json
+
+bench-recovery:
+	$(GO) run ./cmd/hyperprov-bench -experiment recovery -recovery-out BENCH_recovery.json
+
+# Crash-recovery torture tests, repeated: the randomized kill points cover
+# different interleavings on every -count iteration.
+crash-test:
+	$(GO) test -count=3 -run 'Torture|Crash|Recover|FileStore' \
+		./internal/recovery/ ./internal/peer/ ./internal/blockstore/
+
+# Cross-compilation for the paper's ARM edge boards; vet runs per arch so
+# size/alignment assumptions surface without qemu.
+cross:
+	GOOS=linux GOARCH=arm GOARM=7 $(GO) build ./...
+	GOOS=linux GOARCH=arm GOARM=7 $(GO) vet ./...
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=linux GOARCH=arm64 $(GO) vet ./...
+
+# Total coverage with an enforced floor; writes cover.out and cover.html.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/... ./...
+	$(GO) tool cover -html=cover.out -o cover.html
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% fell below the floor $(COVER_FLOOR)%"; exit 1; }

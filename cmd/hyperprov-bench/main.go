@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|all [-quick] [-out file]
+//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|recovery|all [-quick] [-out file] [-recovery-out file]
 package main
 
 import (
@@ -18,18 +18,20 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, or all")
+		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, recovery, or all")
 	quick := flag.Bool("quick", false, "use reduced sweep sizes and windows")
 	out := flag.String("out", "BENCH_commit.json",
 		"path the commit experiment writes its JSON result to (empty disables)")
+	recoveryOut := flag.String("recovery-out", "BENCH_recovery.json",
+		"path the recovery experiment writes its JSON result to (empty disables)")
 	flag.Parse()
-	if err := run(*experiment, *quick, *out); err != nil {
+	if err := run(*experiment, *quick, *out, *recoveryOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, quick bool, out string) error {
+func run(experiment string, quick bool, out, recoveryOut string) error {
 	sweep := bench.DefaultSweep()
 	energyCfg := bench.DefaultEnergy()
 	if quick {
@@ -116,6 +118,22 @@ func run(experiment string, quick bool, out string) error {
 				}
 				fmt.Println("wrote", out)
 			}
+		case "recovery":
+			cfg := bench.DefaultRecoveryBench()
+			if quick {
+				cfg = bench.QuickRecoveryBench()
+			}
+			res, err := bench.RunRecoveryBench(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+			if recoveryOut != "" {
+				if err := res.WriteJSON(recoveryOut); err != nil {
+					return err
+				}
+				fmt.Println("wrote", recoveryOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -123,7 +141,7 @@ func run(experiment string, quick bool, out string) error {
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit", "recovery"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+func TestRecoveryBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery bench smoke test skipped in -short")
+	}
+	cfg := QuickRecoveryBench()
+	res, err := RunRecoveryBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.LedgerSizes) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.LedgerSizes))
+	}
+	for _, row := range res.Rows {
+		// The seeded ledger skips a checkpoint exactly at the tip, so the
+		// replay tail is at most one full checkpoint interval.
+		if row.TailBlocks > cfg.CheckpointEvery {
+			t.Errorf("%d blocks: tail %d longer than checkpoint interval %d",
+				row.Blocks, row.TailBlocks, cfg.CheckpointEvery)
+		}
+		if row.CheckpointAge == 0 {
+			t.Errorf("%d blocks: recovered without a checkpoint", row.Blocks)
+		}
+		if row.Speedup <= 0 {
+			t.Errorf("%d blocks: speedup = %v", row.Blocks, row.Speedup)
+		}
+	}
+}

@@ -2,51 +2,112 @@ package blockstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
+)
+
+// ErrCorruptFile is returned when the block file is damaged in a way a
+// crash cannot explain: an unparseable line with more data after it, or a
+// parseable block that breaks the hash chain. A crash during append can only
+// tear the final line; anything else is bit rot or tampering and must not be
+// silently truncated away.
+var ErrCorruptFile = errors.New("blockstore: block file corrupt")
+
+// SyncPolicy selects when the FileStore forces appended blocks to stable
+// storage (fsync).
+type SyncPolicy int
+
+const (
+	// SyncOnClose flushes the userspace buffer on every append but fsyncs
+	// only on explicit Sync and on Close. An OS crash can lose the most
+	// recent blocks; a process crash cannot. This is the throughput-friendly
+	// default for modeled networks and tests.
+	SyncOnClose SyncPolicy = iota
+	// SyncEachAppend fsyncs after every appended block, bounding loss on
+	// power failure to the block being written — the policy for durable
+	// edge peers, where pulling the plug is a routine event.
+	SyncEachAppend
 )
 
 // FileStore is a block store backed by an append-only file of JSON-encoded
 // blocks (one per line), giving a peer's ledger copy durability across
 // restarts — the role of Fabric's block files on each peer's disk.
 type FileStore struct {
-	mu   sync.Mutex
-	mem  *Store
-	f    *os.File
-	w    *bufio.Writer
-	path string
+	mu     sync.Mutex
+	mem    *Store
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	policy SyncPolicy
 }
 
-// OpenFileStore opens (or creates) the block file at path and loads all
-// existing blocks, re-verifying the hash chain as it goes. A truncated
-// final line (crash during append) is discarded.
+// OpenFileStore opens (or creates) the block file at path with the default
+// SyncOnClose policy. See OpenFileStoreWithPolicy.
 func OpenFileStore(path string) (*FileStore, error) {
+	return OpenFileStoreWithPolicy(path, SyncOnClose)
+}
+
+// OpenFileStoreWithPolicy opens (or creates) the block file at path and
+// loads all existing blocks, re-verifying the hash chain as it goes. A
+// truncated final line (crash during append) is discarded so the store
+// recovers to the last durable block; a damaged line anywhere before the
+// final one — or a final line that parses but breaks the chain — is
+// corruption and fails the open with ErrCorruptFile.
+func OpenFileStoreWithPolicy(path string, policy SyncPolicy) (*FileStore, error) {
 	mem := NewStore()
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("blockstore: open %s: %w", path, err)
 	}
-	validBytes := int64(0)
-	scanner := bufio.NewScanner(f)
-	scanner.Buffer(make([]byte, 1<<20), 128<<20)
-	for scanner.Scan() {
-		line := scanner.Bytes()
+	// The store mirrors every block in memory anyway, so loading the raw
+	// bytes up front costs nothing extra and gives exact byte offsets —
+	// Truncate below must never extend the file (a crash that tears only
+	// the final newline would otherwise grow it by a junk byte).
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("blockstore: read %s: %w", path, err)
+	}
+	validBytes := int64(0) // bytes of fully terminated, committed lines
+	needNewline := false   // last line was valid but its newline was torn
+	for off := 0; off < len(raw); {
+		line := raw[off:]
+		terminated := false
+		if i := bytes.IndexByte(line, '\n'); i >= 0 {
+			line, terminated = line[:i], true
+		}
 		var b Block
 		if err := json.Unmarshal(line, &b); err != nil {
-			break // truncated or corrupt tail: keep the valid prefix
+			// Only a torn final line (crash mid-append) may fail to parse.
+			// Anything after it — or a blank line, which appends never
+			// produce — means a damaged middle line: truncating would
+			// silently discard the valid blocks that follow.
+			if terminated || len(line) == 0 {
+				f.Close()
+				return nil, fmt.Errorf("%w: %s: unparseable line after %d blocks",
+					ErrCorruptFile, path, mem.Height())
+			}
+			break // torn tail: keep the valid prefix
 		}
 		if err := mem.Append(&b); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("blockstore: %s corrupt at block %d: %w",
-				path, b.Header.Number, err)
+			return nil, fmt.Errorf("%w: %s at block %d: %v",
+				ErrCorruptFile, path, b.Header.Number, err)
 		}
-		validBytes += int64(len(line)) + 1
-	}
-	if err := scanner.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("blockstore: scan %s: %w", path, err)
+		if terminated {
+			off += len(line) + 1
+		} else {
+			// The block is durable but the crash tore its newline; keep it
+			// and re-terminate the line before any future append.
+			off += len(line)
+			needNewline = true
+		}
+		validBytes = int64(off)
 	}
 	// Drop any trailing partial line so future appends start clean.
 	if err := f.Truncate(validBytes); err != nil {
@@ -57,10 +118,22 @@ func OpenFileStore(path string) (*FileStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("blockstore: seek %s: %w", path, err)
 	}
-	return &FileStore{mem: mem, f: f, w: bufio.NewWriter(f), path: path}, nil
+	s := &FileStore{mem: mem, f: f, w: bufio.NewWriter(f), path: path, policy: policy}
+	if needNewline {
+		if err := s.w.WriteByte('\n'); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("blockstore: reterminate %s: %w", path, err)
+		}
+		if err := s.w.Flush(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("blockstore: reterminate %s: %w", path, err)
+		}
+	}
+	return s, nil
 }
 
-// Append validates and appends the block, then persists it.
+// Append validates and appends the block, then persists it according to the
+// store's sync policy.
 func (s *FileStore) Append(b *Block) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -80,6 +153,11 @@ func (s *FileStore) Append(b *Block) error {
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("blockstore: flush %s: %w", s.path, err)
 	}
+	if s.policy == SyncEachAppend {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("blockstore: sync %s: %w", s.path, err)
+		}
+	}
 	return nil
 }
 
@@ -93,7 +171,7 @@ func (s *FileStore) Sync() error {
 	return s.f.Sync()
 }
 
-// Close flushes and closes the block file.
+// Close flushes, fsyncs, and closes the block file.
 func (s *FileStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -101,6 +179,23 @@ func (s *FileStore) Close() error {
 		s.f.Close()
 		return err
 	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// CloseNoFlush closes the file descriptor without the final flush or
+// fsync — the programmatic stand-in for a process kill, used by
+// crash-recovery tests and the recovery demo. Because Append flushes each
+// line to the OS, nothing is lost in-process; what this models is dying
+// without the clean-shutdown work (no final checkpoint, no fsync of OS
+// caches). Tests emulate the physical-loss half — a torn final append —
+// by truncating the file afterwards.
+func (s *FileStore) CloseNoFlush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.f.Close()
 }
 

@@ -1,6 +1,8 @@
 package blockstore
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -133,6 +135,86 @@ func TestFileStoreRejectsTamperedFile(t *testing.T) {
 	}
 }
 
+func TestFileStoreMidFileGarbageIsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.jsonl")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillFileStore(t, s, 0, 4)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Damage a line in the middle of the file so it no longer parses. A
+	// crash cannot do this — only the final line can be torn — so the open
+	// must refuse rather than silently truncate away the valid blocks that
+	// follow the damage.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("expected >=4 lines, got %d", len(lines))
+	}
+	lines[1] = append([]byte(`{"header":#garbage#`), '\n')
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenFileStore(path)
+	if !errors.Is(err, ErrCorruptFile) {
+		t.Fatalf("open over mid-file garbage: err = %v, want ErrCorruptFile", err)
+	}
+}
+
+func TestFileStoreBlankLineIsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.jsonl")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillFileStore(t, s, 0, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A blank final line cannot come from a torn append (appends write the
+	// payload before the newline), so it must read as corruption too.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = OpenFileStore(path)
+	if !errors.Is(err, ErrCorruptFile) {
+		t.Fatalf("open over blank line: err = %v, want ErrCorruptFile", err)
+	}
+}
+
+func TestFileStoreSyncEachAppendSurvivesNoFlushClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.jsonl")
+	s, err := OpenFileStoreWithPolicy(path, SyncEachAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillFileStore(t, s, 0, 3)
+	// Simulate a process kill: no flush, no fsync. With SyncEachAppend
+	// every block already reached the file, so nothing is lost.
+	if err := s.CloseNoFlush(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Height() != 3 {
+		t.Errorf("height after kill with SyncEachAppend = %d, want 3", s2.Height())
+	}
+}
+
 func TestFileStoreSequenceStillEnforced(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "chain.jsonl")
 	s, err := OpenFileStore(path)
@@ -150,5 +232,50 @@ func TestFileStoreSequenceStillEnforced(t *testing.T) {
 	}
 	if err := s.Sync(); err != nil {
 		t.Errorf("Sync: %v", err)
+	}
+}
+
+func TestFileStoreTornNewlineKeepsDurableBlock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.jsonl")
+	s, err := OpenFileStoreWithPolicy(path, SyncEachAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillFileStore(t, s, 0, 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear exactly the final newline: the last block's bytes are all
+	// durable, only the terminator is gone. The block must survive the
+	// reopen (fsynced data is never dropped), the file must not grow a
+	// junk byte, and future appends must land on their own lines.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen after torn newline: %v", err)
+	}
+	if s2.Height() != 3 {
+		t.Fatalf("height after torn newline = %d, want 3", s2.Height())
+	}
+	fillFileStore(t, s2, 3, 2)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer s3.Close()
+	if s3.Height() != 5 {
+		t.Errorf("final height = %d, want 5", s3.Height())
+	}
+	if err := s3.VerifyChain(); err != nil {
+		t.Errorf("VerifyChain: %v", err)
 	}
 }

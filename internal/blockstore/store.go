@@ -23,6 +23,37 @@ type TxLocator struct {
 	Code     ValidationCode
 }
 
+// BlockStore is the ledger interface the committer and peer depend on. The
+// in-memory Store and the durable FileStore both implement it, which is the
+// seam that lets a peer run either volatile (tests, modeled networks) or
+// with its ledger copy on device storage (the paper's edge deployments).
+type BlockStore interface {
+	// Append validates sequence, linkage, and data hash, then appends.
+	Append(b *Block) error
+	// Height returns the number of blocks in the chain.
+	Height() uint64
+	// LastHash returns the latest header hash (nil for an empty chain).
+	LastHash() []byte
+	// GetByNumber returns the block with the given number.
+	GetByNumber(n uint64) (*Block, error)
+	// GetByHash returns the block with the given header hash.
+	GetByHash(h []byte) (*Block, error)
+	// GetTx returns the envelope and validation code for a transaction id.
+	GetTx(txID string) (*Envelope, ValidationCode, error)
+	// Locate returns where a transaction committed.
+	Locate(txID string) (TxLocator, bool)
+	// VerifyChain audits the whole chain.
+	VerifyChain() error
+	// BlocksFrom returns all blocks with number >= from.
+	BlocksFrom(from uint64) []*Block
+}
+
+// Compile-time interface checks.
+var (
+	_ BlockStore = (*Store)(nil)
+	_ BlockStore = (*FileStore)(nil)
+)
+
 // Store is an append-only, hash-chained block store for one channel.
 type Store struct {
 	mu     sync.RWMutex

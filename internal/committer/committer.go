@@ -27,6 +27,7 @@ import (
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/historydb"
 	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/richquery"
 	"github.com/hyperprov/hyperprov/internal/rwset"
 	"github.com/hyperprov/hyperprov/internal/statedb"
 )
@@ -55,8 +56,9 @@ type Config struct {
 	// History records per-key write history; may be nil.
 	History *historydb.DB
 	// Blocks is the append-only block store; its height seeds the
-	// committer's next-expected block number.
-	Blocks *blockstore.Store
+	// committer's next-expected block number. A durable peer passes a
+	// *blockstore.FileStore here so stage-3 appends land on disk.
+	Blocks blockstore.BlockStore
 	// Verifier runs stage-1 validation. Required.
 	Verifier Verifier
 	// Workers sizes the pre-validation worker pool; <= 0 means GOMAXPROCS.
@@ -72,6 +74,45 @@ type Config struct {
 	// order, after the block and its history are persisted. The peer
 	// publishes chaincode events and commit notifications here.
 	OnCommitted func(b *blockstore.Block)
+	// CheckpointEvery, when > 0 together with OnCheckpoint, captures a
+	// consistent state snapshot at every block boundary whose 1-based
+	// height is a multiple of it.
+	CheckpointEvery uint64
+	// OnCheckpoint receives checkpoint captures. The snapshot is taken in
+	// the MVCC stage immediately after the block's batch is applied (so it
+	// sits exactly at that block's boundary), but delivery happens in the
+	// persistence stage after the block and its history are recorded and
+	// behind the watermark advance — by then state, history, and block
+	// store all agree on the capture's height. The recovery manager writes
+	// durable checkpoint files from this hook.
+	OnCheckpoint func(c Capture)
+}
+
+// Capture is one consistent state snapshot at a block boundary.
+type Capture struct {
+	// Height is the number of blocks the snapshot reflects.
+	Height uint64
+	// StateHeight is the state database's version at the snapshot.
+	StateHeight statedb.Version
+	// State is a deep copy of the live state at the boundary.
+	State map[string]statedb.VersionedValue
+	// IndexEntries is the serialized contents of the state database's
+	// secondary indexes at the same boundary (nil when the state database
+	// maintains none); restoring from them skips re-indexing every
+	// document.
+	IndexEntries map[string][]richquery.IndexEntry
+}
+
+// indexSnapshotter is implemented by state databases whose secondary
+// indexes can be exported for checkpoints (statedb.IndexedStore).
+type indexSnapshotter interface {
+	IndexEntries() map[string][]richquery.IndexEntry
+}
+
+// wantCapture reports whether the block completing 1-based height h should
+// be captured for a checkpoint.
+func (cfg Config) wantCapture(h uint64) bool {
+	return cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil && h%cfg.CheckpointEvery == 0
 }
 
 func (cfg Config) workerCount() int {
@@ -125,6 +166,28 @@ type task struct {
 	preval []PrevalResult
 	batch  *statedb.UpdateBatch
 	hist   []historydb.KeyedEntry
+	// capture is the consistent state snapshot taken right after this
+	// block's apply, when its boundary is a checkpoint point; nil otherwise.
+	capture *Capture
+}
+
+// captureState snapshots the state database at t's block boundary when the
+// config asks for one. It must run immediately after applyState, before any
+// later block is applied — that ordering is what makes the capture sit
+// exactly at the block boundary.
+func captureState(cfg Config, t *task) {
+	h := t.b.Header.Number + 1
+	if !cfg.wantCapture(h) {
+		return
+	}
+	t.capture = &Capture{
+		Height:      h,
+		StateHeight: cfg.State.Height(),
+		State:       cfg.State.Snapshot(),
+	}
+	if ixs, ok := cfg.State.(indexSnapshotter); ok {
+		t.capture.IndexEntries = ixs.IndexEntries()
+	}
 }
 
 // newTask clones the ordered block (peers must not annotate the orderer's

@@ -11,10 +11,17 @@ import (
 
 // StateFingerprint returns a deterministic hash over a state database's
 // live keys, values, and versions. Two stores that committed the same block
-// stream — through any committer engine — have equal fingerprints; the
-// equivalence test and the commit benchmark both lean on this.
+// stream — through any committer engine, live or via checkpoint restore
+// plus tail replay — have equal fingerprints; the equivalence test, the
+// commit benchmark, and the crash-recovery torture tests all lean on this.
 func StateFingerprint(s statedb.StateDB) string {
-	snap := s.Snapshot()
+	return SnapshotFingerprint(s.Snapshot())
+}
+
+// SnapshotFingerprint is StateFingerprint over an already-taken snapshot;
+// checkpoints stamp their payload with it so recovery can verify a restored
+// state byte-for-byte before trusting it.
+func SnapshotFingerprint(snap map[string]statedb.VersionedValue) string {
 	keys := make([]string, 0, len(snap))
 	for k := range snap {
 		keys = append(keys, k)

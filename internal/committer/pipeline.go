@@ -117,6 +117,11 @@ func (p *Pipeline) mvccStage() {
 		start := time.Now()
 		mvccFinalize(p.cfg.State, t)
 		err := applyState(p.cfg.State, t)
+		if err == nil {
+			// Snapshot checkpoint boundaries here, before the next block's
+			// apply can move state past them; delivery waits for stage 3.
+			captureState(p.cfg, t)
+		}
 		observe(p.cfg.Metrics, metrics.CommitStageMVCC, start)
 		if err != nil {
 			// Replayed block against restored state: drop, but still move
@@ -137,6 +142,11 @@ func (p *Pipeline) persistStage() {
 		persist(p.cfg, t)
 		observe(p.cfg.Metrics, metrics.CommitStagePersist, start)
 		p.advance(t.b.Header.Number)
+		// Checkpoint delivery runs behind the watermark: queries already
+		// see the block while the durable checkpoint is being written.
+		if t.capture != nil {
+			p.cfg.OnCheckpoint(*t.capture)
+		}
 	}
 }
 

@@ -50,6 +50,9 @@ func (s *Serial) Submit(ordered *blockstore.Block) bool {
 	start = time.Now()
 	mvccFinalize(s.cfg.State, t)
 	err := applyState(s.cfg.State, t)
+	if err == nil {
+		captureState(s.cfg, t)
+	}
 	observe(s.cfg.Metrics, metrics.CommitStageMVCC, start)
 	if err != nil {
 		// Replayed block against restored state: already reflected, drop
@@ -60,6 +63,9 @@ func (s *Serial) Submit(ordered *blockstore.Block) bool {
 	start = time.Now()
 	persist(s.cfg, t)
 	observe(s.cfg.Metrics, metrics.CommitStagePersist, start)
+	if t.capture != nil {
+		s.cfg.OnCheckpoint(*t.capture)
+	}
 	return true
 }
 

@@ -304,5 +304,5 @@ func (c *Client) gwPeers() []peerLedger {
 // peerLedger is the slice of peer behaviour the client needs.
 type peerLedger interface {
 	Name() string
-	Ledger() *blockstore.Store
+	Ledger() blockstore.BlockStore
 }

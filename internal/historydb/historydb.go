@@ -5,6 +5,10 @@
 package historydb
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
 	"sync"
 	"time"
 )
@@ -86,4 +90,91 @@ func (db *DB) Keys() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return len(db.entries)
+}
+
+// Snapshot returns a deep copy of the full history, keyed by state key.
+// Checkpoints persist this form so a restarted peer recovers GetKeyHistory
+// without replaying the chain from genesis.
+func (db *DB) Snapshot() map[string][]Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string][]Entry, len(db.entries))
+	for k, src := range db.entries {
+		out[k] = copyEntries(src)
+	}
+	return out
+}
+
+// copyEntries deep-copies an entry slice, including each value's bytes.
+func copyEntries(src []Entry) []Entry {
+	entries := make([]Entry, len(src))
+	copy(entries, src)
+	for i := range entries {
+		if entries[i].Value != nil {
+			val := make([]byte, len(entries[i].Value))
+			copy(val, entries[i].Value)
+			entries[i].Value = val
+		}
+	}
+	return entries
+}
+
+// Restore replaces the full history with the given snapshot (checkpoint
+// recovery). The snapshot is deep-copied; the caller keeps ownership.
+func (db *DB) Restore(snap map[string][]Entry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries = make(map[string][]Entry, len(snap))
+	for k, src := range snap {
+		db.entries[k] = copyEntries(src)
+	}
+}
+
+// RestoreOwned is Restore without the deep copy: the database takes
+// ownership of snap, its slices, and their value bytes. Reserved for
+// callers that freshly materialized the snapshot and never touch it again
+// (checkpoint recovery); anything else must use Restore.
+func (db *DB) RestoreOwned(snap map[string][]Entry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries = snap
+}
+
+// Fingerprint returns a deterministic hash over every key's entry sequence.
+// Two history databases that recorded the same committed block stream —
+// whether live or rebuilt through checkpoint restore plus tail replay —
+// have equal fingerprints; crash-recovery tests pin exactness with it.
+func (db *DB) Fingerprint() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.entries))
+	for k := range db.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	var num [8]byte
+	writeBytes := func(b []byte) {
+		binary.BigEndian.PutUint64(num[:], uint64(len(b)))
+		h.Write(num[:])
+		h.Write(b)
+	}
+	for _, k := range keys {
+		writeBytes([]byte(k))
+		for _, e := range db.entries[k] {
+			writeBytes([]byte(e.TxID))
+			binary.BigEndian.PutUint64(num[:], e.BlockNum)
+			h.Write(num[:])
+			binary.BigEndian.PutUint64(num[:], e.TxNum)
+			h.Write(num[:])
+			writeBytes(e.Value)
+			if e.IsDelete {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+			writeBytes([]byte(e.Timestamp.UTC().Format(time.RFC3339Nano)))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }

@@ -88,3 +88,54 @@ func TestQuickAppendOnly(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	db := New()
+	for i := 0; i < 4; i++ {
+		db.Record("a", Entry{TxID: fmt.Sprintf("tx%d", i), BlockNum: uint64(i),
+			Value: []byte("va"), Timestamp: time.Unix(1700000000+int64(i), 0).UTC()})
+	}
+	db.Record("b", Entry{TxID: "txb", BlockNum: 9, IsDelete: true})
+
+	snap := db.Snapshot()
+	restored := New()
+	restored.Restore(snap)
+	if restored.Keys() != db.Keys() || restored.Versions("a") != 4 {
+		t.Fatalf("restored keys=%d versions(a)=%d", restored.Keys(), restored.Versions("a"))
+	}
+	if db.Fingerprint() != restored.Fingerprint() {
+		t.Error("fingerprint changed across snapshot/restore")
+	}
+	// The snapshot is a deep copy: mutating it must not reach the source.
+	snap["a"][0].Value[0] = 'X'
+	if got := db.History("a")[0].Value[0]; got == 'X' {
+		t.Error("snapshot shares value bytes with the live DB")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	mk := func(mut func(*Entry)) *DB {
+		db := New()
+		e := Entry{TxID: "tx1", BlockNum: 1, TxNum: 2, Value: []byte("v"),
+			Timestamp: time.Unix(1700000000, 0).UTC()}
+		if mut != nil {
+			mut(&e)
+		}
+		db.Record("k", e)
+		return db
+	}
+	base := mk(nil).Fingerprint()
+	for name, mut := range map[string]func(*Entry){
+		"txid":   func(e *Entry) { e.TxID = "tx2" },
+		"block":  func(e *Entry) { e.BlockNum = 3 },
+		"value":  func(e *Entry) { e.Value = []byte("w") },
+		"delete": func(e *Entry) { e.IsDelete = true },
+	} {
+		if mk(mut).Fingerprint() == base {
+			t.Errorf("fingerprint ignores %s", name)
+		}
+	}
+	if mk(nil).Fingerprint() != base {
+		t.Error("fingerprint not deterministic")
+	}
+}

@@ -50,6 +50,12 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			// The header promised n body bytes and none arrived: that is a
+			// truncated frame, not the clean between-frames shutdown io.EOF
+			// signals to callers.
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, fmt.Errorf("network: read frame body: %w", err)
 	}
 	return payload, nil

@@ -119,3 +119,88 @@ func TestQuickFrameRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// failAfterWriter fails every write after the first n bytes were accepted.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		accepted := w.n - w.written
+		if accepted < 0 {
+			accepted = 0
+		}
+		w.written += accepted
+		return accepted, errors.New("wire broke")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestReadFrameShortHeader(t *testing.T) {
+	// A clean EOF before any header byte passes through as io.EOF (normal
+	// connection shutdown between frames)...
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream err = %v, want io.EOF", err)
+	}
+	// ...but a header cut off mid-way is an unexpected EOF, not a clean
+	// shutdown.
+	for _, n := range []int{1, 2, 3} {
+		hdr := []byte{0, 0, 0, 9}
+		if _, err := ReadFrame(bytes.NewReader(hdr[:n])); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("%d-byte header err = %v, want ErrUnexpectedEOF", n, err)
+		}
+	}
+}
+
+func TestReadFrameShortBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every possible body truncation point must error, never hang or
+	// return a partial payload.
+	for cut := 4; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("body cut at %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestReadFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(&buf)
+	if err != nil || len(payload) != 0 {
+		t.Errorf("empty frame = %v, %v", payload, err)
+	}
+}
+
+func TestWriteFrameErrorPropagation(t *testing.T) {
+	// Failure while writing the header.
+	if err := WriteFrame(&failAfterWriter{n: 2}, []byte("payload")); err == nil {
+		t.Error("header write failure not reported")
+	}
+	// Failure while writing the body.
+	if err := WriteFrame(&failAfterWriter{n: 6}, []byte("payload")); err == nil {
+		t.Error("body write failure not reported")
+	}
+}
+
+func TestReadFrameAtExactLimit(t *testing.T) {
+	var buf bytes.Buffer
+	payload := make([]byte, 1<<10)
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil || len(got) != len(payload) {
+		t.Fatalf("roundtrip: %d bytes, err %v", len(got), err)
+	}
+}

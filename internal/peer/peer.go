@@ -20,6 +20,7 @@ import (
 	"github.com/hyperprov/hyperprov/internal/historydb"
 	"github.com/hyperprov/hyperprov/internal/identity"
 	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/recovery"
 	"github.com/hyperprov/hyperprov/internal/richquery"
 	"github.com/hyperprov/hyperprov/internal/shim"
 	"github.com/hyperprov/hyperprov/internal/statedb"
@@ -64,7 +65,26 @@ type Config struct {
 	// CommitWorkers sizes the commit pipeline's pre-validation worker
 	// pool; 0 means one worker per available CPU.
 	CommitWorkers int
+
+	// Dir, when the peer is built with Open, is its data directory: the
+	// durable block file plus checkpoints live there and the peer recovers
+	// from it on every open. New ignores it (volatile peer).
+	Dir string
+	// CheckpointEvery is how many blocks apart durable checkpoints are
+	// taken; 0 means DefaultCheckpointEvery. Only meaningful with Open.
+	CheckpointEvery uint64
+	// CheckpointKeep is how many checkpoint files to retain (0 means the
+	// recovery manager's default). Only meaningful with Open.
+	CheckpointKeep int
+	// SyncEachAppend, when true, fsyncs the block file on every appended
+	// block (power-loss bound of one block) instead of only at checkpoints
+	// and close. Only meaningful with Open.
+	SyncEachAppend bool
 }
+
+// DefaultCheckpointEvery is the default block interval between durable
+// checkpoints for peers built with Open.
+const DefaultCheckpointEvery = 16
 
 // Peer is one endorsing/committing node.
 type Peer struct {
@@ -76,7 +96,14 @@ type Peer struct {
 
 	state   statedb.StateDB
 	history *historydb.DB
-	blocks  *blockstore.Store
+	blocks  blockstore.BlockStore
+
+	// file and ckpt are set for durable peers (Open): the open block file
+	// and the checkpoint manager feeding from the commit pipeline.
+	file *blockstore.FileStore
+	ckpt *recovery.Manager
+	// recovered describes what Open restored, for operators and tests.
+	recovered RecoveryInfo
 
 	ccMu sync.RWMutex
 	ccs  map[string]installedCC
@@ -99,15 +126,61 @@ type Peer struct {
 	started  bool
 }
 
-// New creates a peer. Call Start to attach it to an ordered block stream.
-// The peer runs the CouchDB-flavour indexed state database, so installed
-// chaincodes that declare indexes get rich provenance queries served from
-// secondary indexes maintained at block commit.
+// New creates a volatile peer (state, history, and ledger all in memory).
+// Call Start to attach it to an ordered block stream. The peer runs the
+// CouchDB-flavour indexed state database, so installed chaincodes that
+// declare indexes get rich provenance queries served from secondary indexes
+// maintained at block commit.
 func New(cfg Config) *Peer {
 	state, err := statedb.NewIndexed()
 	if err != nil { // unreachable: no definitions yet
 		panic(err)
 	}
+	return newPeer(cfg, state, historydb.New(), blockstore.NewStore())
+}
+
+// RecoveryInfo describes what a durable peer restored at Open.
+type RecoveryInfo struct {
+	// CheckpointHeight is the checkpoint the peer restored from (0 when it
+	// replayed the whole block file).
+	CheckpointHeight uint64
+	// ReplayedBlocks is the number of tail blocks replayed on top.
+	ReplayedBlocks int
+}
+
+// Open creates a durable peer rooted at cfg.Dir: the block file is loaded
+// (discarding a crash-torn tail), the newest valid checkpoint restores
+// state, history, and rich-query index definitions, and the block tail is
+// replayed to the exact pre-crash fingerprint. From then on the commit
+// pipeline appends blocks to disk and takes a checkpoint every
+// cfg.CheckpointEvery blocks. Shut down with Close (clean: final
+// checkpoint) — or kill the process; that is the point.
+func Open(cfg Config) (*Peer, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("peer %s: Open needs a data directory", cfg.Name)
+	}
+	sync := blockstore.SyncOnClose
+	if cfg.SyncEachAppend {
+		sync = blockstore.SyncEachAppend
+	}
+	opened, err := recovery.Open(cfg.Dir, recovery.Options{Sync: sync})
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", cfg.Name, err)
+	}
+	p := newPeer(cfg, opened.State, opened.History, opened.Blocks)
+	p.file = opened.Blocks
+	p.recovered = RecoveryInfo{
+		CheckpointHeight: opened.CheckpointHeight,
+		ReplayedBlocks:   opened.Replayed,
+	}
+	return p, nil
+}
+
+// newPeer assembles a peer over the given ledger resources and starts its
+// commit pipeline. When the blocks argument is a durable FileStore, the
+// pipeline additionally takes periodic checkpoints through a recovery
+// manager.
+func newPeer(cfg Config, state statedb.StateDB, history *historydb.DB, blocks blockstore.BlockStore) *Peer {
 	p := &Peer{
 		name:        cfg.Name,
 		channelID:   cfg.ChannelID,
@@ -115,15 +188,15 @@ func New(cfg Config) *Peer {
 		msp:         cfg.MSP,
 		exec:        cfg.Executor,
 		state:       state,
-		history:     historydb.New(),
-		blocks:      blockstore.NewStore(),
+		history:     history,
+		blocks:      blocks,
 		ccs:         make(map[string]installedCC),
 		txListeners: make(map[string][]chan CommitEvent),
 		metrics:     metrics.NewRegistry(),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
-	p.committer = committer.New(committer.Config{
+	ccfg := committer.Config{
 		State:   p.state,
 		History: p.history,
 		Blocks:  p.blocks,
@@ -140,7 +213,16 @@ func New(cfg Config) *Peer {
 			}
 		},
 		OnCommitted: p.onBlockCommitted,
-	})
+	}
+	if file, ok := blocks.(*blockstore.FileStore); ok {
+		p.ckpt = recovery.NewManager(cfg.Dir, cfg.CheckpointKeep, state, history, file)
+		ccfg.CheckpointEvery = cfg.CheckpointEvery
+		if ccfg.CheckpointEvery == 0 {
+			ccfg.CheckpointEvery = DefaultCheckpointEvery
+		}
+		ccfg.OnCheckpoint = p.ckpt.OnCheckpoint
+	}
+	p.committer = committer.New(ccfg)
 	return p
 }
 
@@ -164,7 +246,11 @@ func (p *Peer) Metrics() *metrics.Registry { return p.metrics }
 func (p *Peer) Executor() *device.Executor { return p.exec }
 
 // Ledger returns the peer's block store (read-only use expected).
-func (p *Peer) Ledger() *blockstore.Store { return p.blocks }
+func (p *Peer) Ledger() blockstore.BlockStore { return p.blocks }
+
+// Recovery reports what this peer restored at Open (zero for volatile
+// peers).
+func (p *Peer) Recovery() RecoveryInfo { return p.recovered }
 
 // Height returns the peer's committed block height.
 func (p *Peer) Height() uint64 { return p.blocks.Height() }
@@ -453,6 +539,36 @@ func (p *Peer) Stop() {
 	}
 	p.committer.Close()
 	p.events.close()
+}
+
+// Close shuts a durable peer down cleanly: it stops the block stream,
+// drains the commit pipeline, takes a final checkpoint (so the next Open
+// restores with an empty replay tail), and closes the block file. On a
+// volatile peer it is equivalent to Stop.
+func (p *Peer) Close() error {
+	p.Stop()
+	var err error
+	if p.ckpt != nil {
+		err = p.ckpt.Final()
+	}
+	if p.file != nil {
+		if cerr := p.file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Crash shuts the peer down the unclean way, for crash-recovery tests and
+// demos: the pipeline's goroutines are reaped but no final checkpoint is
+// taken and the block file is closed without flush or fsync — whatever the
+// OS had not yet been handed is gone, exactly as when the process is
+// killed mid-commit.
+func (p *Peer) Crash() {
+	p.Stop()
+	if p.file != nil {
+		_ = p.file.CloseNoFlush()
+	}
 }
 
 // Sync blocks until every block accepted by the commit pipeline is fully

@@ -121,6 +121,51 @@ func (ix *Index) Load(docs []Candidate) {
 	})
 }
 
+// IndexEntry is one exported (collation key, document key) pair — the
+// serialized form checkpoints persist so recovery can bulk-load an index
+// without re-decoding every JSON document in state.
+type IndexEntry struct {
+	// CKey is the encoded field value (EncodeKey).
+	CKey string
+	// DocKey is the indexed document's state key.
+	DocKey string
+}
+
+// Entries returns a copy of the index contents in (CKey, DocKey) order.
+func (ix *Index) Entries() []IndexEntry {
+	out := make([]IndexEntry, len(ix.entries))
+	for i, e := range ix.entries {
+		out[i] = IndexEntry{CKey: e.ckey, DocKey: e.docKey}
+	}
+	return out
+}
+
+// LoadEntries replaces the index contents with previously exported entries
+// (checkpoint restore). Entries are expected in (CKey, DocKey) order — the
+// order Entries emits — and are re-sorted defensively when they are not, so
+// a hand-edited checkpoint degrades to a sort instead of silent misqueries.
+func (ix *Index) LoadEntries(entries []IndexEntry) {
+	ix.entries = make([]indexEntry, len(entries))
+	ix.byDoc = make(map[string]string, len(entries))
+	sorted := true
+	for i, e := range entries {
+		ix.entries[i] = indexEntry{ckey: e.CKey, docKey: e.DocKey}
+		ix.byDoc[e.DocKey] = e.CKey
+		if i > 0 && (entries[i-1].CKey > e.CKey ||
+			(entries[i-1].CKey == e.CKey && entries[i-1].DocKey > e.DocKey)) {
+			sorted = false
+		}
+	}
+	if !sorted {
+		sort.Slice(ix.entries, func(i, j int) bool {
+			if ix.entries[i].ckey != ix.entries[j].ckey {
+				return ix.entries[i].ckey < ix.entries[j].ckey
+			}
+			return ix.entries[i].docKey < ix.entries[j].docKey
+		})
+	}
+}
+
 // Delete drops docKey from the index (no-op when absent).
 func (ix *Index) Delete(docKey string) {
 	old, exists := ix.byDoc[docKey]

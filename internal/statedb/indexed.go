@@ -172,6 +172,47 @@ func (s *IndexedStore) Restore(snap map[string]VersionedValue, height Version) {
 	}
 }
 
+// IndexEntries exports every declared index's contents, keyed by index
+// name. The commit pipeline captures this alongside the state snapshot at
+// checkpoint boundaries, so a restored peer bulk-loads its indexes instead
+// of re-decoding every JSON document in state.
+func (s *IndexedStore) IndexEntries() map[string][]richquery.IndexEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.indexes) == 0 {
+		return nil
+	}
+	out := make(map[string][]richquery.IndexEntry, len(s.indexes))
+	for name, ix := range s.indexes {
+		out[name] = ix.Entries()
+	}
+	return out
+}
+
+// RestoreWithIndexEntries is Restore for checkpoint recovery: indexes whose
+// serialized entries are present bulk-load them (no document re-decoding);
+// any declared index missing from entries is rebuilt from the snapshot.
+// Unlike Restore, the store takes ownership of snap (no deep copy) — the
+// caller must have materialized it freshly, as checkpoint decoding does.
+func (s *IndexedStore) RestoreWithIndexEntries(snap map[string]VersionedValue, height Version, entries map[string][]richquery.IndexEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.restoreOwned(snap, height)
+	var docs []richquery.Candidate // lazily built for indexes without entries
+	for name, ix := range s.indexes {
+		fresh := richquery.NewIndex(ix.Def())
+		if es, ok := entries[name]; ok {
+			fresh.LoadEntries(es)
+		} else {
+			if docs == nil {
+				docs = scanCandidates(s.store)
+			}
+			fresh.Load(docs)
+		}
+		s.indexes[name] = fresh
+	}
+}
+
 // ExecuteQuery runs a Mango query against live state. The planner serves
 // the candidate set from a declared index when the selector constrains that
 // index's field, and from a full scan otherwise; both paths run the same

@@ -38,10 +38,12 @@ func (v Version) Compare(o Version) int {
 // String renders the version as "block:tx".
 func (v Version) String() string { return fmt.Sprintf("%d:%d", v.BlockNum, v.TxNum) }
 
-// VersionedValue is a value plus the version of the tx that wrote it.
+// VersionedValue is a value plus the version of the tx that wrote it. The
+// JSON tags serve snapshot serialization by external tooling and tests;
+// durable checkpoints use recovery's binary codec, not this form.
 type VersionedValue struct {
-	Value   []byte
-	Version Version
+	Value   []byte  `json:"value,omitempty"`
+	Version Version `json:"version"`
 }
 
 // KV is one key with its committed versioned value, as yielded by iterators.
@@ -268,7 +270,11 @@ func (s *Store) Snapshot() map[string]VersionedValue {
 }
 
 // Restore replaces the live state with the given snapshot at the given
-// height; used by state-transfer.
+// height; used by state-transfer and by checkpoint-based crash recovery.
+// The restored height is the MVCC low-water mark: a later ApplyUpdates at a
+// height at or below it is rejected as stale, which is what makes replaying
+// an already-reflected block after restart a detectable no-op instead of a
+// silent double-apply.
 func (s *Store) Restore(snap map[string]VersionedValue, height Version) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -278,5 +284,17 @@ func (s *Store) Restore(snap map[string]VersionedValue, height Version) {
 		copy(val, vv.Value)
 		s.data[k] = VersionedValue{Value: val, Version: vv.Version}
 	}
+	s.height = height
+}
+
+// restoreOwned is Restore without the defensive deep copy: the store takes
+// ownership of snap and its value slices. Reserved for callers that freshly
+// materialized the snapshot and never touch it again (checkpoint recovery),
+// where copying a large state would only stretch the restart the snapshot
+// exists to shorten.
+func (s *Store) restoreOwned(snap map[string]VersionedValue, height Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = snap
 	s.height = height
 }

@@ -2,6 +2,7 @@ package statedb
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -295,5 +296,72 @@ func TestQuickRangeOrdered(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRestoreHeightSemantics(t *testing.T) {
+	s := New()
+	b := NewUpdateBatch()
+	b.Put("k", []byte("v1"), Version{1, 0})
+	if err := s.ApplyUpdates(b, Version{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := s.Snapshot()
+	restored := New()
+	restored.Restore(snap, Version{7, 3})
+	if got := restored.Height(); got != (Version{7, 3}) {
+		t.Fatalf("restored height = %v, want 7:3", got)
+	}
+	// Heights at or below the restored height are stale: replaying an
+	// already-reflected block after recovery must be rejected, not
+	// double-applied.
+	stale := NewUpdateBatch()
+	stale.Put("k", []byte("v2"), Version{7, 0})
+	if err := restored.ApplyUpdates(stale, Version{7, 3}); !errors.Is(err, ErrStaleCommitHeight) {
+		t.Fatalf("apply at restored height: err = %v, want ErrStaleCommitHeight", err)
+	}
+	if err := restored.ApplyUpdates(stale, Version{6, 9}); !errors.Is(err, ErrStaleCommitHeight) {
+		t.Fatalf("apply below restored height: err = %v, want ErrStaleCommitHeight", err)
+	}
+	if vv, _ := restored.Get("k"); string(vv.Value) != "v1" {
+		t.Fatalf("stale apply mutated state: %q", vv.Value)
+	}
+	// Strictly above the restored height proceeds.
+	next := NewUpdateBatch()
+	next.Put("k", []byte("v3"), Version{8, 0})
+	if err := restored.ApplyUpdates(next, Version{8, 1}); err != nil {
+		t.Fatalf("apply above restored height: %v", err)
+	}
+	// Restore deep-copies: the snapshot stays untouched by later applies.
+	if string(snap["k"].Value) != "v1" {
+		t.Errorf("snapshot mutated: %q", snap["k"].Value)
+	}
+}
+
+func TestVersionedValueJSONRoundtrip(t *testing.T) {
+	s := New()
+	b := NewUpdateBatch()
+	b.Put("doc", []byte(`{"owner":"alice"}`), Version{3, 1})
+	b.Put("empty", nil, Version{3, 2})
+	if err := s.ApplyUpdates(b, Version{3, 2}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]VersionedValue
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	restored.Restore(snap, Version{3, 2})
+	vv, ok := restored.Get("doc")
+	if !ok || string(vv.Value) != `{"owner":"alice"}` || vv.Version != (Version{3, 1}) {
+		t.Fatalf("doc after JSON roundtrip = %+v ok=%v", vv, ok)
+	}
+	if _, ok := restored.Get("empty"); !ok {
+		t.Error("empty-valued key lost in JSON roundtrip")
 	}
 }

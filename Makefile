@@ -8,7 +8,7 @@ GO ?= go
 COVER_FLOOR ?= 84.0
 
 .PHONY: all fmt fmt-check vet lint build test race bench bench-commit \
-	bench-recovery cover crash-test cross
+	bench-recovery cover crash-test cross smoke
 
 all: build test
 
@@ -56,6 +56,12 @@ bench-recovery:
 crash-test:
 	$(GO) test -count=3 -run 'Torture|Crash|Recover|FileStore' \
 		./internal/recovery/ ./internal/peer/ ./internal/blockstore/
+
+# Multi-process deployment smoke test: one -peer-serve process, two -join
+# processes, blocks disseminating over real TCP; asserts identical heights
+# and state fingerprints across all three.
+smoke:
+	./scripts/smoke_net.sh
 
 # Cross-compilation for the paper's ARM edge boards; vet runs per arch so
 # size/alignment assumptions surface without qemu.

@@ -1,8 +1,19 @@
 // Command hyperprov-net demonstrates the multi-process deployment shape of
-// the paper: the off-chain storage component runs as a separate TCP object
-// server (the SSHFS node), and the HyperProv network reaches it over a
-// shaped link. Run with -serve to start only the storage server, or with
-// no flags to run server + network + client in one process over real TCP.
+// the paper: four machines on one switch, talking over real TCP. It has
+// four modes:
+//
+//	-serve        run only the off-chain storage server (the SSHFS node)
+//	-peer-serve   run the blockchain network with every peer exposed on a
+//	              TCP listener, submit a workload, and keep serving so
+//	              other processes can join
+//	-join ADDRS   run a gossip-only peer in its own process: fetch trust
+//	              anchors from a serving peer, catch up over TCP
+//	              anti-entropy, and verify height + state fingerprint
+//	(none)        single-process demo: server + network + client over TCP
+//
+// Every peer-to-peer connection carries framed JSON over TCP and can be
+// link-shaped (-peer-latency / -peer-mbps), so blocks disseminate with the
+// same cost structure as the paper's LAN.
 package main
 
 import (
@@ -10,51 +21,271 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
 	"github.com/hyperprov/hyperprov/internal/core"
 	"github.com/hyperprov/hyperprov/internal/fabric"
+	"github.com/hyperprov/hyperprov/internal/gossip"
+	"github.com/hyperprov/hyperprov/internal/identity"
 	"github.com/hyperprov/hyperprov/internal/network"
 	"github.com/hyperprov/hyperprov/internal/offchain"
 	"github.com/hyperprov/hyperprov/internal/orderer"
+	"github.com/hyperprov/hyperprov/internal/peer"
 	"github.com/hyperprov/hyperprov/internal/shim"
+	"github.com/hyperprov/hyperprov/internal/transport"
 )
 
+type options struct {
+	serve     bool
+	peerServe bool
+	join      string
+
+	addr    string
+	connect string
+	latency time.Duration
+	mbps    float64
+
+	peerListen  string
+	peerLatency time.Duration
+	peerMbps    float64
+	listen      string
+
+	txs          int
+	name         string
+	expectHeight uint64
+	expectFP     string
+	timeout      time.Duration
+	runFor       time.Duration
+}
+
 func main() {
-	serve := flag.Bool("serve", false, "run only the off-chain storage server")
-	addr := flag.String("addr", "127.0.0.1:9733", "storage server address")
-	connect := flag.String("connect", "", "use an existing storage server instead of starting one")
-	latency := flag.Duration("latency", 2*time.Millisecond, "simulated one-way link latency to storage")
-	mbps := flag.Float64("mbps", 360, "simulated link bandwidth (SSHFS effective, in Mbit/s)")
+	var o options
+	flag.BoolVar(&o.serve, "serve", false, "run only the off-chain storage server")
+	flag.BoolVar(&o.peerServe, "peer-serve", false, "run the network with peers exposed on TCP listeners")
+	flag.StringVar(&o.join, "join", "", "comma-separated peer transport addresses to join via gossip")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:9733", "storage server address")
+	flag.StringVar(&o.connect, "connect", "", "use an existing storage server instead of starting one")
+	flag.DurationVar(&o.latency, "latency", 2*time.Millisecond, "simulated one-way link latency to storage")
+	flag.Float64Var(&o.mbps, "mbps", 360, "simulated storage link bandwidth (SSHFS effective, in Mbit/s)")
+	flag.StringVar(&o.peerListen, "peer-listen", "", "comma-separated listen addresses for exposed peers (default ephemeral)")
+	flag.DurationVar(&o.peerLatency, "peer-latency", 0, "simulated one-way latency per peer transport connection")
+	flag.Float64Var(&o.peerMbps, "peer-mbps", 0, "simulated bandwidth per peer transport connection (Mbit/s)")
+	flag.StringVar(&o.listen, "listen", "", "in -join mode: also serve this peer's transport on the given address")
+	flag.IntVar(&o.txs, "txs", 4, "in -peer-serve mode: number of StoreData transactions to submit")
+	flag.StringVar(&o.name, "name", "edge-peer", "in -join mode: the joining peer's name")
+	flag.Uint64Var(&o.expectHeight, "expect-height", 0, "in -join mode: block height to wait for")
+	flag.StringVar(&o.expectFP, "expect-fingerprint", "", "in -join mode: state fingerprint that must match after catch-up")
+	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "in -join mode: catch-up deadline")
+	flag.DurationVar(&o.runFor, "run-for", 0, "in -peer-serve mode: exit after this duration (default: until SIGINT)")
 	flag.Parse()
-	if err := run(*serve, *addr, *connect, *latency, *mbps); err != nil {
+
+	var err error
+	switch {
+	case o.serve:
+		err = runStorageServer(o)
+	case o.peerServe:
+		err = runPeerServe(o)
+	case o.join != "":
+		err = runJoin(o)
+	default:
+		err = runSingleProcess(o)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov-net:", err)
 		os.Exit(1)
 	}
 }
 
-func run(serve bool, addr, connect string, latency time.Duration, mbps float64) error {
-	shape := network.LinkShape{Latency: latency, Mbps: mbps}
+func (o options) storageShape() network.LinkShape {
+	return network.LinkShape{Latency: o.latency, Mbps: o.mbps}
+}
 
-	if serve {
-		srv, err := offchain.NewServer(addr, offchain.NewMemStore(), shape)
+func (o options) peerShape() network.LinkShape {
+	return network.LinkShape{Latency: o.peerLatency, Mbps: o.peerMbps}
+}
+
+func runStorageServer(o options) error {
+	srv, err := offchain.NewServer(o.addr, offchain.NewMemStore(), o.storageShape())
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("off-chain storage server listening on %s (latency=%v, %gMbps)\n",
+		srv.Addr(), o.latency, o.mbps)
+	waitForSignal(0)
+	return nil
+}
+
+// runPeerServe starts the full network with every peer exposed on a TCP
+// listener, submits a workload, prints the convergence target (height and
+// state fingerprint), and keeps serving so -join processes can catch up.
+func runPeerServe(o options) error {
+	srv, err := offchain.NewServer(o.addr, offchain.NewMemStore(), o.storageShape())
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	store, err := offchain.NewRemoteStore(srv.Addr(), o.storageShape())
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	cfg := fabric.DesktopConfig()
+	cfg.Batch = orderer.BatchConfig{
+		MaxMessageCount: 5, BatchTimeout: 200 * time.Millisecond, PreferredMaxBytes: 8 << 20,
+	}
+	cfg.Gossip = true
+	cfg.PeerListen = true
+	cfg.PeerLink = o.peerShape()
+	if o.peerListen != "" {
+		cfg.PeerListenAddrs = strings.Split(o.peerListen, ",")
+	}
+	n, err := fabric.NewNetwork(cfg)
+	if err != nil {
+		return err
+	}
+	defer n.Stop()
+	if err := n.DeployChaincode(provenance.ChaincodeName,
+		func() shim.Chaincode { return provenance.New() }); err != nil {
+		return err
+	}
+	gw, err := n.NewGateway("net-primary")
+	if err != nil {
+		return err
+	}
+	client, err := core.New(core.Config{Gateway: gw, Store: store})
+	if err != nil {
+		return err
+	}
+
+	payload := make([]byte, 16<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < o.txs; i++ {
+		key := fmt.Sprintf("net-item-%d", i)
+		if _, err := client.StoreData(key, payload, core.PostOptions{
+			Meta: map[string]string{"transport": "tcp"},
+		}); err != nil {
+			return fmt.Errorf("store %s: %w", key, err)
+		}
+	}
+	for _, p := range n.Peers() {
+		p.Sync()
+	}
+	p0 := n.Peers()[0]
+	fmt.Printf("PEERS %s\n", strings.Join(n.PeerAddrs(), ","))
+	fmt.Printf("PRIMARY height=%d fingerprint=%s\n", p0.Height(), p0.StateFingerprint())
+	fmt.Println("serving peer transport; Ctrl-C to exit")
+	waitForSignal(o.runFor)
+	return nil
+}
+
+// runJoin starts a gossip-only peer in this process: it learns the
+// channel, endorsement orgs, and CA trust anchors from a serving peer's
+// hello handshake (certificates only — no private keys cross the wire),
+// then catches up over TCP anti-entropy until it reaches the expected
+// height, and verifies its state fingerprint.
+func runJoin(o options) error {
+	addrs := strings.Split(o.join, ",")
+	clients := make([]*transport.Client, 0, len(addrs))
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for _, a := range addrs {
+		c, err := transport.Dial(strings.TrimSpace(a), transport.ClientConfig{Shape: o.peerShape()})
+		if err != nil {
+			return err
+		}
+		clients = append(clients, c)
+	}
+	info, err := clients[0].Hello()
+	if err != nil {
+		return err
+	}
+
+	// Build a verification-only MSP from the network's CA certificates.
+	msp := identity.NewMSP()
+	for _, pemBytes := range info.CACertsPEM {
+		ca, err := identity.NewVerifyingCA(pemBytes)
+		if err != nil {
+			return fmt.Errorf("trust anchor: %w", err)
+		}
+		msp.AddCA(ca)
+	}
+	// The joining peer signs with a throwaway local identity: it never
+	// endorses for the network, it only validates and commits.
+	localCA, err := identity.NewCA("EdgeOrg-" + o.name)
+	if err != nil {
+		return err
+	}
+	signer, err := localCA.Enroll(o.name, identity.RolePeer)
+	if err != nil {
+		return err
+	}
+	p := peer.New(peer.Config{Name: o.name, Signer: signer, MSP: msp, ChannelID: info.ChannelID})
+	defer p.Stop()
+	// Same derivation the serving network used, so both sides validate
+	// endorsements against the identical policy.
+	policy := fabric.PolicyFor(info.Orgs)
+	if err := p.InstallChaincode(provenance.ChaincodeName, provenance.New(), policy); err != nil {
+		return err
+	}
+	if o.listen != "" {
+		srv, err := transport.NewServer(o.listen, p, transport.ServerConfig{
+			ChannelID:  info.ChannelID,
+			Orgs:       info.Orgs,
+			CACertsPEM: info.CACertsPEM,
+			Shape:      o.peerShape(),
+		})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("off-chain storage server listening on %s (latency=%v, %gMbps)\n",
-			srv.Addr(), latency, mbps)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-		<-sig
-		return nil
+		fmt.Printf("serving joined peer on %s\n", srv.Addr())
 	}
 
-	storageAddr := connect
+	members := []gossip.Member{p}
+	for _, c := range clients {
+		m, err := c.Member()
+		if err != nil {
+			return err
+		}
+		members = append(members, m)
+	}
+	g := gossip.New(gossip.Config{Interval: 25 * time.Millisecond, Fanout: 1}, members...)
+	defer g.Stop()
+
+	deadline := time.Now().Add(o.timeout)
+	for p.Height() < o.expectHeight {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out at height %d, want %d", p.Height(), o.expectHeight)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := p.Ledger().VerifyChain(); err != nil {
+		return fmt.Errorf("chain verification: %w", err)
+	}
+	fp := p.StateFingerprint()
+	fmt.Printf("CONVERGED height=%d fingerprint=%s\n", p.Height(), fp)
+	if o.expectFP != "" && fp != o.expectFP {
+		return fmt.Errorf("state fingerprint mismatch: got %s, want %s", fp, o.expectFP)
+	}
+	return nil
+}
+
+// runSingleProcess is the original demo: server + network + client in one
+// process over real TCP.
+func runSingleProcess(o options) error {
+	storageAddr := o.connect
 	if storageAddr == "" {
-		srv, err := offchain.NewServer(addr, offchain.NewMemStore(), shape)
+		srv, err := offchain.NewServer(o.addr, offchain.NewMemStore(), o.storageShape())
 		if err != nil {
 			return err
 		}
@@ -63,7 +294,7 @@ func run(serve bool, addr, connect string, latency time.Duration, mbps float64) 
 		fmt.Printf("started off-chain storage server on %s\n", storageAddr)
 	}
 
-	store, err := offchain.NewRemoteStore(storageAddr, shape)
+	store, err := offchain.NewRemoteStore(storageAddr, o.storageShape())
 	if err != nil {
 		return err
 	}
@@ -112,4 +343,18 @@ func run(serve bool, addr, connect string, latency time.Duration, mbps float64) 
 	fmt.Printf("retrieved %d bytes, checksum verified (%s..), round trip %v\n",
 		len(data), rec.Checksum[7:19], time.Since(start).Truncate(time.Millisecond))
 	return nil
+}
+
+// waitForSignal blocks until SIGINT/SIGTERM, or for d when d > 0.
+func waitForSignal(d time.Duration) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if d > 0 {
+		select {
+		case <-sig:
+		case <-time.After(d):
+		}
+		return
+	}
+	<-sig
 }

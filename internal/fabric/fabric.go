@@ -14,9 +14,11 @@ import (
 	"github.com/hyperprov/hyperprov/internal/endorser"
 	"github.com/hyperprov/hyperprov/internal/gossip"
 	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/network"
 	"github.com/hyperprov/hyperprov/internal/orderer"
 	"github.com/hyperprov/hyperprov/internal/peer"
 	"github.com/hyperprov/hyperprov/internal/shim"
+	"github.com/hyperprov/hyperprov/internal/transport"
 )
 
 // ConsensusType selects the ordering implementation.
@@ -56,6 +58,18 @@ type Config struct {
 	// peers, letting members that lose the ordering service catch up from
 	// neighbours (see internal/gossip).
 	Gossip bool
+	// PeerListen exposes every peer on a TCP transport listener so other
+	// OS processes can gossip with, endorse on, and query this network's
+	// peers (see internal/transport). Addresses come from PeerListenAddrs,
+	// or ephemeral 127.0.0.1 ports when unset.
+	PeerListen bool
+	// PeerListenAddrs optionally pins one listen address per peer; extra
+	// peers beyond the list get ephemeral ports.
+	PeerListenAddrs []string
+	// PeerLink shapes every peer transport connection (applied to each
+	// side's writes), modelling the LAN links between the paper's four
+	// machines. Zero means unshaped.
+	PeerLink network.LinkShape
 	// Seed makes modeled jitter deterministic.
 	Seed int64
 }
@@ -90,6 +104,18 @@ func RPiConfig() Config {
 	}
 }
 
+// PolicyFor derives the channel endorsement policy from the consortium's
+// organizations: single-org channels accept any member's endorsement (the
+// paper's deployment); consortia require a majority of orgs. A process
+// joining over the peer transport derives the same policy from the orgs in
+// the hello handshake, so both sides validate blocks identically.
+func PolicyFor(orgs []string) endorser.Policy {
+	if len(orgs) > 1 {
+		return endorser.MajorityOrgs(orgs)
+	}
+	return endorser.AnyOrg(orgs)
+}
+
 // Network is an assembled, running network.
 type Network struct {
 	cfg       Config
@@ -99,6 +125,8 @@ type Network struct {
 	peers     []*peer.Peer
 	orderer   orderer.Service
 	gossipNet *gossip.Network
+	servers   []*transport.Server
+	remotes   []*transport.Client
 	clock     device.Clock
 	policy    endorser.Policy
 	clients   int
@@ -134,12 +162,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		cas[i] = ca
 		msp.AddCA(ca)
 	}
-	// Single-org channels accept any member's endorsement (the paper's
-	// deployment); consortia require a majority of orgs.
-	policy := endorser.AnyOrg(orgs)
-	if len(orgs) > 1 {
-		policy = endorser.MajorityOrgs(orgs)
-	}
+	policy := PolicyFor(orgs)
 
 	n := &Network{
 		cfg:    cfg,
@@ -189,7 +212,63 @@ func NewNetwork(cfg Config) (*Network, error) {
 		gcfg.Seed = cfg.Seed
 		n.gossipNet = gossip.New(gcfg, members...)
 	}
+	if cfg.PeerListen {
+		caPEMs := make([][]byte, len(cas))
+		for i, ca := range cas {
+			caPEMs[i] = ca.CertPEM()
+		}
+		scfg := transport.ServerConfig{
+			ChannelID:  cfg.ChannelID,
+			Orgs:       orgs,
+			CACertsPEM: caPEMs,
+			Shape:      cfg.PeerLink,
+		}
+		for i, p := range n.peers {
+			addr := "127.0.0.1:0"
+			if i < len(cfg.PeerListenAddrs) {
+				addr = cfg.PeerListenAddrs[i]
+			}
+			srv, err := transport.NewServer(addr, p, scfg)
+			if err != nil {
+				n.Stop()
+				return nil, fmt.Errorf("fabric: expose %s: %w", p.Name(), err)
+			}
+			n.servers = append(n.servers, srv)
+		}
+	}
 	return n, nil
+}
+
+// PeerAddrs returns the listen addresses of the exposed peers, in peer
+// order (empty unless PeerListen was set).
+func (n *Network) PeerAddrs() []string {
+	addrs := make([]string, len(n.servers))
+	for i, s := range n.servers {
+		addrs[i] = s.Addr()
+	}
+	return addrs
+}
+
+// JoinRemote dials a peer served by another process and joins it to this
+// network's gossip membership: local peers pull the remote's blocks and
+// push it theirs over TCP, with shape applied to this side's writes. The
+// network must have been created with Gossip enabled.
+func (n *Network) JoinRemote(addr string, shape network.LinkShape) (*transport.Member, error) {
+	if n.gossipNet == nil {
+		return nil, errors.New("fabric: gossip not enabled")
+	}
+	client, err := transport.Dial(addr, transport.ClientConfig{Shape: shape})
+	if err != nil {
+		return nil, fmt.Errorf("fabric: join %s: %w", addr, err)
+	}
+	member, err := client.Member()
+	if err != nil {
+		client.Close()
+		return nil, fmt.Errorf("fabric: join %s: %w", addr, err)
+	}
+	n.remotes = append(n.remotes, client)
+	n.gossipNet.Add(member)
+	return member, nil
 }
 
 // AddGossipPeer adds a peer that is NOT subscribed to the ordering service:
@@ -226,10 +305,17 @@ func (n *Network) AddGossipPeer(prof device.Profile, ccs map[string]shim.Chainco
 // Gossip returns the gossip network, or nil when disabled.
 func (n *Network) Gossip() *gossip.Network { return n.gossipNet }
 
-// Stop shuts down the ordering service, gossip, and all peers.
+// Stop shuts down the ordering service, gossip, transport servers and
+// clients, and all peers.
 func (n *Network) Stop() {
 	if n.gossipNet != nil {
 		n.gossipNet.Stop()
+	}
+	for _, c := range n.remotes {
+		c.Close()
+	}
+	for _, s := range n.servers {
+		s.Close()
 	}
 	if n.orderer != nil {
 		n.orderer.Stop()

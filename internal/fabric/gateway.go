@@ -31,6 +31,13 @@ type TxResult struct {
 	Latency time.Duration
 }
 
+// Endorser is anything that can simulate and sign a proposal: a local
+// *peer.Peer, or a transport client for a peer served by another process.
+// The gateway fans proposals to all of them interchangeably.
+type Endorser interface {
+	ProcessProposal(prop *endorser.Proposal) (*endorser.Response, error)
+}
+
 // Gateway is the client-side library half of the Fabric SDK: it signs
 // proposals, collects endorsements, submits envelopes to ordering, and
 // waits for commit events — the machinery HyperProv's NodeJS client wraps.
@@ -39,7 +46,16 @@ type Gateway struct {
 	signer        *identity.SigningIdentity
 	exec          *device.Executor
 	commitTimeout time.Duration
+	// remote are extra endorsers beyond the network's local peers
+	// (typically transport clients for peers in other OS processes).
+	remote []Endorser
 }
+
+// AddEndorser attaches an additional endorser (a remote peer handle) that
+// Submit will fan proposals to alongside the network's local peers. The
+// remote peer must belong to an organization this network's MSP trusts,
+// or its endorsements will be rejected client-side.
+func (g *Gateway) AddEndorser(e Endorser) { g.remote = append(g.remote, e) }
 
 // Identity returns the gateway's signing identity.
 func (g *Gateway) Identity() *identity.SigningIdentity { return g.signer }
@@ -81,23 +97,27 @@ func (g *Gateway) Submit(chaincode, fn string, args ...[]byte) (*TxResult, error
 	prop.Signature = sig
 
 	// Endorse on all peers in parallel (the paper's client library sends
-	// to every peer of the single org).
+	// to every peer of the single org), plus any attached remote
+	// endorsers.
 	peers := g.net.Peers()
+	endorsers := make([]Endorser, 0, len(peers)+len(g.remote))
+	for _, p := range peers {
+		endorsers = append(endorsers, p)
+	}
+	endorsers = append(endorsers, g.remote...)
 	type result struct {
 		resp *endorser.Response
 		err  error
 	}
-	results := make([]result, len(peers))
+	results := make([]result, len(endorsers))
 	var wg sync.WaitGroup
-	for i, p := range peers {
+	for i, e := range endorsers {
 		wg.Add(1)
-		go func(i int, p interface {
-			ProcessProposal(*endorser.Proposal) (*endorser.Response, error)
-		}) {
+		go func(i int, e Endorser) {
 			defer wg.Done()
-			resp, err := p.ProcessProposal(prop)
+			resp, err := e.ProcessProposal(prop)
 			results[i] = result{resp: resp, err: err}
-		}(i, p)
+		}(i, e)
 	}
 	wg.Wait()
 

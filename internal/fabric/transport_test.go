@@ -1,0 +1,130 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
+	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/peer"
+	"github.com/hyperprov/hyperprov/internal/transport"
+)
+
+// externalPeer builds a peer outside the network's process boundary (in
+// this test, outside its member list): same trust domain, own transport
+// listener — the shape of a peer served by another OS process.
+func externalPeer(t *testing.T, n *Network, name string) (*peer.Peer, *transport.Server) {
+	t.Helper()
+	signer, err := n.CA().Enroll(name, identity.RolePeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := peer.New(peer.Config{Name: name, Signer: signer, MSP: n.MSP(), ChannelID: n.ChannelID()})
+	t.Cleanup(p.Stop)
+	if err := p.InstallChaincode(provenance.ChaincodeName, provenance.New(), n.Policy()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.NewServer("127.0.0.1:0", p, transport.ServerConfig{
+		ChannelID:  n.ChannelID(),
+		Orgs:       []string{n.CA().Org()},
+		CACertsPEM: [][]byte{n.CA().CertPEM()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return p, srv
+}
+
+func waitForHeight(t *testing.T, p *peer.Peer, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for p.Height() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s at height %d, want %d", p.Name(), p.Height(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestJoinRemoteConvergesOverTCP: a peer reachable only through a TCP
+// transport address joins the network's gossip membership and converges
+// to the same height and state fingerprint.
+func TestJoinRemoteConvergesOverTCP(t *testing.T) {
+	cfg := testConfig()
+	cfg.Gossip = true
+	cfg.PeerListen = true
+	n := newTestNetwork(t, cfg)
+	if got := len(n.PeerAddrs()); got != len(n.Peers()) {
+		t.Fatalf("PeerAddrs = %d, want %d", got, len(n.Peers()))
+	}
+
+	remote, srv := externalPeer(t, n, "remote-peer")
+	member, err := n.JoinRemote(srv.Addr(), cfg.PeerLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if member.Name() != "remote-peer" {
+		t.Errorf("joined member name = %q", member.Name())
+	}
+
+	gw, err := n.NewGateway("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"tcp-a", "tcp-b", "tcp-c"} {
+		setRecord(t, gw, key, "cs")
+	}
+	local := n.Peers()[0]
+	waitForHeight(t, remote, local.Height())
+	if remote.StateFingerprint() != local.StateFingerprint() {
+		t.Error("remote peer state fingerprint diverges")
+	}
+	if err := remote.Ledger().VerifyChain(); err != nil {
+		t.Errorf("remote chain: %v", err)
+	}
+}
+
+// TestRemoteEndorserThroughGateway: the gateway fans proposals to a
+// transport client exactly like a local peer, and the remote endorsement
+// participates in a committed transaction.
+func TestRemoteEndorserThroughGateway(t *testing.T) {
+	cfg := testConfig()
+	cfg.Gossip = true
+	cfg.PeerProfiles = cfg.PeerProfiles[:1] // one local peer + one remote endorser
+	n := newTestNetwork(t, cfg)
+
+	remote, srv := externalPeer(t, n, "remote-endorser")
+	if _, err := n.JoinRemote(srv.Addr(), cfg.PeerLink); err != nil {
+		t.Fatal(err)
+	}
+	local := n.Peers()[0]
+	waitForHeight(t, remote, local.Height()) // catch up past the deploy block
+
+	client, err := transport.Dial(srv.Addr(), transport.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	gw, err := n.NewGateway("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.AddEndorser(client)
+
+	for i, key := range []string{"re-a", "re-b"} {
+		// Keep the remote simulating against fresh state so its
+		// endorsement stays in the consistent group.
+		waitForHeight(t, remote, local.Height())
+		remote.Sync()
+		res := setRecord(t, gw, key, "cs")
+		if res.Code.String() != "VALID" {
+			t.Fatalf("tx %d code = %s", i, res.Code)
+		}
+	}
+	served := remote.Metrics().Counter(metrics.EndorsementsServed).Value()
+	if served < 2 {
+		t.Errorf("remote endorser served %d endorsements, want >= 2", served)
+	}
+}

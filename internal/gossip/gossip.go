@@ -26,7 +26,17 @@ type Member interface {
 	BlocksFrom(from uint64) []*blockstore.Block
 	// DeliverBlock hands the member a block fetched from a neighbour; the
 	// member validates and commits it exactly like an ordered block.
+	// Delivery may be asynchronous; gossip calls Sync (when the member
+	// implements Syncer) once per pull to flush a delivered batch.
 	DeliverBlock(b *blockstore.Block)
+}
+
+// Syncer is optionally implemented by members whose DeliverBlock is
+// asynchronous (a pipelined committer). Gossip calls Sync once after
+// delivering a whole pulled batch, so a long catch-up feeds the pipeline
+// back-to-back instead of draining it per block.
+type Syncer interface {
+	Sync()
 }
 
 // Config tunes the gossip protocol.
@@ -110,6 +120,27 @@ func (g *Network) Heal(name string) {
 	delete(g.isolated, name)
 }
 
+// Block cuts the directed gossip link from -> to: "from" can no longer
+// pull from "to". Use a pair of Block calls for a symmetric partition.
+func (g *Network) Block(from, to string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.blocked[from] == nil {
+		g.blocked[from] = make(map[string]bool)
+	}
+	g.blocked[from][to] = true
+}
+
+// Unblock restores the directed gossip link from -> to.
+func (g *Network) Unblock(from, to string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.blocked[from], to)
+	if len(g.blocked[from]) == 0 {
+		delete(g.blocked, from)
+	}
+}
+
 // linkOK reports whether a can currently pull from b.
 func (g *Network) linkOK(a, b string) bool {
 	g.mu.RLock()
@@ -157,24 +188,36 @@ func (g *Network) membersSnapshot() []Member {
 	return out
 }
 
+// pickNeighbour draws uniformly from the n-1 members that are not m: the
+// RNG picks an index into the candidate set with self removed, so no
+// neighbour's pull probability depends on its position relative to m.
 func (g *Network) pickNeighbour(m Member, members []Member) Member {
 	if len(members) < 2 {
 		return nil
 	}
+	self := -1
+	for i, c := range members {
+		if c.Name() == m.Name() {
+			self = i
+			break
+		}
+	}
 	g.mu.Lock()
-	idx := g.rng.Intn(len(members))
-	g.mu.Unlock()
-	peer := members[idx]
-	if peer.Name() == m.Name() {
-		peer = members[(idx+1)%len(members)]
+	defer g.mu.Unlock()
+	if self < 0 {
+		return members[g.rng.Intn(len(members))]
 	}
-	if peer.Name() == m.Name() {
-		return nil
+	idx := g.rng.Intn(len(members) - 1)
+	if idx >= self {
+		idx++
 	}
-	return peer
+	return members[idx]
 }
 
-// pull fetches blocks the puller is missing from the source, in order.
+// pull fetches blocks the puller is missing from the source, in order. The
+// whole batch is handed to the puller before a single Sync, so a pipelined
+// committer overlaps validation and persistence across the tail instead of
+// being drained once per block.
 func (g *Network) pull(puller, source Member) {
 	if !g.linkOK(puller.Name(), source.Name()) {
 		return
@@ -183,8 +226,15 @@ func (g *Network) pull(puller, source Member) {
 	if source.Height() <= have {
 		return
 	}
-	for _, b := range source.BlocksFrom(have) {
+	blocks := source.BlocksFrom(have)
+	if len(blocks) == 0 {
+		return
+	}
+	for _, b := range blocks {
 		puller.DeliverBlock(b)
+	}
+	if s, ok := puller.(Syncer); ok {
+		s.Sync()
 	}
 }
 

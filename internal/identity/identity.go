@@ -113,6 +113,36 @@ func NewCA(org string) (*CA, error) {
 	}, nil
 }
 
+// NewVerifyingCA reconstructs a verification-only CA from its certificate
+// PEM: it can verify certificates issued by the real CA but holds no
+// private key, so Enroll fails. This is how a remote process joins a
+// network's trust domain over the wire — the peer transport's handshake
+// ships CA certificates, never keys.
+func NewVerifyingCA(certPEM []byte) (*CA, error) {
+	block, _ := pem.Decode(certPEM)
+	if block == nil || block.Type != "CERTIFICATE" {
+		return nil, errors.New("identity: no certificate PEM block")
+	}
+	cert, err := x509.ParseCertificate(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("identity: parse CA cert: %w", err)
+	}
+	if !cert.IsCA {
+		return nil, errors.New("identity: certificate is not a CA")
+	}
+	if len(cert.Subject.Organization) == 0 {
+		return nil, errors.New("identity: CA cert carries no organization")
+	}
+	return &CA{
+		org:     cert.Subject.Organization[0],
+		cert:    cert,
+		certDER: block.Bytes,
+		issued:  make(map[string]bool),
+		revoked: make(map[string]bool),
+		now:     time.Now,
+	}, nil
+}
+
 // Org returns the organization name this CA serves.
 func (ca *CA) Org() string { return ca.org }
 
@@ -126,6 +156,9 @@ func (ca *CA) CertPEM() []byte {
 func (ca *CA) Enroll(enrollID string, role Role) (*SigningIdentity, error) {
 	ca.mu.Lock()
 	defer ca.mu.Unlock()
+	if ca.key == nil {
+		return nil, fmt.Errorf("identity: CA %s is verification-only (no private key)", ca.org)
+	}
 	if ca.issued[enrollID] {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateEnrollKey, enrollID)
 	}

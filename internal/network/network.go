@@ -22,18 +22,19 @@ const MaxFrame = 64 << 20
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("network: frame exceeds maximum size")
 
-// WriteFrame writes one length-prefixed frame.
+// WriteFrame writes one length-prefixed frame. Header and body go out in a
+// single Write call: a shaped link charges the one-way latency exactly once
+// per frame, and concurrent frame writers sharing a connection cannot
+// interleave one frame's header with another's body.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("network: write frame header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("network: write frame body: %w", err)
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("network: write frame: %w", err)
 	}
 	return nil
 }
@@ -81,6 +82,30 @@ func ReadJSON(r io.Reader, v any) error {
 	}
 	return nil
 }
+
+// ErrCode is a machine-readable error classification carried in response
+// frames. The off-chain store protocol and the peer transport share this
+// vocabulary so clients map failures to sentinel errors structurally
+// instead of matching on message substrings.
+type ErrCode string
+
+// Wire error codes.
+const (
+	// CodeNone marks a successful response.
+	CodeNone ErrCode = ""
+	// CodeNotFound: the requested object or key does not exist.
+	CodeNotFound ErrCode = "not_found"
+	// CodeChecksumMismatch: stored data failed its integrity check.
+	CodeChecksumMismatch ErrCode = "checksum_mismatch"
+	// CodeBadRequest: the request was malformed or referenced an unknown op.
+	CodeBadRequest ErrCode = "bad_request"
+	// CodeUnknownChaincode: the peer has no such chaincode installed.
+	CodeUnknownChaincode ErrCode = "unknown_chaincode"
+	// CodeSimulationFailed: chaincode simulation returned a non-OK status.
+	CodeSimulationFailed ErrCode = "simulation_failed"
+	// CodeInternal: any other server-side failure.
+	CodeInternal ErrCode = "internal"
+)
 
 // LinkShape describes a simulated link.
 type LinkShape struct {

@@ -193,6 +193,60 @@ func TestWriteFrameErrorPropagation(t *testing.T) {
 	}
 }
 
+// countingWriter records how many Write calls it receives.
+type countingWriter struct {
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+func (w *countingWriter) Read(p []byte) (int, error) { return w.buf.Read(p) }
+
+// TestWriteFrameSingleWrite pins the framing fix: header and body must go
+// out in ONE Write call. A shaper charges latency per Write, so two calls
+// per frame would double every framed message's one-way delay (and let
+// concurrent writers interleave header and body bytes).
+func TestWriteFrameSingleWrite(t *testing.T) {
+	w := &countingWriter{}
+	if err := WriteFrame(w, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("WriteFrame issued %d writes, want 1", w.writes)
+	}
+	got, err := ReadFrame(&w.buf)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("roundtrip = %q, %v", got, err)
+	}
+}
+
+// TestShapedFramePaysOneLatency asserts the latency accounting end to end:
+// one framed message through a ShapedConn is charged exactly one one-way
+// delay, not one per Write call.
+func TestShapedFramePaysOneLatency(t *testing.T) {
+	const latency = 100 * time.Millisecond
+	w := &countingWriter{}
+	c := NewShapedConn(w, LinkShape{Latency: latency})
+	start := time.Now()
+	if err := WriteFrame(c, []byte("one charge")); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if w.writes != 1 {
+		t.Fatalf("frame crossed the shaper in %d writes, want 1", w.writes)
+	}
+	if elapsed < latency {
+		t.Errorf("frame paid %v, want >= one latency (%v)", elapsed, latency)
+	}
+	if elapsed >= 2*latency {
+		t.Errorf("frame paid %v, want < two latencies (%v)", elapsed, 2*latency)
+	}
+}
+
 func TestReadFrameAtExactLimit(t *testing.T) {
 	var buf bytes.Buffer
 	payload := make([]byte, 1<<10)

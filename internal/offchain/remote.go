@@ -1,6 +1,7 @@
 package offchain
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -28,10 +29,28 @@ type remoteRequest struct {
 }
 
 type remoteResponse struct {
-	OK   bool   `json:"ok"`
-	Err  string `json:"err,omitempty"`
-	Key  string `json:"key,omitempty"`
-	Data []byte `json:"data,omitempty"`
+	OK bool `json:"ok"`
+	// Code classifies failures structurally (shared vocabulary with the
+	// peer transport, see network.ErrCode); Err carries the human-readable
+	// message only.
+	Code network.ErrCode `json:"code,omitempty"`
+	Err  string          `json:"err,omitempty"`
+	Key  string          `json:"key,omitempty"`
+	Data []byte          `json:"data,omitempty"`
+}
+
+// classify maps a backing-store error onto the wire error code.
+func classify(err error) network.ErrCode {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return network.CodeNotFound
+	case errors.Is(err, ErrChecksumMismatch):
+		return network.CodeChecksumMismatch
+	case errors.Is(err, ErrBadRef):
+		return network.CodeBadRequest
+	default:
+		return network.CodeInternal
+	}
 }
 
 // Server is a TCP object server backed by any Store.
@@ -110,17 +129,17 @@ func (s *Server) handle(req *remoteRequest) *remoteResponse {
 	case opPut:
 		ref, err := s.backing.Put(req.Data)
 		if err != nil {
-			return &remoteResponse{Err: err.Error()}
+			return &remoteResponse{Code: classify(err), Err: err.Error()}
 		}
 		return &remoteResponse{OK: true, Key: ref}
 	case opGet:
 		data, err := s.backing.Get(req.Key)
 		if err != nil {
-			return &remoteResponse{Err: err.Error()}
+			return &remoteResponse{Code: classify(err), Err: err.Error()}
 		}
 		return &remoteResponse{OK: true, Data: data}
 	default:
-		return &remoteResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+		return &remoteResponse{Code: network.CodeBadRequest, Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
 
@@ -206,11 +225,13 @@ func (r *RemoteStore) Get(ref string) ([]byte, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		if strings.Contains(resp.Err, "not found") {
+		switch resp.Code {
+		case network.CodeNotFound:
 			return nil, fmt.Errorf("%w: %q", ErrNotFound, ref)
-		}
-		if strings.Contains(resp.Err, "checksum") {
+		case network.CodeChecksumMismatch:
 			return nil, ErrChecksumMismatch
+		case network.CodeBadRequest:
+			return nil, fmt.Errorf("%w: %s", ErrBadRef, resp.Err)
 		}
 		return nil, fmt.Errorf("offchain: remote get: %s", resp.Err)
 	}

@@ -39,6 +39,40 @@ func TestRemoteNotFound(t *testing.T) {
 	}
 }
 
+// TestRemoteErrorCodes pins the structured error classification: the
+// server reports machine-readable codes (shared with the peer transport)
+// and the client maps them to sentinel errors without inspecting message
+// text. A server whose error strings change cannot break the mapping.
+func TestRemoteErrorCodes(t *testing.T) {
+	backing := NewMemStore()
+	srv, err := NewServer("127.0.0.1:0", backing, network.LinkShape{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	for _, tc := range []struct {
+		name string
+		err  error
+		code network.ErrCode
+	}{
+		{"not found", ErrNotFound, network.CodeNotFound},
+		{"checksum", ErrChecksumMismatch, network.CodeChecksumMismatch},
+		{"bad ref", ErrBadRef, network.CodeBadRequest},
+		{"other", errors.New("disk on fire"), network.CodeInternal},
+	} {
+		if got := classify(tc.err); got != tc.code {
+			t.Errorf("classify(%s) = %q, want %q", tc.name, got, tc.code)
+		}
+	}
+	if resp := srv.handle(&remoteRequest{Op: "bogus"}); resp.Code != network.CodeBadRequest {
+		t.Errorf("unknown op code = %q, want %q", resp.Code, network.CodeBadRequest)
+	}
+	if resp := srv.handle(&remoteRequest{Op: opGet, Key: "mem://sha256:" + strings64("0")}); resp.Code != network.CodeNotFound {
+		t.Errorf("missing key code = %q, want %q", resp.Code, network.CodeNotFound)
+	}
+}
+
 func strings64(s string) string {
 	out := make([]byte, 64)
 	for i := range out {

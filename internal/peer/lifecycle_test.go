@@ -99,7 +99,10 @@ func TestGossipHooksServeAndAccept(t *testing.T) {
 		endorser.SignedBy("Org1MSP")); err != nil {
 		t.Fatal(err)
 	}
+	// Delivery is asynchronous (Submit only); Sync flushes the pipeline the
+	// way gossip does once per pulled batch.
 	p2.DeliverBlock(b)
+	p2.Sync()
 	if p2.Height() != 1 {
 		t.Fatalf("gossiped height = %d", p2.Height())
 	}
@@ -110,6 +113,7 @@ func TestGossipHooksServeAndAccept(t *testing.T) {
 		t.Fatal(err)
 	}
 	p2.DeliverBlock(future)
+	p2.Sync()
 	if p2.Height() != 1 {
 		t.Errorf("height after bogus deliveries = %d", p2.Height())
 	}

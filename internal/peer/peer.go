@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
@@ -123,7 +124,9 @@ type Peer struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
-	started  bool
+	// started is read by Stop while Start may run concurrently (a peer
+	// torn down mid-startup), so it is atomic rather than a plain bool.
+	started atomic.Bool
 }
 
 // New creates a volatile peer (state, history, and ledger all in memory).
@@ -513,7 +516,7 @@ func (p *Peer) notifyCommit(ev CommitEvent) {
 // Blocks are handed to the commit pipeline without waiting for persistence,
 // so block N's ledger append overlaps block N+1's validation.
 func (p *Peer) Start(blocks <-chan *blockstore.Block) {
-	p.started = true
+	p.started.Store(true)
 	go func() {
 		defer close(p.done)
 		for {
@@ -534,7 +537,7 @@ func (p *Peer) Start(blocks <-chan *blockstore.Block) {
 // pipeline, and closes event streams.
 func (p *Peer) Stop() {
 	p.stopOnce.Do(func() { close(p.stop) })
-	if p.started {
+	if p.started.Load() {
 		<-p.done
 	}
 	p.committer.Close()
@@ -629,7 +632,19 @@ func (p *Peer) BlocksFrom(from uint64) []*blockstore.Block {
 
 // DeliverBlock accepts a block fetched from a gossip neighbour. The block
 // passes the same validation pipeline as an ordered block; out-of-order or
-// duplicate deliveries are ignored.
+// duplicate deliveries are ignored. Delivery only submits — it does not
+// wait for persistence — so a long gossip catch-up streams the whole tail
+// through the pipelined commit path; gossip calls Sync once per pull.
 func (p *Peer) DeliverBlock(b *blockstore.Block) {
-	p.CommitBlock(b)
+	p.committer.Submit(b)
+}
+
+// StateFingerprint returns a deterministic hash over the peer's committed
+// world state, first syncing the commit pipeline so the fingerprint covers
+// every accepted block. Two peers that committed the same chain produce
+// identical fingerprints, which is how multi-process deployments assert
+// convergence beyond raw height.
+func (p *Peer) StateFingerprint() string {
+	p.committer.Sync()
+	return committer.StateFingerprint(p.state)
 }

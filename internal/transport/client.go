@@ -1,0 +1,398 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/gossip"
+	"github.com/hyperprov/hyperprov/internal/network"
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// ErrBackoff is returned when a request arrives while the client is
+// holding off redialling a dead peer; the caller should simply try again
+// later (gossip does, every round).
+var ErrBackoff = errors.New("transport: peer unreachable, backing off")
+
+// ClientConfig tunes a transport client.
+type ClientConfig struct {
+	// Shape is applied to the client's writes (its uplink); zero means
+	// unshaped.
+	Shape network.LinkShape
+	// DialTimeout bounds one TCP connect attempt; 0 means 3s.
+	DialTimeout time.Duration
+	// MinBackoff/MaxBackoff bound the exponential redial backoff after a
+	// failed dial; 0 means 50ms / 2s.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.MinBackoff <= 0 {
+		c.MinBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	return c
+}
+
+// Client is one peer's view of a remote peer: a single TCP connection,
+// request/response exchanges serialized over it, and reconnect-with-backoff
+// when the remote drops. A failure on an established connection triggers
+// one immediate redial (the usual case: the peer restarted); failed dials
+// back off exponentially so a dead peer costs a cheap time check per
+// gossip round, not a connect timeout.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu       sync.Mutex
+	conn     net.Conn
+	shaped   *network.ShapedConn
+	hello    HelloInfo
+	helloOK  bool
+	backoff  time.Duration
+	nextDial time.Time
+	closed   bool
+}
+
+// Dial connects to a serving peer and performs the hello handshake.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	c := &Client{addr: addr, cfg: cfg.withDefaults()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	if err := c.helloLocked(); err != nil {
+		c.dropConnLocked()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Addr returns the remote peer's address.
+func (c *Client) Addr() string { return c.addr }
+
+// Hello returns the remote peer's handshake info, performing the exchange
+// if it has not happened yet (e.g. after Dial-time info was requested
+// again post-restart).
+func (c *Client) Hello() (HelloInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.helloOK {
+		return c.hello, nil
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		return HelloInfo{}, err
+	}
+	if err := c.helloLocked(); err != nil {
+		c.dropConnLocked()
+		return HelloInfo{}, err
+	}
+	return c.hello, nil
+}
+
+// helloLocked exchanges the handshake on the current connection.
+func (c *Client) helloLocked() error {
+	resp, err := c.exchangeLocked(&request{Op: opHello})
+	if err != nil {
+		return fmt.Errorf("transport: hello %s: %w", c.addr, err)
+	}
+	if !resp.OK {
+		return remoteErr(resp)
+	}
+	c.hello = HelloInfo{
+		Name:       resp.Name,
+		ChannelID:  resp.ChannelID,
+		Orgs:       resp.Orgs,
+		CACertsPEM: resp.CACertsPEM,
+		Height:     resp.Height,
+	}
+	c.helloOK = true
+	return nil
+}
+
+// connectLocked dials the remote, respecting the backoff gate.
+func (c *Client) connectLocked() error {
+	if c.closed {
+		return errors.New("transport: client closed")
+	}
+	if !c.nextDial.IsZero() && time.Now().Before(c.nextDial) {
+		return fmt.Errorf("%w: %s", ErrBackoff, c.addr)
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		if c.backoff == 0 {
+			c.backoff = c.cfg.MinBackoff
+		} else {
+			c.backoff *= 2
+			if c.backoff > c.cfg.MaxBackoff {
+				c.backoff = c.cfg.MaxBackoff
+			}
+		}
+		c.nextDial = time.Now().Add(c.backoff)
+		return fmt.Errorf("transport: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.shaped = network.NewShapedConn(conn, c.cfg.Shape)
+	c.backoff = 0
+	c.nextDial = time.Time{}
+	return nil
+}
+
+func (c *Client) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	return c.connectLocked()
+}
+
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.shaped = nil
+	}
+}
+
+// exchangeLocked writes one request and reads one response on the current
+// connection.
+func (c *Client) exchangeLocked(req *request) (*response, error) {
+	if err := network.WriteJSON(c.shaped, req); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := network.ReadJSON(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// roundTrip sends one request and reads one response, redialling once when
+// an established connection turns out to be dead.
+func (c *Client) roundTrip(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if err := c.ensureConnLocked(); err != nil {
+			return nil, err
+		}
+		resp, err := c.exchangeLocked(req)
+		if err == nil {
+			return resp, nil
+		}
+		c.dropConnLocked()
+		if attempt > 0 {
+			return nil, fmt.Errorf("transport: %s %s: %w", req.Op, c.addr, err)
+		}
+	}
+}
+
+// Height probes the remote peer's committed height.
+func (c *Client) Height() (uint64, error) {
+	resp, err := c.roundTrip(&request{Op: opHeight})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, remoteErr(resp)
+	}
+	return resp.Height, nil
+}
+
+// BlocksFrom streams the remote peer's blocks with number >= from, one
+// block per frame. On a mid-stream failure it returns the in-order prefix
+// received so far together with the error: the prefix is safe to commit,
+// and the next anti-entropy round fetches the rest.
+func (c *Client) BlocksFrom(from uint64) ([]*blockstore.Block, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConnLocked(); err != nil {
+		return nil, err
+	}
+	if err := network.WriteJSON(c.shaped, &request{Op: opBlocksFrom, From: from}); err != nil {
+		c.dropConnLocked()
+		return nil, fmt.Errorf("transport: blocksFrom %s: %w", c.addr, err)
+	}
+	var blocks []*blockstore.Block
+	for {
+		var resp response
+		if err := network.ReadJSON(c.conn, &resp); err != nil {
+			c.dropConnLocked()
+			return blocks, fmt.Errorf("transport: blocksFrom stream %s: %w", c.addr, err)
+		}
+		if !resp.OK {
+			return blocks, remoteErr(&resp)
+		}
+		if !resp.More {
+			return blocks, nil
+		}
+		if resp.Block != nil {
+			blocks = append(blocks, resp.Block)
+		}
+	}
+}
+
+// Deliver pushes one block to the remote peer's commit pipeline.
+func (c *Client) Deliver(b *blockstore.Block) error {
+	resp, err := c.roundTrip(&request{Op: opDeliver, Block: b})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return remoteErr(resp)
+	}
+	return nil
+}
+
+// SyncRemote waits until the remote peer has persisted every block it
+// accepted, returning its post-sync height.
+func (c *Client) SyncRemote() (uint64, error) {
+	resp, err := c.roundTrip(&request{Op: opSync})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, remoteErr(resp)
+	}
+	return resp.Height, nil
+}
+
+// ProcessProposal endorses a proposal on the remote peer. The signature
+// matches the local peer's, so a gateway fans proposals to local and
+// remote endorsers interchangeably.
+func (c *Client) ProcessProposal(prop *endorser.Proposal) (*endorser.Response, error) {
+	resp, err := c.roundTrip(&request{Op: opEndorse, Proposal: prop})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, remoteErr(resp)
+	}
+	if resp.Endorsement == nil {
+		return nil, &RemoteError{Code: network.CodeInternal, Msg: "endorse response without endorsement"}
+	}
+	return resp.Endorsement, nil
+}
+
+// Query runs a read-only chaincode invocation on the remote peer.
+func (c *Client) Query(chaincode, fn string, args [][]byte, creator []byte) (shim.Response, error) {
+	resp, err := c.roundTrip(&request{
+		Op: opQuery, Chaincode: chaincode, Function: fn, Args: args, Creator: creator,
+	})
+	if err != nil {
+		return shim.Response{}, err
+	}
+	if !resp.OK {
+		return shim.Response{}, remoteErr(resp)
+	}
+	return shim.Response{Status: resp.Status, Message: resp.Message, Payload: resp.Payload}, nil
+}
+
+// Fingerprint returns the remote peer's committed state fingerprint and
+// height (the convergence check for multi-process deployments).
+func (c *Client) Fingerprint() (string, uint64, error) {
+	resp, err := c.roundTrip(&request{Op: opFingerprint})
+	if err != nil {
+		return "", 0, err
+	}
+	if !resp.OK {
+		return "", 0, remoteErr(resp)
+	}
+	return resp.Fingerprint, resp.Height, nil
+}
+
+// Close closes the connection; in-flight calls fail and future calls
+// error immediately.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		c.shaped = nil
+		return err
+	}
+	return nil
+}
+
+// Member wraps the client as a gossip.Member, so a remote peer joins an
+// in-process gossip.Network unchanged: height probes, pulls, and block
+// deliveries to this member all cross the TCP connection. Errors are
+// swallowed into "no progress this round" — anti-entropy's periodic pulls
+// are the retry loop.
+type Member struct {
+	c    *Client
+	name string
+
+	// lastHeight caches the most recent successful probe. During an
+	// outage Height reports this instead of 0: reporting 0 would make a
+	// gossip puller recompute its fetch window from genesis and re-push
+	// the entire chain over the shaped link once the peer comes back.
+	mu         sync.Mutex
+	lastHeight uint64
+}
+
+var (
+	_ gossip.Member = (*Member)(nil)
+	_ gossip.Syncer = (*Member)(nil)
+)
+
+// Member returns the gossip adapter for this client, naming it after the
+// remote peer from the hello handshake.
+func (c *Client) Member() (*Member, error) {
+	info, err := c.Hello()
+	if err != nil {
+		return nil, err
+	}
+	return &Member{c: c, name: info.Name, lastHeight: info.Height}, nil
+}
+
+// Name returns the remote peer's name.
+func (m *Member) Name() string { return m.name }
+
+// Client returns the underlying transport client.
+func (m *Member) Client() *Client { return m.c }
+
+// Height probes the remote height; an unreachable peer reports the last
+// height it was seen at (pull attempts against it fail cleanly, and the
+// window stays correct for when it returns).
+func (m *Member) Height() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, err := m.c.Height()
+	if err != nil {
+		return m.lastHeight
+	}
+	m.lastHeight = h
+	return h
+}
+
+// BlocksFrom streams blocks from the remote peer. A mid-stream failure
+// yields the received prefix — in-order, so safe to deliver.
+func (m *Member) BlocksFrom(from uint64) []*blockstore.Block {
+	blocks, _ := m.c.BlocksFrom(from)
+	return blocks
+}
+
+// DeliverBlock pushes a block to the remote peer; a delivery failure is
+// dropped (the remote will pull the block on a later round).
+func (m *Member) DeliverBlock(b *blockstore.Block) {
+	_ = m.c.Deliver(b)
+}
+
+// Sync flushes the remote peer's commit pipeline after a delivered batch.
+func (m *Member) Sync() {
+	_, _ = m.c.SyncRemote()
+}

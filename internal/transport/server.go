@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/network"
+	"github.com/hyperprov/hyperprov/internal/peer"
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// Node is the peer surface the transport serves; *peer.Peer implements it.
+type Node interface {
+	// Name identifies the peer.
+	Name() string
+	// Height returns the committed block height.
+	Height() uint64
+	// BlocksFrom returns committed blocks with number >= from.
+	BlocksFrom(from uint64) []*blockstore.Block
+	// DeliverBlock submits a gossiped block to the commit pipeline.
+	DeliverBlock(b *blockstore.Block)
+	// Sync waits until every submitted block is fully persisted.
+	Sync()
+	// ProcessProposal endorses a signed proposal.
+	ProcessProposal(prop *endorser.Proposal) (*endorser.Response, error)
+	// Query runs a read-only chaincode invocation.
+	Query(chaincode, fn string, args [][]byte, creator []byte) (shim.Response, error)
+	// StateFingerprint hashes committed world state (post-Sync).
+	StateFingerprint() string
+}
+
+var _ Node = (*peer.Peer)(nil)
+
+// ServerConfig parameterizes a serving peer.
+type ServerConfig struct {
+	// ChannelID and Orgs describe the network for the hello handshake.
+	ChannelID string
+	Orgs      []string
+	// CACertsPEM are the organizations' CA certificates handed to joining
+	// processes as trust anchors.
+	CACertsPEM [][]byte
+	// Shape is applied to this server's writes on every accepted
+	// connection, modelling the peer's uplink (per-connection link
+	// shaping). Zero means unshaped.
+	Shape network.LinkShape
+}
+
+// Server exposes one peer on a TCP listener.
+type Server struct {
+	node Node
+	cfg  ServerConfig
+	ln   net.Listener
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer starts a peer transport server on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewServer(addr string, node Node, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{node: node, cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, tears down open connections, and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve handles one connection: framed requests in, shaped framed
+// responses out. A framing violation (oversized announcement, torn frame)
+// closes the connection — the client reconnects with backoff.
+func (s *Server) serve(conn net.Conn) {
+	shaped := network.NewShapedConn(conn, s.cfg.Shape)
+	for {
+		var req request
+		if err := network.ReadJSON(conn, &req); err != nil {
+			return // EOF, oversized frame, or broken connection
+		}
+		if req.Op == opBlocksFrom {
+			if err := s.streamBlocks(shaped, req.From); err != nil {
+				return
+			}
+			continue
+		}
+		if err := network.WriteJSON(shaped, s.handle(&req)); err != nil {
+			return
+		}
+	}
+}
+
+// streamBlocks answers a blocksFrom request: one block per frame, then a
+// terminating More=false frame. Streaming per block keeps a long catch-up
+// from buffering the whole tail in one frame and lets the shaper charge
+// each block its own transfer.
+func (s *Server) streamBlocks(w *network.ShapedConn, from uint64) error {
+	for _, b := range s.node.BlocksFrom(from) {
+		if err := network.WriteJSON(w, &response{OK: true, More: true, Block: b}); err != nil {
+			return err
+		}
+	}
+	return network.WriteJSON(w, &response{OK: true, More: false})
+}
+
+func (s *Server) handle(req *request) *response {
+	switch req.Op {
+	case opHello:
+		return &response{
+			OK:         true,
+			Name:       s.node.Name(),
+			ChannelID:  s.cfg.ChannelID,
+			Orgs:       s.cfg.Orgs,
+			CACertsPEM: s.cfg.CACertsPEM,
+			Height:     s.node.Height(),
+		}
+	case opHeight:
+		return &response{OK: true, Height: s.node.Height()}
+	case opDeliver:
+		if req.Block == nil {
+			return &response{Code: network.CodeBadRequest, Err: "deliver without block"}
+		}
+		s.node.DeliverBlock(req.Block)
+		return &response{OK: true}
+	case opSync:
+		s.node.Sync()
+		return &response{OK: true, Height: s.node.Height()}
+	case opEndorse:
+		if req.Proposal == nil {
+			return &response{Code: network.CodeBadRequest, Err: "endorse without proposal"}
+		}
+		resp, err := s.node.ProcessProposal(req.Proposal)
+		if err != nil {
+			return &response{Code: classifyPeerErr(err), Err: err.Error()}
+		}
+		return &response{OK: true, Endorsement: resp}
+	case opQuery:
+		resp, err := s.node.Query(req.Chaincode, req.Function, req.Args, req.Creator)
+		if err != nil {
+			return &response{Code: classifyPeerErr(err), Err: err.Error()}
+		}
+		return &response{OK: true, Status: resp.Status, Message: resp.Message, Payload: resp.Payload}
+	case opFingerprint:
+		fp := s.node.StateFingerprint()
+		return &response{OK: true, Fingerprint: fp, Height: s.node.Height()}
+	default:
+		return &response{Code: network.CodeBadRequest, Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// classifyPeerErr maps peer sentinel errors onto wire error codes.
+func classifyPeerErr(err error) network.ErrCode {
+	switch {
+	case errors.Is(err, peer.ErrUnknownChaincode):
+		return network.CodeUnknownChaincode
+	case errors.Is(err, peer.ErrSimulationFailed):
+		return network.CodeSimulationFailed
+	default:
+		return network.CodeInternal
+	}
+}

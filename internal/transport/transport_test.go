@@ -1,0 +1,498 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/gossip"
+	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/network"
+	"github.com/hyperprov/hyperprov/internal/peer"
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// fixture is a trust domain shared by every peer in a test: one CA, one
+// MSP, one client identity — the in-process stand-in for the network a
+// serving process would expose over hello.
+type fixture struct {
+	t      *testing.T
+	ca     *identity.CA
+	msp    *identity.MSP
+	client *identity.SigningIdentity
+	nextTx int
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	ca, err := identity.NewCA("Org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ca.Enroll("client0", identity.RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{t: t, ca: ca, msp: identity.NewMSP(ca), client: client}
+}
+
+func (f *fixture) newPeer(name string) *peer.Peer {
+	f.t.Helper()
+	signer, err := f.ca.Enroll(name, identity.RolePeer)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	p := peer.New(peer.Config{Name: name, Signer: signer, MSP: f.msp, ChannelID: "ch"})
+	if err := p.InstallChaincode(provenance.ChaincodeName, provenance.New(),
+		endorser.SignedBy("Org1MSP")); err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(p.Stop)
+	return p
+}
+
+func (f *fixture) serverConfig() ServerConfig {
+	return ServerConfig{
+		ChannelID:  "ch",
+		Orgs:       []string{"Org1"},
+		CACertsPEM: [][]byte{f.ca.CertPEM()},
+	}
+}
+
+func (f *fixture) serve(p *peer.Peer) *Server {
+	f.t.Helper()
+	srv, err := NewServer("127.0.0.1:0", p, f.serverConfig())
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func (f *fixture) dial(addr string) *Client {
+	f.t.Helper()
+	c, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// propose builds and signs a client proposal.
+func (f *fixture) propose(fn string, args ...string) *endorser.Proposal {
+	f.t.Helper()
+	raw := make([][]byte, len(args))
+	for i, a := range args {
+		raw[i] = []byte(a)
+	}
+	creator := f.client.Serialize()
+	txID, err := endorser.NewTxID(creator)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	p := &endorser.Proposal{
+		TxID:      txID,
+		ChannelID: "ch",
+		Chaincode: provenance.ChaincodeName,
+		Function:  fn,
+		Args:      raw,
+		Creator:   creator,
+		Timestamp: time.Now().UTC(),
+	}
+	sig, err := f.client.Sign(p.SignedBytes())
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	p.Signature = sig
+	return p
+}
+
+// commitTx endorses one provenance Set on p and commits it as the next
+// block, returning after persistence.
+func (f *fixture) commitTx(p *peer.Peer, key string) {
+	f.t.Helper()
+	f.nextTx++
+	fn := provenance.FnSet
+	args := []string{fmt.Sprintf(`{"key":%q,"checksum":"sha256:%04d"}`, key, f.nextTx)}
+	if p.Height() == 0 {
+		// First block instantiates the chaincode.
+		fn, args = peer.InitFunction, nil
+	}
+	prop := f.propose(fn, args...)
+	resp, err := p.ProcessProposal(prop)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	env := blockstore.Envelope{
+		TxID:      prop.TxID,
+		ChannelID: prop.ChannelID,
+		Chaincode: prop.Chaincode,
+		Function:  prop.Function,
+		Args:      prop.Args,
+		Creator:   prop.Creator,
+		Timestamp: prop.Timestamp,
+		RWSet:     resp.RWSet,
+		Response:  resp.Payload,
+		Events:    resp.Events,
+		Endorsements: []blockstore.Endorsement{
+			{Endorser: resp.Endorser, Signature: resp.Signature},
+		},
+	}
+	sig, err := f.client.Sign(env.SignedBytes())
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	env.Signature = sig
+	b, err := blockstore.NewBlock(p.Height(), p.Ledger().LastHash(), []blockstore.Envelope{env})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	p.DeliverBlock(b)
+	p.Sync()
+}
+
+func waitHeight(t *testing.T, p *peer.Peer, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for p.Height() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("height %d, want %d", p.Height(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHelloHeightFingerprint(t *testing.T) {
+	f := newFixture(t)
+	p := f.newPeer("peer0")
+	f.commitTx(p, "item-a")
+	f.commitTx(p, "item-b")
+	c := f.dial(f.serve(p).Addr())
+
+	info, err := c.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "peer0" || info.ChannelID != "ch" || len(info.Orgs) != 1 || info.Orgs[0] != "Org1" {
+		t.Errorf("hello = %+v", info)
+	}
+	if len(info.CACertsPEM) != 1 {
+		t.Fatalf("hello carried %d CA certs", len(info.CACertsPEM))
+	}
+	if _, err := identity.NewVerifyingCA(info.CACertsPEM[0]); err != nil {
+		t.Errorf("hello trust anchor unusable: %v", err)
+	}
+	h, err := c.Height()
+	if err != nil || h != 2 {
+		t.Errorf("remote height = %d, %v", h, err)
+	}
+	fp, fph, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != p.StateFingerprint() || fph != 2 {
+		t.Errorf("remote fingerprint = %s@%d", fp, fph)
+	}
+}
+
+func TestRemoteEndorseAndQuery(t *testing.T) {
+	f := newFixture(t)
+	p := f.newPeer("peer0")
+	f.commitTx(p, "endorse-seed") // instantiates the chaincode
+	c := f.dial(f.serve(p).Addr())
+
+	// A remote endorsement is byte-compatible with a local one: the MSP
+	// verifies its signature like any endorsement.
+	prop := f.propose(provenance.FnSet, `{"key":"remote-item","checksum":"sha256:aa"}`)
+	resp, err := c.ProcessProposal(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resp.Verify(f.msp); err != nil {
+		t.Errorf("remote endorsement does not verify: %v", err)
+	}
+
+	// Commit it locally, then query the record over the transport.
+	f.commitTx(p, "remote-item")
+	q, err := c.Query(provenance.ChaincodeName, provenance.FnGet,
+		[][]byte{[]byte("remote-item")}, f.client.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Status != shim.OK || len(q.Payload) == 0 {
+		t.Errorf("remote query = %+v", q)
+	}
+
+	// Structured error codes classify remote failures.
+	if _, err := c.Query("no-such-cc", "fn", nil, f.client.Serialize()); err == nil {
+		t.Error("unknown chaincode query succeeded")
+	} else {
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != network.CodeUnknownChaincode {
+			t.Errorf("unknown chaincode err = %v", err)
+		}
+	}
+	badProp := f.propose("no-such-function")
+	if _, err := c.ProcessProposal(badProp); err == nil {
+		t.Error("bad proposal endorsed")
+	} else {
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != network.CodeSimulationFailed {
+			t.Errorf("failed simulation err = %v", err)
+		}
+	}
+}
+
+// TestGossipPullOverTCP is the tentpole property: a peer in a (simulated)
+// separate process catches up purely by pulling blocks over a TCP
+// transport member, and lands on the identical state fingerprint.
+func TestGossipPullOverTCP(t *testing.T) {
+	f := newFixture(t)
+	source := f.newPeer("peer0")
+	for i := 0; i < 5; i++ {
+		f.commitTx(source, fmt.Sprintf("pull-%d", i))
+	}
+	edge := f.newPeer("peer1")
+	c := f.dial(f.serve(source).Addr())
+	remote, err := c.Member()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Name() != "peer0" {
+		t.Errorf("remote member name = %q", remote.Name())
+	}
+
+	g := gossip.New(gossip.Config{Interval: 10 * time.Millisecond, Fanout: 1}, edge, remote)
+	defer g.Stop()
+	waitHeight(t, edge, source.Height())
+	if err := edge.Ledger().VerifyChain(); err != nil {
+		t.Errorf("edge chain: %v", err)
+	}
+	if edge.StateFingerprint() != source.StateFingerprint() {
+		t.Error("state fingerprints diverge after TCP catch-up")
+	}
+}
+
+// TestGossipPushOverTCP exercises the reverse direction: the local gossip
+// network pushes blocks to a remote member via deliver frames, flushing
+// its pipeline with one sync per pulled batch.
+func TestGossipPushOverTCP(t *testing.T) {
+	f := newFixture(t)
+	local := f.newPeer("peer0")
+	remotePeer := f.newPeer("peer1")
+	for i := 0; i < 4; i++ {
+		f.commitTx(local, fmt.Sprintf("push-%d", i))
+	}
+	c := f.dial(f.serve(remotePeer).Addr())
+	remote, err := c.Member()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gossip.New(gossip.Config{Interval: 10 * time.Millisecond, Fanout: 1}, local, remote)
+	defer g.Stop()
+	waitHeight(t, remotePeer, local.Height())
+	if remotePeer.StateFingerprint() != local.StateFingerprint() {
+		t.Error("state fingerprints diverge after TCP push")
+	}
+}
+
+// chainOf builds a valid hash-chained run of empty blocks for
+// protocol-level tests that do not need real transactions.
+func chainOf(t *testing.T, n int) []*blockstore.Block {
+	t.Helper()
+	sto := blockstore.NewStore()
+	for i := 0; i < n; i++ {
+		b, err := blockstore.NewBlock(sto.Height(), sto.LastHash(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sto.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sto.BlocksFrom(0)
+}
+
+// TestMidStreamDisconnect cuts the connection after two of five streamed
+// blocks: the client must surface the in-order prefix plus an error, and
+// recover on the next call.
+func TestMidStreamDisconnect(t *testing.T) {
+	blocks := chainOf(t, 5)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					var req request
+					if err := network.ReadJSON(conn, &req); err != nil {
+						return
+					}
+					switch req.Op {
+					case opHello:
+						_ = network.WriteJSON(conn, &response{OK: true, Name: "half-open"})
+					case opBlocksFrom:
+						// Two frames, then drop the connection mid-stream.
+						_ = network.WriteJSON(conn, &response{OK: true, More: true, Block: blocks[0]})
+						_ = network.WriteJSON(conn, &response{OK: true, More: true, Block: blocks[1]})
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.BlocksFrom(0)
+	if err == nil {
+		t.Fatal("mid-stream disconnect reported no error")
+	}
+	if len(got) != 2 || got[0].Header.Number != 0 || got[1].Header.Number != 1 {
+		t.Fatalf("prefix = %d blocks", len(got))
+	}
+	// The member adapter delivers the prefix silently; the next round
+	// re-dials and pulls again.
+	m := &Member{c: c, name: "half-open"}
+	if pre := m.BlocksFrom(0); len(pre) != 2 {
+		t.Errorf("member prefix = %d blocks", len(pre))
+	}
+}
+
+// TestOversizedFrameClosesConnection: a frame header announcing more than
+// MaxFrame must terminate the connection on both ends.
+func TestOversizedFrameClosesConnection(t *testing.T) {
+	f := newFixture(t)
+	p := f.newPeer("peer0")
+	srv := f.serve(p)
+
+	// Client side: raw connection announcing an oversized request frame.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server kept the connection open after an oversized frame")
+	}
+
+	// Server side: a malicious server announcing an oversized response.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				var req request
+				_ = network.ReadJSON(conn, &req)
+				_, _ = conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+			}(conn)
+		}
+	}()
+	c := &Client{addr: ln.Addr().String(), cfg: ClientConfig{}.withDefaults()}
+	if _, err := c.Height(); err == nil || !errors.Is(err, network.ErrFrameTooLarge) {
+		t.Errorf("oversized response err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestReconnectAfterRestartConvergence: the serving peer's process dies
+// and comes back on the same address; the joined side must reconnect and
+// converge on blocks committed across the outage.
+func TestReconnectAfterRestartConvergence(t *testing.T) {
+	f := newFixture(t)
+	source := f.newPeer("peer0")
+	edge := f.newPeer("peer1")
+	f.commitTx(source, "before-restart")
+
+	srv, err := NewServer("127.0.0.1:0", source, f.serverConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c, err := Dial(addr, ClientConfig{MinBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	remote, err := c.Member()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gossip.New(gossip.Config{Interval: 10 * time.Millisecond, Fanout: 1}, edge, remote)
+	defer g.Stop()
+	waitHeight(t, edge, source.Height())
+
+	// Kill the serving endpoint, commit through the outage, restart on the
+	// same address.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.commitTx(source, "during-outage")
+	time.Sleep(50 * time.Millisecond) // let a few failed rounds exercise the backoff path
+	srv2, err := NewServer(addr, source, f.serverConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	waitHeight(t, edge, source.Height())
+	if edge.StateFingerprint() != source.StateFingerprint() {
+		t.Error("state fingerprints diverge after restart")
+	}
+}
+
+// TestDialBackoffFailsFast: while the backoff window is open, calls fail
+// with ErrBackoff instead of paying a connect timeout.
+func TestDialBackoffFailsFast(t *testing.T) {
+	f := newFixture(t)
+	p := f.newPeer("peer0")
+	srv := f.serve(p)
+	addr := srv.Addr()
+	c, err := Dial(addr, ClientConfig{MinBackoff: time.Minute, MaxBackoff: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Close()
+
+	// First call: dead conn, immediate redial fails, backoff opens.
+	if _, err := c.Height(); err == nil {
+		t.Fatal("call against closed server succeeded")
+	}
+	start := time.Now()
+	if _, err := c.Height(); !errors.Is(err, ErrBackoff) {
+		t.Errorf("in-backoff err = %v, want ErrBackoff", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("backoff fail-fast took %v", elapsed)
+	}
+}

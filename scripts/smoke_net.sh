@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Multi-process deployment smoke test: launches one -peer-serve primary
+# (blockchain network + off-chain storage + workload, peers exposed on TCP
+# listeners) and two -join peer processes. Each joiner fetches trust
+# anchors over the transport's hello handshake, catches up via TCP gossip
+# anti-entropy, and must reach the primary's exact block height and state
+# fingerprint — three OS processes, every block crossing a real socket.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+BIN="$WORK/hyperprov-net"
+LOG="$WORK/primary.log"
+go build -o "$BIN" ./cmd/hyperprov-net
+
+# -run-for must exceed the script's worst case (120s ready-wait + two 90s
+# join timeouts); the exit trap kills the primary long before that.
+"$BIN" -peer-serve -addr 127.0.0.1:0 -txs 4 -peer-latency 1ms -run-for 600s >"$LOG" 2>&1 &
+PRIMARY=$!
+cleanup() {
+  kill "$PRIMARY" 2>/dev/null || true
+  wait "$PRIMARY" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Wait for the primary to finish its workload and print the target.
+for _ in $(seq 1 240); do
+  grep -q '^PRIMARY ' "$LOG" && break
+  kill -0 "$PRIMARY" 2>/dev/null || { echo "primary exited early:"; cat "$LOG"; exit 1; }
+  sleep 0.5
+done
+grep -q '^PRIMARY ' "$LOG" || { echo "primary never became ready:"; cat "$LOG"; exit 1; }
+
+PEERS=$(awk '/^PEERS /{print $2}' "$LOG")
+HEIGHT=$(sed -n 's/^PRIMARY height=\([0-9]*\).*/\1/p' "$LOG")
+FP=$(sed -n 's/^PRIMARY .*fingerprint=\([0-9a-f]*\)$/\1/p' "$LOG")
+PEER1=$(echo "$PEERS" | cut -d, -f1)
+PEER2=$(echo "$PEERS" | cut -d, -f2)
+[ -n "$HEIGHT" ] && [ -n "$FP" ] && [ -n "$PEER1" ] && [ -n "$PEER2" ] || {
+  echo "could not parse primary output:"; cat "$LOG"; exit 1;
+}
+echo "primary ready: peers=$PEERS height=$HEIGHT fingerprint=$FP"
+
+# Two joining processes, each gossiping with a different serving peer.
+"$BIN" -join "$PEER1" -name edge-a -peer-latency 1ms \
+  -expect-height "$HEIGHT" -expect-fingerprint "$FP" -timeout 90s
+"$BIN" -join "$PEER2" -name edge-b -peer-latency 1ms \
+  -expect-height "$HEIGHT" -expect-fingerprint "$FP" -timeout 90s
+
+echo "smoke ok: two joined processes converged to height $HEIGHT with matching state fingerprints"

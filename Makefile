@@ -8,7 +8,7 @@ GO ?= go
 COVER_FLOOR ?= 84.0
 
 .PHONY: all fmt fmt-check vet lint build test race bench bench-commit \
-	bench-recovery cover crash-test cross smoke
+	bench-recovery bench-state cover crash-test cross smoke
 
 all: build test
 
@@ -50,6 +50,9 @@ bench-commit:
 
 bench-recovery:
 	$(GO) run ./cmd/hyperprov-bench -experiment recovery -recovery-out BENCH_recovery.json
+
+bench-state:
+	$(GO) run ./cmd/hyperprov-bench -experiment state -state-out BENCH_state.json
 
 # Crash-recovery torture tests, repeated: the randomized kill points cover
 # different interleavings on every -count iteration.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|recovery|all [-quick] [-out file] [-recovery-out file]
+//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|recovery|state|all [-quick] [-out file] [-recovery-out file] [-state-out file]
 package main
 
 import (
@@ -18,20 +18,22 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, recovery, or all")
+		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, recovery, state, or all")
 	quick := flag.Bool("quick", false, "use reduced sweep sizes and windows")
 	out := flag.String("out", "BENCH_commit.json",
 		"path the commit experiment writes its JSON result to (empty disables)")
 	recoveryOut := flag.String("recovery-out", "BENCH_recovery.json",
 		"path the recovery experiment writes its JSON result to (empty disables)")
+	stateOut := flag.String("state-out", "BENCH_state.json",
+		"path the state experiment writes its JSON result to (empty disables)")
 	flag.Parse()
-	if err := run(*experiment, *quick, *out, *recoveryOut); err != nil {
+	if err := run(*experiment, *quick, *out, *recoveryOut, *stateOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, quick bool, out, recoveryOut string) error {
+func run(experiment string, quick bool, out, recoveryOut, stateOut string) error {
 	sweep := bench.DefaultSweep()
 	energyCfg := bench.DefaultEnergy()
 	if quick {
@@ -134,6 +136,22 @@ func run(experiment string, quick bool, out, recoveryOut string) error {
 				}
 				fmt.Println("wrote", recoveryOut)
 			}
+		case "state":
+			cfg := bench.DefaultStateBench()
+			if quick {
+				cfg = bench.QuickStateBench()
+			}
+			res, err := bench.RunStateBench(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+			if stateOut != "" {
+				if err := res.WriteJSON(stateOut); err != nil {
+					return err
+				}
+				fmt.Println("wrote", stateOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -141,7 +159,7 @@ func run(experiment string, quick bool, out, recoveryOut string) error {
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit", "recovery"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit", "recovery", "state"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,420 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/statedb"
+)
+
+// This file holds the state-layer experiment behind the sharded store:
+//
+//  1. scan: latency of a fixed-size range scan as total state grows. The
+//     single-lock reference store materializes and sorts the whole map
+//     (linear in state size); the sharded store's ordered key index seeks
+//     and streams (flat in state size for a fixed result).
+//  2. mixed: throughput of a fixed mixed workload — concurrent readers
+//     issuing point gets with periodic bounded scans, plus one batch
+//     writer, the shape of a peer serving queries while committing —
+//     across shard counts, against the single-lock baseline. The work per
+//     configuration is fixed and every goroutine runs to completion, so
+//     the comparison measures lock structure and op cost, not scheduler
+//     luck on small machines.
+//  3. read-during-commit: Get latency observed by a reader while large
+//     update batches apply continuously and a scanner walks the full
+//     state. Under the single lock a pending writer behind a long reader
+//     scan stalls every later Get for the whole scan; snapshot-backed
+//     scans plus shard locks remove exactly that stall.
+//
+// All numbers are real wall-clock on the host (no device model): this
+// experiment measures the data structure, not the paper's hardware.
+
+// StateBenchConfig parameterizes the state experiment.
+type StateBenchConfig struct {
+	// Sizes are the total-state key counts of the scan experiment.
+	Sizes []int
+	// ScanResult is the fixed range-scan result size.
+	ScanResult int
+	// ScanIters is how many scans are averaged per point.
+	ScanIters int
+	// Shards are the shard counts of the mixed experiment (1 included or
+	// not, the single-lock ReferenceStore is always measured as baseline).
+	Shards []int
+	// MixedKeys is the mixed experiment's resident key count.
+	MixedKeys int
+	// Readers is the number of concurrent reader goroutines.
+	Readers int
+	// ReadsPerReader is each reader's fixed op count (gets + scans).
+	ReadsPerReader int
+	// ScanEvery makes every n-th reader op a bounded scan of ScanResult
+	// keys instead of a point get.
+	ScanEvery int
+	// WriteBatches is the writer's fixed batch count per mixed point.
+	WriteBatches int
+	// ApplyBatch is the writer's batch size (keys per ApplyUpdates).
+	ApplyBatch int
+	// LatencyGets is the number of Get samples of the latency experiment.
+	LatencyGets int
+}
+
+// DefaultStateBench returns the figure-quality configuration.
+func DefaultStateBench() StateBenchConfig {
+	return StateBenchConfig{
+		Sizes:          []int{10_000, 100_000, 1_000_000},
+		ScanResult:     100,
+		ScanIters:      200,
+		Shards:         []int{1, 2, 4, 8},
+		MixedKeys:      100_000,
+		Readers:        8,
+		ReadsPerReader: 10_000,
+		ScanEvery:      128,
+		WriteBatches:   100,
+		ApplyBatch:     500,
+		LatencyGets:    20_000,
+	}
+}
+
+// QuickStateBench returns a reduced run for smoke tests.
+func QuickStateBench() StateBenchConfig {
+	return StateBenchConfig{
+		Sizes:          []int{10_000, 50_000},
+		ScanResult:     50,
+		ScanIters:      20,
+		Shards:         []int{1, 4},
+		MixedKeys:      10_000,
+		Readers:        4,
+		ReadsPerReader: 2_000,
+		ScanEvery:      64,
+		WriteBatches:   20,
+		ApplyBatch:     200,
+		LatencyGets:    2_000,
+	}
+}
+
+// StateScanRow is one (total size) point of the scan experiment.
+type StateScanRow struct {
+	Keys        int     `json:"keys"`
+	ResultSize  int     `json:"resultSize"`
+	ShardedUs   float64 `json:"shardedScanMicros"`
+	ReferenceUs float64 `json:"referenceScanMicros"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// StateMixedRow is one (shard count) point of the mixed experiment.
+type StateMixedRow struct {
+	Shards       int     `json:"shards"` // 0 = single-lock reference
+	ReadsPerSec  float64 `json:"readsPerSec"`
+	WritesPerSec float64 `json:"writesPerSec"`
+	Speedup      float64 `json:"speedupVsReference"`
+}
+
+// StateLatencyRow is one read-during-commit latency point.
+type StateLatencyRow struct {
+	Shards    int     `json:"shards"` // 0 = single-lock reference
+	GetMeanUs float64 `json:"getMeanMicros"`
+	GetP99Us  float64 `json:"getP99Micros"`
+	GetMaxUs  float64 `json:"getMaxMicros"`
+}
+
+// StateBenchResult is the regenerated state-layer comparison.
+type StateBenchResult struct {
+	Name        string            `json:"name"`
+	Description string            `json:"description"`
+	Scan        []StateScanRow    `json:"scan"`
+	Mixed       []StateMixedRow   `json:"mixed"`
+	Latency     []StateLatencyRow `json:"readDuringCommit"`
+}
+
+// Format renders the comparison tables.
+func (r StateBenchResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n%s\n", r.Name, r.Description)
+	fmt.Fprintf(&sb, "-- range scan (fixed %d-key result) --\n", r.scanResultSize())
+	fmt.Fprintf(&sb, "%-10s %14s %16s %10s\n", "keys", "sharded(us)", "single-lock(us)", "speedup")
+	for _, row := range r.Scan {
+		fmt.Fprintf(&sb, "%-10d %14.1f %16.1f %9.1fx\n",
+			row.Keys, row.ShardedUs, row.ReferenceUs, row.Speedup)
+	}
+	fmt.Fprintf(&sb, "-- mixed read/write throughput --\n")
+	fmt.Fprintf(&sb, "%-12s %14s %14s %10s\n", "shards", "reads/s", "writes/s", "speedup")
+	for _, row := range r.Mixed {
+		name := fmt.Sprintf("%d", row.Shards)
+		if row.Shards == 0 {
+			name = "single-lock"
+		}
+		fmt.Fprintf(&sb, "%-12s %14.0f %14.0f %9.2fx\n",
+			name, row.ReadsPerSec, row.WritesPerSec, row.Speedup)
+	}
+	fmt.Fprintf(&sb, "-- Get latency during continuous ApplyUpdates --\n")
+	fmt.Fprintf(&sb, "%-12s %14s %14s %14s\n", "shards", "mean(us)", "p99(us)", "max(us)")
+	for _, row := range r.Latency {
+		name := fmt.Sprintf("%d", row.Shards)
+		if row.Shards == 0 {
+			name = "single-lock"
+		}
+		fmt.Fprintf(&sb, "%-12s %14.2f %14.1f %14.1f\n", name, row.GetMeanUs, row.GetP99Us, row.GetMaxUs)
+	}
+	return sb.String()
+}
+
+func (r StateBenchResult) scanResultSize() int {
+	if len(r.Scan) > 0 {
+		return r.Scan[0].ResultSize
+	}
+	return 0
+}
+
+// WriteJSON writes the result to path (the BENCH_state.json artifact the
+// CI benchmark job uploads).
+func (r StateBenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal state result: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// stateKey formats the i-th resident key (zero-padded so key order is
+// deterministic).
+func stateKey(i int) string { return fmt.Sprintf("key-%08d", i) }
+
+// populate fills db with n keys in batches.
+func populate(db statedb.StateDB, n int) error {
+	const chunk = 10_000
+	block := uint64(1)
+	for at := 0; at < n; at += chunk {
+		b := statedb.NewUpdateBatch()
+		end := at + chunk
+		if end > n {
+			end = n
+		}
+		for i := at; i < end; i++ {
+			b.Put(stateKey(i), []byte(fmt.Sprintf(`{"n":%d}`, i)), statedb.Version{BlockNum: block})
+		}
+		if err := db.ApplyUpdates(b, statedb.Version{BlockNum: block, TxNum: uint64(end - at)}); err != nil {
+			return err
+		}
+		block++
+	}
+	return nil
+}
+
+// RunStateBench regenerates the state-layer experiment.
+func RunStateBench(cfg StateBenchConfig) (StateBenchResult, error) {
+	res := StateBenchResult{
+		Name: "state: sharded, iterator-based world state",
+		Description: "range-scan latency vs total state size (fixed result), mixed read/write\n" +
+			"throughput vs shard count, and Get latency while batches apply; the\n" +
+			"baseline is the pre-sharding single-RWMutex store (wall-clock time).",
+	}
+
+	// 1. Scan latency vs total state size.
+	for _, n := range cfg.Sizes {
+		sharded := statedb.New()
+		ref := statedb.NewReference()
+		if err := populate(sharded, n); err != nil {
+			return res, err
+		}
+		if err := populate(ref, n); err != nil {
+			return res, err
+		}
+		rng := rand.New(rand.NewSource(7))
+		measure := func(db statedb.StateDB) float64 {
+			// Time-boxed: the single-lock store's O(n) scans at 1M keys
+			// would otherwise dominate the nightly job's wall clock.
+			const budget = 2 * time.Second
+			var total time.Duration
+			iters := 0
+			for i := 0; i < cfg.ScanIters && total < budget; i++ {
+				at := rng.Intn(n - cfg.ScanResult)
+				start := time.Now()
+				it := db.GetRange(stateKey(at), "")
+				for j := 0; j < cfg.ScanResult; j++ {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+				}
+				it.Close()
+				total += time.Since(start)
+				iters++
+			}
+			return float64(total.Microseconds()) / float64(iters)
+		}
+		su := measure(sharded)
+		ru := measure(ref)
+		res.Scan = append(res.Scan, StateScanRow{
+			Keys: n, ResultSize: cfg.ScanResult,
+			ShardedUs: su, ReferenceUs: ru, Speedup: ru / su,
+		})
+	}
+
+	// 2. Mixed read/write throughput vs shard count: fixed work, wall time
+	// to drain it all.
+	var baseline float64
+	runMixed := func(db statedb.StateDB, shards int) (StateMixedRow, error) {
+		if err := populate(db, cfg.MixedKeys); err != nil {
+			return StateMixedRow{}, err
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < cfg.Readers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < cfg.ReadsPerReader; i++ {
+					if cfg.ScanEvery > 0 && i%cfg.ScanEvery == cfg.ScanEvery-1 {
+						// Bounded scan — a provenance range query mid-load.
+						at := rng.Intn(cfg.MixedKeys - cfg.ScanResult)
+						it := db.GetRange(stateKey(at), "")
+						for j := 0; j < cfg.ScanResult; j++ {
+							if _, ok := it.Next(); !ok {
+								break
+							}
+						}
+						it.Close()
+						continue
+					}
+					db.Get(stateKey(rng.Intn(cfg.MixedKeys)))
+				}
+			}(int64(w + 1))
+		}
+		// One writer, as in the commit pipeline's apply stage.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(99))
+			block := uint64(1_000_000)
+			for n := 0; n < cfg.WriteBatches; n++ {
+				b := statedb.NewUpdateBatch()
+				for i := 0; i < cfg.ApplyBatch; i++ {
+					b.Put(stateKey(rng.Intn(cfg.MixedKeys)),
+						[]byte(`{"w":1}`), statedb.Version{BlockNum: block})
+				}
+				if err := db.ApplyUpdates(b, statedb.Version{BlockNum: block, TxNum: uint64(cfg.ApplyBatch)}); err != nil {
+					return
+				}
+				block++
+			}
+		}()
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		return StateMixedRow{
+			Shards:       shards,
+			ReadsPerSec:  float64(cfg.Readers*cfg.ReadsPerReader) / secs,
+			WritesPerSec: float64(cfg.WriteBatches*cfg.ApplyBatch) / secs,
+		}, nil
+	}
+	refRow, err := runMixed(statedb.NewReference(), 0)
+	if err != nil {
+		return res, err
+	}
+	baseline = refRow.ReadsPerSec + refRow.WritesPerSec
+	refRow.Speedup = 1
+	res.Mixed = append(res.Mixed, refRow)
+	for _, shards := range cfg.Shards {
+		row, err := runMixed(statedb.NewSharded(shards), shards)
+		if err != nil {
+			return res, err
+		}
+		row.Speedup = (row.ReadsPerSec + row.WritesPerSec) / baseline
+		res.Mixed = append(res.Mixed, row)
+	}
+
+	// 3. Get latency while batches apply continuously AND a scanner walks
+	// the full state (read-during-commit). Under the single lock, a
+	// pending ApplyUpdates behind a long scan stalls every Get arriving
+	// after it for the rest of the scan; the sharded store's snapshot
+	// scans hold no store-wide lock, so Gets never queue behind either.
+	runLatency := func(db statedb.StateDB, shards int) (StateLatencyRow, error) {
+		if err := populate(db, cfg.MixedKeys); err != nil {
+			return StateLatencyRow{}, err
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // paced batch applies: one block every 2ms, like a
+			// commit pipeline at steady state. Pacing (rather than
+			// applying flat out) keeps the write pressure identical
+			// across configurations, so rows compare reader latency —
+			// not how much extra work a faster store generated for
+			// itself.
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(5))
+			block := uint64(1_000_000)
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				b := statedb.NewUpdateBatch()
+				for i := 0; i < cfg.ApplyBatch; i++ {
+					b.Put(stateKey(rng.Intn(cfg.MixedKeys)),
+						[]byte(`{"w":2}`), statedb.Version{BlockNum: block})
+				}
+				_ = db.ApplyUpdates(b, statedb.Version{BlockNum: block, TxNum: uint64(cfg.ApplyBatch)})
+				block++
+			}
+		}()
+		go func() { // continuous full-state scans (rich-query analog)
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := db.GetRange("", "")
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+				}
+				it.Close()
+			}
+		}()
+		rng := rand.New(rand.NewSource(11))
+		samples := make([]time.Duration, 0, cfg.LatencyGets)
+		for i := 0; i < cfg.LatencyGets; i++ {
+			start := time.Now()
+			db.Get(stateKey(rng.Intn(cfg.MixedKeys)))
+			samples = append(samples, time.Since(start))
+		}
+		close(stop)
+		wg.Wait()
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		var sum time.Duration
+		for _, s := range samples {
+			sum += s
+		}
+		row := StateLatencyRow{Shards: shards}
+		if len(samples) > 0 {
+			row.GetMeanUs = float64(sum.Microseconds()) / float64(len(samples))
+			row.GetP99Us = float64(samples[len(samples)*99/100].Microseconds())
+			row.GetMaxUs = float64(samples[len(samples)-1].Microseconds())
+		}
+		return row, nil
+	}
+	refLat, err := runLatency(statedb.NewReference(), 0)
+	if err != nil {
+		return res, err
+	}
+	res.Latency = append(res.Latency, refLat)
+	for _, shards := range cfg.Shards {
+		row, err := runLatency(statedb.NewSharded(shards), shards)
+		if err != nil {
+			return res, err
+		}
+		res.Latency = append(res.Latency, row)
+	}
+	return res, nil
+}

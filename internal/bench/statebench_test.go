@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunStateBenchQuick(t *testing.T) {
+	cfg := QuickStateBench()
+	res, err := RunStateBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scan) != len(cfg.Sizes) {
+		t.Fatalf("scan rows = %d, want %d", len(res.Scan), len(cfg.Sizes))
+	}
+	for _, row := range res.Scan {
+		if row.ShardedUs <= 0 || row.ReferenceUs <= 0 {
+			t.Fatalf("empty scan measurement: %+v", row)
+		}
+	}
+	// Reference baseline (shards=0) plus one row per configured count.
+	if len(res.Mixed) != len(cfg.Shards)+1 {
+		t.Fatalf("mixed rows = %d, want %d", len(res.Mixed), len(cfg.Shards)+1)
+	}
+	if res.Mixed[0].Shards != 0 || res.Mixed[0].Speedup != 1 {
+		t.Fatalf("first mixed row is not the baseline: %+v", res.Mixed[0])
+	}
+	for _, row := range res.Mixed {
+		if row.ReadsPerSec <= 0 {
+			t.Fatalf("mixed row without reads: %+v", row)
+		}
+	}
+	if len(res.Latency) != len(cfg.Shards)+1 {
+		t.Fatalf("latency rows = %d, want %d", len(res.Latency), len(cfg.Shards)+1)
+	}
+	if res.Format() == "" {
+		t.Fatal("empty Format")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_state.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StateBenchResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(back.Scan) != len(res.Scan) {
+		t.Fatal("artifact dropped scan rows")
+	}
+}

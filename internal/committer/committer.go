@@ -88,14 +88,20 @@ type Config struct {
 	OnCheckpoint func(c Capture)
 }
 
-// Capture is one consistent state snapshot at a block boundary.
+// Capture is one consistent state view at a block boundary. State is a
+// height-stamped copy-on-write snapshot, not a materialized map: taking it
+// in the MVCC stage costs O(1), so checkpoint boundaries no longer stall
+// the apply path behind a full-state deep copy. The consumer (the recovery
+// manager, in the persistence stage) materializes what it needs and MUST
+// Release the snapshot.
 type Capture struct {
 	// Height is the number of blocks the snapshot reflects.
 	Height uint64
 	// StateHeight is the state database's version at the snapshot.
 	StateHeight statedb.Version
-	// State is a deep copy of the live state at the boundary.
-	State map[string]statedb.VersionedValue
+	// State is the live state pinned at the boundary. The OnCheckpoint
+	// consumer releases it.
+	State statedb.Snapshot
 	// IndexEntries is the serialized contents of the state database's
 	// secondary indexes at the same boundary (nil when the state database
 	// maintains none); restoring from them skips re-indexing every
@@ -171,19 +177,22 @@ type task struct {
 	capture *Capture
 }
 
-// captureState snapshots the state database at t's block boundary when the
-// config asks for one. It must run immediately after applyState, before any
-// later block is applied — that ordering is what makes the capture sit
-// exactly at the block boundary.
+// captureState pins a state snapshot at t's block boundary when the config
+// asks for one. It must run immediately after applyState, before any later
+// block is applied — that ordering is what makes the capture sit exactly at
+// the block boundary. The pin itself is O(1) copy-on-write; only the index
+// entries are copied here (their structures are not COW), and the full
+// state materialization happens downstream in the persistence stage.
 func captureState(cfg Config, t *task) {
 	h := t.b.Header.Number + 1
 	if !cfg.wantCapture(h) {
 		return
 	}
+	snap := cfg.State.Snapshot()
 	t.capture = &Capture{
 		Height:      h,
-		StateHeight: cfg.State.Height(),
-		State:       cfg.State.Snapshot(),
+		StateHeight: snap.Height(),
+		State:       snap,
 	}
 	if ixs, ok := cfg.State.(indexSnapshotter); ok {
 		t.capture.IndexEntries = ixs.IndexEntries()

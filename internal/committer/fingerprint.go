@@ -14,8 +14,32 @@ import (
 // stream — through any committer engine, live or via checkpoint restore
 // plus tail replay — have equal fingerprints; the equivalence test, the
 // commit benchmark, and the crash-recovery torture tests all lean on this.
+// The hash streams from a snapshot's ordered iterator: no materialized
+// copy, no sort.
 func StateFingerprint(s statedb.StateDB) string {
-	return SnapshotFingerprint(s.Snapshot())
+	snap := s.Snapshot()
+	defer snap.Release()
+	h := sha256.New()
+	var num [8]byte
+	it := snap.All()
+	defer it.Close()
+	for {
+		kv, ok := it.Next()
+		if !ok {
+			break
+		}
+		binary.BigEndian.PutUint64(num[:], uint64(len(kv.Key)))
+		h.Write(num[:])
+		h.Write([]byte(kv.Key))
+		binary.BigEndian.PutUint64(num[:], uint64(len(kv.Value)))
+		h.Write(num[:])
+		h.Write(kv.Value)
+		binary.BigEndian.PutUint64(num[:], kv.Version.BlockNum)
+		h.Write(num[:])
+		binary.BigEndian.PutUint64(num[:], kv.Version.TxNum)
+		h.Write(num[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // SnapshotFingerprint is StateFingerprint over an already-taken snapshot;

@@ -54,7 +54,7 @@ func TestReplayTailFromSnapshot(t *testing.T) {
 
 	// Restore the mid-stream snapshot, then replay only the tail.
 	state := statedb.New()
-	state.Restore(prefix.state.Snapshot(), prefix.state.Height())
+	state.Restore(prefix.state.Export(), prefix.state.Height())
 	history := historydb.New()
 	history.Restore(prefix.history.Snapshot())
 	if err := Replay(state, history, ref.blocks.BlocksFrom(uint64(cut))); err != nil {
@@ -76,7 +76,7 @@ func TestReplayRejectsForeignPreState(t *testing.T) {
 	// Replaying the tail against a state that is NOT the pre-tail boundary
 	// must fail loudly (height regression), never silently fork.
 	state := statedb.New()
-	state.Restore(ref.state.Snapshot(), ref.state.Height()) // already at tip
+	state.Restore(ref.state.Export(), ref.state.Height()) // already at tip
 	if err := Replay(state, nil, ref.blocks.BlocksFrom(0)); err == nil {
 		t.Fatal("replay over already-reflected state succeeded")
 	}
@@ -119,7 +119,7 @@ func TestCheckpointCapturesAtConfiguredBoundaries(t *testing.T) {
 				// Every capture must equal an uninterrupted run of its
 				// prefix — the consistency property recovery depends on.
 				prefix := commitPrefix(t, f, stream, int(c.Height))
-				if got, want := SnapshotFingerprint(c.State), StateFingerprint(prefix.state); got != want {
+				if got, want := SnapshotFingerprint(c.State.Materialize()), StateFingerprint(prefix.state); got != want {
 					t.Errorf("capture at height %d: fingerprint %s, want %s", c.Height, got, want)
 				}
 				if c.StateHeight != prefix.state.Height() {

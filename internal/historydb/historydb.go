@@ -2,6 +2,11 @@
 // the substrate behind Fabric's GetHistoryForKey and therefore behind
 // HyperProv's GetKeyHistory operator, which returns every version a data
 // item's provenance record has gone through.
+//
+// The database is lock-striped the same way the sharded state store is:
+// keys hash (FNV-1a) onto fixed stripes, each with its own RWMutex, so
+// concurrent history queries from endorsement never contend with the
+// commit pipeline's batch recording on one global lock.
 package historydb
 
 import (
@@ -23,15 +28,43 @@ type Entry struct {
 	Timestamp time.Time `json:"timestamp"`
 }
 
-// DB stores per-key commit history in commit order (oldest first).
-type DB struct {
+// stripeCount is the number of lock stripes. History access is far less
+// hot than state access, so a fixed count suffices.
+const stripeCount = 16
+
+// stripe is one lock-striped slice of the per-key history map.
+type stripe struct {
 	mu      sync.RWMutex
 	entries map[string][]Entry
 }
 
+// DB stores per-key commit history in commit order (oldest first).
+type DB struct {
+	stripes [stripeCount]stripe
+}
+
 // New creates an empty history DB.
 func New() *DB {
-	return &DB{entries: make(map[string][]Entry)}
+	db := &DB{}
+	for i := range db.stripes {
+		db.stripes[i].entries = make(map[string][]Entry)
+	}
+	return db
+}
+
+// stripeFor hashes key (FNV-1a) onto its stripe.
+func (db *DB) stripeFor(key string) *stripe { return &db.stripes[db.stripeIndex(key)] }
+
+// stripeIndex is the same inlined FNV-1a loop statedb's Store.shardIndex
+// uses (hash/fnv would allocate per call on this hot path); the two must
+// only agree with themselves, never with each other.
+func (db *DB) stripeIndex(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % stripeCount)
 }
 
 // Record appends an entry to key's history. Values are copied.
@@ -39,9 +72,10 @@ func (db *DB) Record(key string, e Entry) {
 	val := make([]byte, len(e.Value))
 	copy(val, e.Value)
 	e.Value = val
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.entries[key] = append(db.entries[key], e)
+	st := db.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.entries[key] = append(st.entries[key], e)
 }
 
 // KeyedEntry pairs a state key with one history entry, for batch recording.
@@ -50,29 +84,42 @@ type KeyedEntry struct {
 	Entry Entry
 }
 
-// RecordBatch appends every entry under a single lock acquisition — the
-// commit pipeline records one batch per block instead of locking per write.
-// Entries must be in commit order. Values are copied.
+// RecordBatch appends every entry with one lock acquisition per touched
+// stripe — the commit pipeline records one batch per block instead of
+// locking per write. Entries must be in commit order (per-key order is
+// preserved: a key always lands on the same stripe). Values are copied.
 func (db *DB) RecordBatch(recs []KeyedEntry) {
 	if len(recs) == 0 {
 		return
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	var groups [stripeCount][]KeyedEntry
 	for _, r := range recs {
-		e := r.Entry
-		val := make([]byte, len(e.Value))
-		copy(val, e.Value)
-		e.Value = val
-		db.entries[r.Key] = append(db.entries[r.Key], e)
+		i := db.stripeIndex(r.Key)
+		groups[i] = append(groups[i], r)
+	}
+	for i := range groups {
+		if len(groups[i]) == 0 {
+			continue
+		}
+		st := &db.stripes[i]
+		st.mu.Lock()
+		for _, r := range groups[i] {
+			e := r.Entry
+			val := make([]byte, len(e.Value))
+			copy(val, e.Value)
+			e.Value = val
+			st.entries[r.Key] = append(st.entries[r.Key], e)
+		}
+		st.mu.Unlock()
 	}
 }
 
 // History returns key's history oldest-first. The returned slice is a copy.
 func (db *DB) History(key string) []Entry {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	src := db.entries[key]
+	st := db.stripeFor(key)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	src := st.entries[key]
 	out := make([]Entry, len(src))
 	copy(out, src)
 	return out
@@ -80,27 +127,39 @@ func (db *DB) History(key string) []Entry {
 
 // Versions returns the number of committed writes (including deletes) to key.
 func (db *DB) Versions(key string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.entries[key])
+	st := db.stripeFor(key)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.entries[key])
 }
 
 // Keys returns how many distinct keys have history.
 func (db *DB) Keys() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.entries)
+	n := 0
+	for i := range db.stripes {
+		st := &db.stripes[i]
+		st.mu.RLock()
+		n += len(st.entries)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // Snapshot returns a deep copy of the full history, keyed by state key.
 // Checkpoints persist this form so a restarted peer recovers GetKeyHistory
-// without replaying the chain from genesis.
+// without replaying the chain from genesis. Stripes are copied one at a
+// time; callers wanting a cross-stripe-consistent capture (the recovery
+// manager) invoke it where recording is quiesced — on the persistence
+// goroutine, behind the watermark.
 func (db *DB) Snapshot() map[string][]Entry {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make(map[string][]Entry, len(db.entries))
-	for k, src := range db.entries {
-		out[k] = copyEntries(src)
+	out := make(map[string][]Entry)
+	for i := range db.stripes {
+		st := &db.stripes[i]
+		st.mu.RLock()
+		for k, src := range st.entries {
+			out[k] = copyEntries(src)
+		}
+		st.mu.RUnlock()
 	}
 	return out
 }
@@ -122,12 +181,7 @@ func copyEntries(src []Entry) []Entry {
 // Restore replaces the full history with the given snapshot (checkpoint
 // recovery). The snapshot is deep-copied; the caller keeps ownership.
 func (db *DB) Restore(snap map[string][]Entry) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.entries = make(map[string][]Entry, len(snap))
-	for k, src := range snap {
-		db.entries[k] = copyEntries(src)
-	}
+	db.replace(snap, true)
 }
 
 // RestoreOwned is Restore without the deep copy: the database takes
@@ -135,21 +189,44 @@ func (db *DB) Restore(snap map[string][]Entry) {
 // callers that freshly materialized the snapshot and never touch it again
 // (checkpoint recovery); anything else must use Restore.
 func (db *DB) RestoreOwned(snap map[string][]Entry) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.entries = snap
+	db.replace(snap, false)
+}
+
+func (db *DB) replace(snap map[string][]Entry, copyValues bool) {
+	var fresh [stripeCount]map[string][]Entry
+	for i := range fresh {
+		fresh[i] = make(map[string][]Entry)
+	}
+	for k, src := range snap {
+		if copyValues {
+			fresh[db.stripeIndex(k)][k] = copyEntries(src)
+		} else {
+			fresh[db.stripeIndex(k)][k] = src
+		}
+	}
+	for i := range db.stripes {
+		st := &db.stripes[i]
+		st.mu.Lock()
+		st.entries = fresh[i]
+		st.mu.Unlock()
+	}
 }
 
 // Fingerprint returns a deterministic hash over every key's entry sequence.
 // Two history databases that recorded the same committed block stream —
 // whether live or rebuilt through checkpoint restore plus tail replay —
 // have equal fingerprints; crash-recovery tests pin exactness with it.
+// Entries are hashed in place under each stripe's read lock (no deep
+// copy); callers fingerprint quiesced databases, as with Snapshot.
 func (db *DB) Fingerprint() string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	keys := make([]string, 0, len(db.entries))
-	for k := range db.entries {
-		keys = append(keys, k)
+	keys := make([]string, 0, 64)
+	for i := range db.stripes {
+		st := &db.stripes[i]
+		st.mu.RLock()
+		for k := range st.entries {
+			keys = append(keys, k)
+		}
+		st.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	h := sha256.New()
@@ -161,7 +238,10 @@ func (db *DB) Fingerprint() string {
 	}
 	for _, k := range keys {
 		writeBytes([]byte(k))
-		for _, e := range db.entries[k] {
+		st := db.stripeFor(k)
+		st.mu.RLock()
+		entries := st.entries[k]
+		for _, e := range entries {
 			writeBytes([]byte(e.TxID))
 			binary.BigEndian.PutUint64(num[:], e.BlockNum)
 			h.Write(num[:])
@@ -175,6 +255,7 @@ func (db *DB) Fingerprint() string {
 			}
 			writeBytes([]byte(e.Timestamp.UTC().Format(time.RFC3339Nano)))
 		}
+		st.mu.RUnlock()
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -185,13 +185,22 @@ const (
 	QueriesServed      = "queries_served"
 	BatchesCut         = "batches_cut"
 	EnvelopesOrdered   = "envelopes_ordered"
+	EnvelopesRejected  = "envelopes_rejected"
 	GossipBlocksPulled = "gossip_blocks_pulled"
+	// StateShardContention counts state-store shard lock acquisitions that
+	// had to wait behind another holder — the number an operator watches to
+	// decide whether the shard count still fits the workload.
+	StateShardContention = "state_shard_contention"
 )
 
 // Well-known histogram names: per-block latency of each commit-pipeline
-// stage.
+// stage, and per-operation latency of the sharded state store.
 const (
 	CommitStagePreval  = "commit_stage_preval"
 	CommitStageMVCC    = "commit_stage_mvcc"
 	CommitStagePersist = "commit_stage_persist"
+
+	StateGet   = "state_get"
+	StateScan  = "state_scan"
+	StateApply = "state_apply"
 )

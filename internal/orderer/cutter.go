@@ -6,6 +6,7 @@
 package orderer
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
@@ -59,15 +60,19 @@ func newBlockCutter(cfg BatchConfig) *blockCutter {
 	return &blockCutter{cfg: cfg.withDefaults()}
 }
 
-// ordered adds env and returns zero or more cut batches. expired reports
+// ordered adds env and returns zero or more cut batches. pending reports
 // whether the caller should (re)arm the batch timer: it is true when a
-// batch remains pending.
-func (bc *blockCutter) ordered(env blockstore.Envelope) (batches [][]blockstore.Envelope, pending bool) {
+// batch remains pending. An envelope that cannot be serialized is rejected
+// with an error and never enters a batch: it previously counted as zero
+// bytes, letting an unserializable oversized envelope bypass the
+// PreferredMaxBytes cut-alone path — and it could never be included in a
+// block anyway, since block data hashing must marshal every envelope.
+func (bc *blockCutter) ordered(env blockstore.Envelope) (batches [][]blockstore.Envelope, pending bool, err error) {
 	raw, err := env.Marshal()
-	size := len(raw)
 	if err != nil {
-		size = 0
+		return nil, len(bc.pending) > 0, fmt.Errorf("orderer: reject unserializable envelope %q: %w", env.TxID, err)
 	}
+	size := len(raw)
 
 	// An oversized message cuts any pending batch first, then goes alone.
 	if size > bc.cfg.PreferredMaxBytes {
@@ -75,7 +80,7 @@ func (bc *blockCutter) ordered(env blockstore.Envelope) (batches [][]blockstore.
 			batches = append(batches, bc.cut())
 		}
 		batches = append(batches, []blockstore.Envelope{env})
-		return batches, false
+		return batches, false, nil
 	}
 
 	if bc.pendingBytes+size > bc.cfg.PreferredMaxBytes && len(bc.pending) > 0 {
@@ -86,7 +91,7 @@ func (bc *blockCutter) ordered(env blockstore.Envelope) (batches [][]blockstore.
 	if len(bc.pending) >= bc.cfg.MaxMessageCount {
 		batches = append(batches, bc.cut())
 	}
-	return batches, len(bc.pending) > 0
+	return batches, len(bc.pending) > 0, nil
 }
 
 // cut returns the pending batch (possibly empty) and resets state.

@@ -21,7 +21,7 @@ func TestCutterMaxMessageCount(t *testing.T) {
 	bc := newBlockCutter(BatchConfig{MaxMessageCount: 3, PreferredMaxBytes: 1 << 30, BatchTimeout: time.Hour})
 	var cuts [][]blockstore.Envelope
 	for i := 0; i < 7; i++ {
-		batches, _ := bc.ordered(env(fmt.Sprintf("t%d", i), 10))
+		batches, _, _ := bc.ordered(env(fmt.Sprintf("t%d", i), 10))
 		cuts = append(cuts, batches...)
 	}
 	if len(cuts) != 2 {
@@ -43,7 +43,7 @@ func TestCutterPreferredMaxBytes(t *testing.T) {
 	bc := newBlockCutter(BatchConfig{MaxMessageCount: 1000, PreferredMaxBytes: 3 * 1024, BatchTimeout: time.Hour})
 	var cuts [][]blockstore.Envelope
 	for i := 0; i < 6; i++ {
-		batches, _ := bc.ordered(env(fmt.Sprintf("t%d", i), 1024))
+		batches, _, _ := bc.ordered(env(fmt.Sprintf("t%d", i), 1024))
 		cuts = append(cuts, batches...)
 	}
 	if len(cuts) == 0 {
@@ -58,10 +58,10 @@ func TestCutterPreferredMaxBytes(t *testing.T) {
 
 func TestCutterOversizedMessage(t *testing.T) {
 	bc := newBlockCutter(BatchConfig{MaxMessageCount: 100, PreferredMaxBytes: 1024, BatchTimeout: time.Hour})
-	if _, pending := bc.ordered(env("small", 10)); !pending {
+	if _, pending, _ := bc.ordered(env("small", 10)); !pending {
 		t.Fatal("small message should leave a pending batch")
 	}
-	batches, pending := bc.ordered(env("huge", 64*1024))
+	batches, pending, _ := bc.ordered(env("huge", 64*1024))
 	if len(batches) != 2 {
 		t.Fatalf("oversize produced %d batches, want 2 (pending flushed + alone)", len(batches))
 	}
@@ -102,7 +102,7 @@ func TestQuickCutterConservation(t *testing.T) {
 		seen := map[string]int{}
 		total := 0
 		for i := 0; i < n; i++ {
-			batches, _ := bc.ordered(env(fmt.Sprintf("t%d", i), int(payload%2048)))
+			batches, _, _ := bc.ordered(env(fmt.Sprintf("t%d", i), int(payload%2048)))
 			for _, b := range batches {
 				for _, e := range b {
 					seen[e.TxID]++
@@ -126,5 +126,43 @@ func TestQuickCutterConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// An envelope whose serialization fails must be rejected outright — it can
+// never be hashed into a block's data hash. Before the fix it was counted
+// as zero bytes, so an unserializable oversized envelope bypassed the
+// PreferredMaxBytes cut-alone path and poisoned whatever batch it joined.
+func TestCutterRejectsUnserializableEnvelope(t *testing.T) {
+	bc := newBlockCutter(BatchConfig{MaxMessageCount: 2, PreferredMaxBytes: 1024, BatchTimeout: time.Hour})
+	if _, pending, _ := bc.ordered(env("ok1", 10)); !pending {
+		t.Fatal("first envelope should be pending")
+	}
+	bad := env("bad", 10)
+	// json.Marshal fails for times outside year [0,9999].
+	bad.Timestamp = time.Date(10001, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := bad.Marshal(); err == nil {
+		t.Fatal("fixture envelope unexpectedly serializable")
+	}
+	batches, pending, err := bc.ordered(bad)
+	if err == nil {
+		t.Fatal("unserializable envelope accepted")
+	}
+	if len(batches) != 0 {
+		t.Fatalf("rejection cut %d batches", len(batches))
+	}
+	if !pending {
+		t.Fatal("pending batch lost on rejection")
+	}
+	// The pending batch is intact: the next good envelope completes it.
+	batches, _, err = bc.ordered(env("ok2", 10))
+	if err != nil {
+		t.Fatalf("good envelope rejected: %v", err)
+	}
+	if len(batches) != 1 || len(batches[0]) != 2 {
+		t.Fatalf("batches = %+v, want one batch of ok1+ok2", batches)
+	}
+	if batches[0][0].TxID != "ok1" || batches[0][1].TxID != "ok2" {
+		t.Errorf("batch contents = %s,%s", batches[0][0].TxID, batches[0][1].TxID)
 	}
 }

@@ -186,7 +186,11 @@ func (r *Raft) loop() {
 	for {
 		select {
 		case env := <-r.in:
-			batches, pending := cutter.ordered(env)
+			batches, pending, err := cutter.ordered(env)
+			if err != nil {
+				// Unserializable envelope: drop, as the solo consenter does.
+				r.chain.metrics.Counter(metrics.EnvelopesRejected).Inc()
+			}
 			for _, b := range batches {
 				r.propose(b)
 			}

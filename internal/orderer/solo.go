@@ -119,7 +119,12 @@ func (s *Solo) loop() {
 	for {
 		select {
 		case env := <-s.in:
-			batches, pending := cutter.ordered(env)
+			batches, pending, err := cutter.ordered(env)
+			if err != nil {
+				// Unserializable envelope: it can never be hashed into a
+				// block, so drop it rather than poison a batch.
+				s.chain.metrics.Counter(metrics.EnvelopesRejected).Inc()
+			}
 			for _, b := range batches {
 				emit(b)
 			}

@@ -199,6 +199,11 @@ func newPeer(cfg Config, state statedb.StateDB, history *historydb.DB, blocks bl
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	// Attach per-operation state latency histograms and the shard-
+	// contention counter to the peer's registry.
+	if sm, ok := state.(interface{ SetMetrics(*metrics.Registry) }); ok {
+		sm.SetMetrics(p.metrics)
+	}
 	ccfg := committer.Config{
 		State:   p.state,
 		History: p.history,
@@ -372,6 +377,12 @@ func (p *Peer) ProcessProposal(prop *endorser.Proposal) (resp *endorser.Response
 		p.exec.Endorse() // chaincode container round-trip
 	}
 
+	// Simulate against a height-stamped snapshot view: every read of this
+	// proposal sees one consistent world at a block boundary, and a commit
+	// landing mid-simulation can neither shear the reads nor be blocked by
+	// them. MVCC validation still arbitrates against whatever commits first.
+	view := statedb.NewView(p.state)
+	defer view.Release()
 	stub := shim.NewStub(shim.Config{
 		TxID:      prop.TxID,
 		ChannelID: prop.ChannelID,
@@ -379,7 +390,7 @@ func (p *Peer) ProcessProposal(prop *endorser.Proposal) (resp *endorser.Response
 		Args:      prop.Args,
 		Creator:   prop.Creator,
 		Timestamp: prop.Timestamp,
-		State:     p.state,
+		State:     view,
 		History:   p.history,
 	})
 	var simResp shim.Response
@@ -430,7 +441,9 @@ func (p *Peer) ProcessProposal(prop *endorser.Proposal) (resp *endorser.Response
 // without recording or committing anything (HyperProv's Get path:
 // "lightweight retrieval of provenance data"). It first waits for the
 // commit pipeline's persistence watermark, so a query never observes state
-// from a block whose ledger append and history are still in flight.
+// from a block whose ledger append and history are still in flight; it
+// then reads through a snapshot view, so a long scan runs to completion
+// without stalling — or being stalled by — blocks committing concurrently.
 func (p *Peer) Query(chaincode, fn string, args [][]byte, creator []byte) (shim.Response, error) {
 	p.committer.Sync()
 	icc, err := p.chaincode(chaincode)
@@ -441,6 +454,8 @@ func (p *Peer) Query(chaincode, fn string, args [][]byte, creator []byte) (shim.
 	if p.exec != nil {
 		p.exec.Endorse()
 	}
+	view := statedb.NewView(p.state)
+	defer view.Release()
 	stub := shim.NewStub(shim.Config{
 		TxID:      "query",
 		ChannelID: p.channelID,
@@ -448,7 +463,7 @@ func (p *Peer) Query(chaincode, fn string, args [][]byte, creator []byte) (shim.
 		Args:      args,
 		Creator:   creator,
 		Timestamp: time.Now(),
-		State:     p.state,
+		State:     view,
 		History:   p.history,
 	})
 	return icc.cc.Invoke(stub), nil

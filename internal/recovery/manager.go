@@ -56,15 +56,20 @@ func NewManager(dataDir string, keep int, state statedb.StateDB, history *histor
 // OnCheckpoint is the committer.Config.OnCheckpoint hook: it freezes the
 // capture into a full checkpoint (adding history and index definitions),
 // fsyncs the block file so the checkpoint never refers past durable blocks,
-// and publishes the file atomically. Failures are recorded (Err) rather
-// than propagated — a failed checkpoint degrades recovery time, not
-// correctness, since the previous checkpoint set stays intact.
+// and publishes the file atomically. The capture arrives as a copy-on-write
+// snapshot pinned at the block boundary; materializing it into the codec's
+// map form happens here, on the persistence goroutine, off the apply path.
+// Failures are recorded (Err) rather than propagated — a failed checkpoint
+// degrades recovery time, not correctness, since the previous checkpoint
+// set stays intact.
 func (m *Manager) OnCheckpoint(c committer.Capture) {
+	state := c.State.Materialize()
+	c.State.Release()
 	ck := &Checkpoint{
 		Height:       c.Height,
 		StateHeight:  c.StateHeight,
-		Fingerprint:  committer.SnapshotFingerprint(c.State),
-		State:        c.State,
+		Fingerprint:  committer.SnapshotFingerprint(state),
+		State:        state,
 		History:      m.history.Snapshot(),
 		IndexEntries: c.IndexEntries,
 	}
@@ -85,7 +90,7 @@ func (m *Manager) Final() error {
 	ck := &Checkpoint{
 		Height:      h,
 		StateHeight: m.state.Height(),
-		State:       m.state.Snapshot(),
+		State:       m.state.Export(),
 		History:     m.history.Snapshot(),
 	}
 	ck.Fingerprint = committer.SnapshotFingerprint(ck.State)

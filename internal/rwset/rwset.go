@@ -213,12 +213,23 @@ func Validate(rws *ReadWriteSet, state statedb.StateDB, blockWrites map[string]b
 }
 
 func validateRange(rr RangeRead, state statedb.StateDB, blockWrites map[string]bool) error {
-	cur := state.GetRange(rr.StartKey, rr.EndKey)
-	if len(cur) != len(rr.Keys) {
-		return fmt.Errorf("rwset: phantom in range [%q,%q): %d keys now vs %d simulated",
-			rr.StartKey, rr.EndKey, len(cur), len(rr.Keys))
-	}
-	for i, kv := range cur {
+	// Stream the current range against the simulated keys: the scan stops
+	// at the first divergence instead of materializing the whole range.
+	it := state.GetRange(rr.StartKey, rr.EndKey)
+	defer it.Close()
+	for i := 0; ; i++ {
+		kv, ok := it.Next()
+		if !ok {
+			if i != len(rr.Keys) {
+				return fmt.Errorf("rwset: phantom in range [%q,%q): %d keys now vs %d simulated",
+					rr.StartKey, rr.EndKey, i, len(rr.Keys))
+			}
+			return nil
+		}
+		if i >= len(rr.Keys) {
+			return fmt.Errorf("rwset: phantom in range [%q,%q): more keys now than %d simulated",
+				rr.StartKey, rr.EndKey, len(rr.Keys))
+		}
 		if kv.Key != rr.Keys[i] {
 			return fmt.Errorf("rwset: phantom in range [%q,%q): key %q != simulated %q",
 				rr.StartKey, rr.EndKey, kv.Key, rr.Keys[i])
@@ -227,7 +238,6 @@ func validateRange(rr RangeRead, state statedb.StateDB, blockWrites map[string]b
 			return fmt.Errorf("rwset: mvcc conflict in range on %q: written earlier in block", kv.Key)
 		}
 	}
-	return nil
 }
 
 // validateQuery is the rich-query phantom check. When the committing state

@@ -8,6 +8,7 @@ package shim
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/hyperprov/hyperprov/internal/historydb"
@@ -74,13 +75,17 @@ type Stub struct {
 	creator   []byte
 	timestamp time.Time
 
-	state   statedb.StateDB
+	state   statedb.StateReader
 	history *historydb.DB
 	builder *rwset.Builder
 	events  []Event
 }
 
-// Config carries everything needed to construct a Stub.
+// Config carries everything needed to construct a Stub. State is any
+// read surface: a live state database, or — as the peer passes for
+// endorsement and queries — a height-stamped statedb.View, so one
+// simulation's reads see a consistent world no concurrent commit can
+// shear.
 type Config struct {
 	TxID      string
 	ChannelID string
@@ -88,7 +93,7 @@ type Config struct {
 	Args      [][]byte
 	Creator   []byte
 	Timestamp time.Time
-	State     statedb.StateDB
+	State     statedb.StateReader
 	History   *historydb.DB
 }
 
@@ -161,11 +166,26 @@ func (s *Stub) GetState(key string) ([]byte, error) {
 	return out, nil
 }
 
+// validateWriteKey rejects malformed keys at the write gate: a key is
+// either composite (U+0000-prefixed, built by CreateCompositeKey) or plain
+// with no U+0000 anywhere. This invariant is what lets the state database
+// exclude the whole composite namespace from plain range scans with a
+// single bound check, exactly as Fabric forbids U+0000 in simple keys.
+func validateWriteKey(key string) error {
+	if key == "" {
+		return statedb.ErrEmptyKey
+	}
+	if strings.ContainsRune(key[1:], 0) && key[0] != 0 {
+		return fmt.Errorf("shim: plain key %q contains U+0000 (reserved for composite keys)", key)
+	}
+	return nil
+}
+
 // PutState stages a write; it becomes visible only if the transaction
 // commits as valid.
 func (s *Stub) PutState(key string, value []byte) error {
-	if key == "" {
-		return statedb.ErrEmptyKey
+	if err := validateWriteKey(key); err != nil {
+		return err
 	}
 	s.builder.AddWrite(key, value)
 	return nil
@@ -173,8 +193,8 @@ func (s *Stub) PutState(key string, value []byte) error {
 
 // DelState stages a deletion.
 func (s *Stub) DelState(key string) error {
-	if key == "" {
-		return statedb.ErrEmptyKey
+	if err := validateWriteKey(key); err != nil {
+		return err
 	}
 	s.builder.AddDelete(key)
 	return nil
@@ -184,13 +204,53 @@ func (s *Stub) DelState(key string) error {
 // a range read for phantom protection. In-simulation writes are not merged
 // into range results (matching Fabric's behaviour).
 func (s *Stub) GetStateByRange(startKey, endKey string) ([]statedb.KV, error) {
-	kvs := s.state.GetRange(startKey, endKey)
+	kvs := statedb.Collect(s.state.GetRange(startKey, endKey))
 	keys := make([]string, len(kvs))
 	for i, kv := range kvs {
 		keys[i] = kv.Key
 	}
 	s.builder.AddRangeRead(startKey, endKey, keys)
 	return kvs, nil
+}
+
+// GetStateByRangeWithPagination streams at most pageSize committed entries
+// of [startKey, endKey), resuming from bookmark (empty for the first
+// page), and returns the bookmark for the next page ("" when the range is
+// exhausted). The underlying iterator terminates after pageSize+1 entries
+// regardless of how large the range — or total state — is. The recorded
+// phantom read covers exactly the observed window: its end bound is the
+// next page's first key, so validation re-scans only what simulation saw.
+func (s *Stub) GetStateByRangeWithPagination(startKey, endKey string, pageSize int, bookmark string) ([]statedb.KV, string, error) {
+	if pageSize <= 0 {
+		return nil, "", errors.New("shim: pagination wants a positive page size")
+	}
+	low := startKey
+	if bookmark != "" {
+		low = bookmark
+	}
+	it := s.state.GetRange(low, endKey)
+	defer it.Close()
+	kvs := make([]statedb.KV, 0, pageSize)
+	keys := make([]string, 0, pageSize)
+	next := ""
+	for {
+		kv, ok := it.Next()
+		if !ok {
+			break
+		}
+		if len(kvs) == pageSize {
+			next = kv.Key // first key of the following page
+			break
+		}
+		kvs = append(kvs, kv)
+		keys = append(keys, kv.Key)
+	}
+	windowEnd := endKey
+	if next != "" {
+		windowEnd = next
+	}
+	s.builder.AddRangeRead(low, windowEnd, keys)
+	return kvs, next, nil
 }
 
 // CreateCompositeKey builds a namespaced composite key.
@@ -205,7 +265,11 @@ func (s *Stub) SplitCompositeKey(key string) (string, []string, error) {
 
 // GetStateByPartialCompositeKey queries committed composite keys by prefix.
 func (s *Stub) GetStateByPartialCompositeKey(objectType string, attrs []string) ([]statedb.KV, error) {
-	return s.state.GetByPartialCompositeKey(objectType, attrs)
+	it, err := s.state.GetByPartialCompositeKey(objectType, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return statedb.Collect(it), nil
 }
 
 // GetQueryResult runs a rich (Mango) query against committed state and

@@ -100,6 +100,30 @@ func TestEmptyKeyRejected(t *testing.T) {
 	}
 }
 
+// Plain keys must not contain U+0000 — the write-gate invariant that lets
+// the state database exclude the whole composite namespace from plain
+// range scans with one bound check. Composite keys (U+0000-prefixed, from
+// CreateCompositeKey) still pass.
+func TestInteriorNulKeyRejected(t *testing.T) {
+	s := newStub(t, nil)
+	if err := s.PutState("a\x00b", []byte("v")); err == nil {
+		t.Error("PutState accepted plain key with interior U+0000")
+	}
+	if err := s.DelState("a\x00b"); err == nil {
+		t.Error("DelState accepted plain key with interior U+0000")
+	}
+	ck, err := s.CreateCompositeKey("edge", []string{"p", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutState(ck, []byte("v")); err != nil {
+		t.Errorf("PutState rejected composite key: %v", err)
+	}
+	if err := s.DelState(ck); err != nil {
+		t.Errorf("DelState rejected composite key: %v", err)
+	}
+}
+
 func TestRangeRecordsPhantomRead(t *testing.T) {
 	s := newStub(t, map[string]string{"a": "1", "b": "2", "c": "3"})
 	kvs, err := s.GetStateByRange("a", "c")

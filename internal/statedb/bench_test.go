@@ -48,7 +48,7 @@ func BenchmarkRangeScan(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.GetRange("key-0100", "key-0200"); len(got) != 100 {
+		if got := Collect(s.GetRange("key-0100", "key-0200")); len(got) != 100 {
 			b.Fatalf("range = %d", len(got))
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/hyperprov/hyperprov/internal/metrics"
 	"github.com/hyperprov/hyperprov/internal/richquery"
 )
 
@@ -18,17 +19,26 @@ import (
 // the paper's use of CouchDB rich queries on Hyperledger Fabric.
 // The zero value is not usable; call NewIndexed.
 type IndexedStore struct {
-	// mu serializes index maintenance against query execution. The inner
-	// Store has its own lock; mu is always taken first.
+	// mu guards the secondary indexes only. Queries hold it just long
+	// enough to plan and copy matching keys out of an index; candidate
+	// documents are then streamed from a snapshot with no lock held, so a
+	// long rich query no longer blocks ApplyUpdates (and vice versa). The
+	// inner sharded Store synchronizes itself.
 	mu      sync.RWMutex
 	store   *Store
 	indexes map[string]*richquery.Index // by index name
 }
 
 // NewIndexed creates an empty indexed state database with the given index
-// definitions.
+// definitions, sharded one stripe per available CPU.
 func NewIndexed(defs ...richquery.IndexDef) (*IndexedStore, error) {
-	s := &IndexedStore{store: New(), indexes: make(map[string]*richquery.Index)}
+	return NewIndexedSharded(0, defs...)
+}
+
+// NewIndexedSharded is NewIndexed with an explicit shard count (<= 0 means
+// GOMAXPROCS).
+func NewIndexedSharded(shards int, defs ...richquery.IndexDef) (*IndexedStore, error) {
+	s := &IndexedStore{store: NewSharded(shards), indexes: make(map[string]*richquery.Index)}
 	for _, def := range defs {
 		if err := s.DefineIndex(def); err != nil {
 			return nil, err
@@ -36,6 +46,10 @@ func NewIndexed(defs ...richquery.IndexDef) (*IndexedStore, error) {
 	}
 	return s, nil
 }
+
+// SetMetrics attaches per-operation state latency instrumentation to the
+// underlying sharded store.
+func (s *IndexedStore) SetMetrics(reg *metrics.Registry) { s.store.SetMetrics(reg) }
 
 // DefineIndex declares a new index and builds it over existing state. It is
 // how chaincode-shipped index declarations (Fabric's META-INF/statedb
@@ -107,29 +121,32 @@ func (s *IndexedStore) GetVersion(key string) (Version, bool) { return s.store.G
 // Height returns the version of the last applied update batch.
 func (s *IndexedStore) Height() Version { return s.store.Height() }
 
-// GetRange returns committed entries with startKey <= key < endKey.
-func (s *IndexedStore) GetRange(startKey, endKey string) []KV {
+// GetRange streams committed entries with startKey <= key < endKey.
+func (s *IndexedStore) GetRange(startKey, endKey string) Iterator {
 	return s.store.GetRange(startKey, endKey)
 }
 
-// GetByPartialCompositeKey queries composite keys by prefix.
-func (s *IndexedStore) GetByPartialCompositeKey(objectType string, attrs []string) ([]KV, error) {
+// GetByPartialCompositeKey streams composite keys matching the prefix.
+func (s *IndexedStore) GetByPartialCompositeKey(objectType string, attrs []string) (Iterator, error) {
 	return s.store.GetByPartialCompositeKey(objectType, attrs)
 }
 
 // Len returns the number of live keys.
 func (s *IndexedStore) Len() int { return s.store.Len() }
 
-// Snapshot returns a deep copy of the live state.
-func (s *IndexedStore) Snapshot() map[string]VersionedValue { return s.store.Snapshot() }
+// Snapshot returns a consistent read view at the current batch boundary.
+func (s *IndexedStore) Snapshot() Snapshot { return s.store.Snapshot() }
+
+// Export returns a deep copy of the live state as a flat map.
+func (s *IndexedStore) Export() map[string]VersionedValue { return s.store.Export() }
 
 // ApplyUpdates applies the batch to the underlying store and maintains
 // every declared index incrementally: deleted keys leave the indexes,
 // written keys are (re)indexed from their new JSON document. Composite keys
 // and non-JSON values are never indexed. Index maintenance is atomic with
-// respect to queries (both sides take mu), and indexes are fed straight
-// from the batch's staged values, so a block's worth of writes is applied
-// without re-reading each key from the store.
+// respect to the index-served side of queries (both take mu), and indexes
+// are fed straight from the batch's staged values, so a block's worth of
+// writes is applied without re-reading each key from the store.
 func (s *IndexedStore) ApplyUpdates(batch *UpdateBatch, height Version) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -213,73 +230,94 @@ func (s *IndexedStore) RestoreWithIndexEntries(snap map[string]VersionedValue, h
 	}
 }
 
-// ExecuteQuery runs a Mango query against live state. The planner serves
-// the candidate set from a declared index when the selector constrains that
-// index's field, and from a full scan otherwise; both paths run the same
-// filter/sort/pagination pipeline (finishQuery), so they return identical
-// pages.
+// ExecuteQuery runs a Mango query against a consistent snapshot of state.
+// Under a brief read lock the planner picks an index and copies the
+// matching keys out of it (the index-served path, unchanged); the snapshot
+// is taken under the same lock, so index contents and snapshot agree. The
+// lock is then dropped and candidate documents stream from the snapshot —
+// a full filtered scan when no index applies — so scan-heavy queries never
+// hold up commit. Both paths run the same filter/sort/pagination pipeline
+// (finishQuery), so they return identical pages.
 func (s *IndexedStore) ExecuteQuery(query []byte) (*QueryResult, error) {
 	q, err := richquery.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-
+	snap := s.store.Snapshot()
 	all := make([]*richquery.Index, 0, len(s.indexes))
 	for _, ix := range s.indexes {
 		all = append(all, ix)
 	}
 	plan := richquery.ChooseIndex(q, all)
-	if plan.Index == nil {
-		return finishQuery(s.store, q, scanCandidates(s.store))
+	var keys []string
+	if plan.Index != nil {
+		keys = plan.Index.Range(plan.Low, plan.High)
 	}
+	s.mu.RUnlock()
+	defer snap.Release()
+
 	var cands []richquery.Candidate
-	for _, key := range plan.Index.Range(plan.Low, plan.High) {
-		vv, ok := s.store.Get(key)
-		if !ok {
-			continue
-		}
-		if doc, ok := richquery.DecodeDoc(vv.Value); ok {
-			cands = append(cands, richquery.Candidate{Key: key, Doc: doc})
+	if plan.Index == nil {
+		cands = scanCandidates(snap)
+	} else {
+		for _, key := range keys {
+			vv, ok := snap.Get(key)
+			if !ok {
+				continue
+			}
+			if doc, ok := richquery.DecodeDoc(vv.Value); ok {
+				cands = append(cands, richquery.Candidate{Key: key, Doc: doc})
+			}
 		}
 	}
-	return finishQuery(s.store, q, cands)
+	return finishQuery(snap, q, cands)
 }
 
-// ScanQuery executes a Mango query against any StateDB with a filtered
-// full scan — the fallback for stores without rich-query support (the
-// shim's LevelDB-flavour path). It runs the identical pipeline IndexedStore
+// ScanQuery executes a Mango query against any state reader with a
+// filtered full scan — the fallback for stores without rich-query support
+// (the shim's LevelDB-flavour path). Live stores are snapshotted first so
+// the scan is consistent. It runs the identical pipeline IndexedStore
 // uses, which is what keeps fallback and indexed results interchangeable.
-func ScanQuery(s StateDB, query []byte) (*QueryResult, error) {
+func ScanQuery(s StateReader, query []byte) (*QueryResult, error) {
 	q, err := richquery.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
+	if sp, ok := s.(interface{ Snapshot() Snapshot }); ok {
+		snap := sp.Snapshot()
+		defer snap.Release()
+		s = snap
+	}
 	return finishQuery(s, q, scanCandidates(s))
 }
 
-// scanCandidates decodes every live JSON document in s.
-func scanCandidates(s StateDB) []richquery.Candidate {
+// scanCandidates streams every live JSON document from r.
+func scanCandidates(r StateReader) []richquery.Candidate {
+	it := r.GetRange("", "")
+	defer it.Close()
 	var cands []richquery.Candidate
-	for _, kv := range s.GetRange("", "") {
+	for {
+		kv, ok := it.Next()
+		if !ok {
+			return cands
+		}
 		if doc, ok := richquery.DecodeDoc(kv.Value); ok {
 			cands = append(cands, richquery.Candidate{Key: kv.Key, Doc: doc})
 		}
 	}
-	return cands
 }
 
 // finishQuery runs the shared filter/sort/pagination pipeline over cands
-// and materializes the matching entries from s.
-func finishQuery(s StateDB, q *richquery.Query, cands []richquery.Candidate) (*QueryResult, error) {
+// and materializes the matching entries from r.
+func finishQuery(r StateReader, q *richquery.Query, cands []richquery.Candidate) (*QueryResult, error) {
 	keys, bookmark, err := richquery.Apply(q, cands)
 	if err != nil {
 		return nil, err
 	}
 	res := &QueryResult{Bookmark: bookmark}
 	for _, key := range keys {
-		vv, ok := s.Get(key)
+		vv, ok := r.Get(key)
 		if !ok {
 			continue // candidate vanished mid-query; defensive
 		}

@@ -138,7 +138,7 @@ func TestIndexedStoreMaintenanceAcrossCommits(t *testing.T) {
 	}
 
 	// Restore must rebuild indexes: move state to a fresh store.
-	snap := indexed.Snapshot()
+	snap := indexed.Export()
 	restored := mustIndexed(t,
 		richquery.IndexDef{Name: "by-owner", Field: "owner"},
 		richquery.IndexDef{Name: "by-size", Field: "size"})
@@ -159,7 +159,7 @@ func scanReference(t *testing.T, s *IndexedStore, query string) []string {
 		t.Fatal(err)
 	}
 	var cands []richquery.Candidate
-	for _, kv := range s.GetRange("", "") {
+	for _, kv := range Collect(s.GetRange("", "")) {
 		if doc, ok := richquery.DecodeDoc(kv.Value); ok {
 			cands = append(cands, richquery.Candidate{Key: kv.Key, Doc: doc})
 		}

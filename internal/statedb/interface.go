@@ -1,28 +1,66 @@
 package statedb
 
-// StateDB is the pluggable world-state interface a peer commits to and a
-// chaincode stub reads from. The LevelDB-flavour Store and the
-// CouchDB-flavour IndexedStore both implement it; higher layers (shim,
-// rwset validation, peer) depend only on this interface, mirroring
-// Fabric's VersionedDB seam that lets deployments choose their state
-// database.
-type StateDB interface {
+// Iterator streams ordered state entries. Next returns the next entry in
+// key order until the range is exhausted; Close ends the scan early and
+// releases any backing snapshot (Next closes the iterator itself on
+// exhaustion, and Close is idempotent). Streaming plus early termination is
+// what makes range scans cost O(log n + results read) instead of
+// materializing and sorting the whole keyspace.
+type Iterator interface {
+	Next() (KV, bool)
+	Close()
+}
+
+// StateReader is the read-only surface shared by live stores, snapshots,
+// and simulation views; chaincode stubs and query execution depend only on
+// it.
+type StateReader interface {
 	// Get returns the committed value and version for key.
 	Get(key string) (VersionedValue, bool)
 	// GetVersion returns only the version for key.
 	GetVersion(key string) (Version, bool)
+	// GetRange streams committed entries with startKey <= key < endKey.
+	GetRange(startKey, endKey string) Iterator
+	// GetByPartialCompositeKey streams composite keys matching the prefix.
+	GetByPartialCompositeKey(objectType string, attrs []string) (Iterator, error)
+}
+
+// Snapshot is a height-stamped consistent read view at a batch boundary.
+// Reads never block ApplyUpdates: the sharded store preserves overwritten
+// values into outstanding snapshots copy-on-write. Release when done.
+type Snapshot interface {
+	StateReader
+	// Height returns the commit height the snapshot was taken at.
+	Height() Version
+	// Len returns the number of live keys at the boundary.
+	Len() int
+	// All streams every live key (composite keys included) in key order.
+	All() Iterator
+	// Materialize deep-copies the view into the flat map form the
+	// checkpoint codec and state transfer serialize.
+	Materialize() map[string]VersionedValue
+	// Release detaches the view; it must not be read afterwards.
+	Release()
+}
+
+// StateDB is the pluggable world-state interface a peer commits to and a
+// chaincode stub reads from. The sharded LevelDB-flavour Store, the
+// CouchDB-flavour IndexedStore, and the single-lock ReferenceStore oracle
+// all implement it; higher layers (shim, rwset validation, peer) depend
+// only on this interface, mirroring Fabric's VersionedDB seam that lets
+// deployments choose their state database.
+type StateDB interface {
+	StateReader
 	// Height returns the version of the last applied update batch.
 	Height() Version
 	// ApplyUpdates applies a batch atomically at the given commit height.
 	ApplyUpdates(batch *UpdateBatch, height Version) error
-	// GetRange returns committed entries with startKey <= key < endKey.
-	GetRange(startKey, endKey string) []KV
-	// GetByPartialCompositeKey queries composite keys by prefix.
-	GetByPartialCompositeKey(objectType string, attrs []string) ([]KV, error)
 	// Len returns the number of live keys.
 	Len() int
-	// Snapshot returns a deep copy of the live state.
-	Snapshot() map[string]VersionedValue
+	// Snapshot returns a consistent read view at the current boundary.
+	Snapshot() Snapshot
+	// Export returns a deep copy of the live state as a flat map.
+	Export() map[string]VersionedValue
 	// Restore replaces the live state with a snapshot at the given height.
 	Restore(snap map[string]VersionedValue, height Version)
 }
@@ -36,9 +74,9 @@ type QueryResult struct {
 }
 
 // RichQueryer is implemented by state databases that can execute Mango
-// queries (the CouchDB-flavour IndexedStore). Callers should type-assert:
-// a plain Store does not support rich queries, exactly as Fabric's LevelDB
-// state database does not.
+// queries (the CouchDB-flavour IndexedStore, and simulation Views, which
+// delegate). Callers should type-assert: a plain Store does not support
+// rich queries, exactly as Fabric's LevelDB state database does not.
 type RichQueryer interface {
 	// ExecuteQuery runs a Mango query document (see richquery.ParseQuery)
 	// against live state and returns one result page.
@@ -49,5 +87,10 @@ type RichQueryer interface {
 var (
 	_ StateDB     = (*Store)(nil)
 	_ StateDB     = (*IndexedStore)(nil)
+	_ StateDB     = (*ReferenceStore)(nil)
+	_ Snapshot    = (*storeSnapshot)(nil)
+	_ Snapshot    = (*frozenSnapshot)(nil)
 	_ RichQueryer = (*IndexedStore)(nil)
+	_ RichQueryer = (*View)(nil)
+	_ StateReader = (*View)(nil)
 )

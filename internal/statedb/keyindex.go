@@ -1,0 +1,200 @@
+package statedb
+
+import "sort"
+
+// keyIndex is the copy-on-write ordered key index behind range scans,
+// composite-key queries, and snapshot iteration. It holds every live key of
+// the store (plain and composite) in two immutable sorted runs:
+//
+//   - base: the bulk of the keyspace, rebuilt only at compaction;
+//   - delta: recent additions and deletions (tombstones), merged copy-on-
+//     write at every ApplyUpdates.
+//
+// Both runs are never mutated after publication, so a reader (or snapshot)
+// that grabbed a *keyIndex can iterate it without any lock while writers
+// publish successors. Iteration is a two-pointer merge: delta entries shadow
+// base entries with the same key, tombstones are skipped. Seeking is two
+// binary searches, which is what makes range scans O(log n + result) instead
+// of the old O(n log n) materialize-and-sort.
+//
+// The delta is folded into a fresh base once it grows past a fraction of the
+// base (or a floor), so update cost is amortized O(1) per key per
+// compaction cycle rather than O(n) per batch.
+type keyIndex struct {
+	base  []string
+	delta []deltaKey
+	live  int // total live keys (base ∪ delta minus tombstones)
+}
+
+// deltaKey is one recent change: a key added since the last compaction, or a
+// tombstone (dead=true) for a key deleted from base or delta.
+type deltaKey struct {
+	key  string
+	dead bool
+}
+
+var emptyKeyIndex = &keyIndex{}
+
+// compactionFloor is the minimum delta length before compaction is
+// considered; below it, merge-iteration over the delta is cheaper than
+// rebuilding the base. maxDeltaLen caps the delta absolutely: every apply
+// copies the merged delta, so without a cap the per-block maintenance
+// cost would grow with base/8 — linear in total state size — on the
+// commit pipeline's serialized apply stage. With the cap, a single apply
+// merges at most maxDeltaLen entries and full compactions amortize to
+// O(base/maxDeltaLen) per written key.
+const (
+	compactionFloor = 512
+	maxDeltaLen     = 16384
+)
+
+// apply publishes a new index reflecting a batch: added keys were absent
+// before the batch, removed keys were present. Both slices must be sorted
+// and disjoint (an UpdateBatch stages at most one write per key).
+func (ix *keyIndex) apply(added, removed []string) *keyIndex {
+	if len(added) == 0 && len(removed) == 0 {
+		return ix
+	}
+	// Merge the batch's changes into one sorted change run.
+	changes := make([]deltaKey, 0, len(added)+len(removed))
+	ai, ri := 0, 0
+	for ai < len(added) || ri < len(removed) {
+		if ri == len(removed) || (ai < len(added) && added[ai] < removed[ri]) {
+			changes = append(changes, deltaKey{key: added[ai]})
+			ai++
+		} else {
+			changes = append(changes, deltaKey{key: removed[ri], dead: true})
+			ri++
+		}
+	}
+	// Merge with the existing delta; the batch's entry wins on equal keys.
+	merged := make([]deltaKey, 0, len(ix.delta)+len(changes))
+	di, ci := 0, 0
+	for di < len(ix.delta) || ci < len(changes) {
+		switch {
+		case ci == len(changes):
+			merged = append(merged, ix.delta[di])
+			di++
+		case di == len(ix.delta):
+			merged = append(merged, changes[ci])
+			ci++
+		case ix.delta[di].key < changes[ci].key:
+			merged = append(merged, ix.delta[di])
+			di++
+		case ix.delta[di].key > changes[ci].key:
+			merged = append(merged, changes[ci])
+			ci++
+		default:
+			merged = append(merged, changes[ci])
+			di++
+			ci++
+		}
+	}
+	out := &keyIndex{base: ix.base, delta: merged, live: ix.live + len(added) - len(removed)}
+	limit := len(ix.base) / 8
+	if limit > maxDeltaLen {
+		limit = maxDeltaLen
+	}
+	if limit < compactionFloor {
+		limit = compactionFloor
+	}
+	if len(merged) >= limit {
+		out = out.compact()
+	}
+	return out
+}
+
+// compact folds the delta into a fresh base.
+func (ix *keyIndex) compact() *keyIndex {
+	out := make([]string, 0, ix.live)
+	bi, di := 0, 0
+	for bi < len(ix.base) || di < len(ix.delta) {
+		switch {
+		case di == len(ix.delta):
+			out = append(out, ix.base[bi])
+			bi++
+		case bi == len(ix.base):
+			if !ix.delta[di].dead {
+				out = append(out, ix.delta[di].key)
+			}
+			di++
+		case ix.base[bi] < ix.delta[di].key:
+			out = append(out, ix.base[bi])
+			bi++
+		case ix.base[bi] > ix.delta[di].key:
+			if !ix.delta[di].dead {
+				out = append(out, ix.delta[di].key)
+			}
+			di++
+		default:
+			if !ix.delta[di].dead {
+				out = append(out, ix.base[bi])
+			}
+			bi++
+			di++
+		}
+	}
+	return &keyIndex{base: out, live: len(out)}
+}
+
+// keyIter is a cursor over a keyIndex, positioned by seek. It holds only
+// immutable slices, so it stays valid however far the store advances.
+type keyIter struct {
+	base  []string
+	delta []deltaKey
+	bi    int
+	di    int
+}
+
+// seek positions a cursor at the first key >= start.
+func (ix *keyIndex) seek(start string) keyIter {
+	return keyIter{
+		base:  ix.base,
+		delta: ix.delta,
+		bi:    sort.SearchStrings(ix.base, start),
+		di: sort.Search(len(ix.delta), func(i int) bool {
+			return ix.delta[i].key >= start
+		}),
+	}
+}
+
+// next yields keys in ascending order, delta shadowing base, tombstones
+// skipped; ok is false once the index is exhausted.
+func (it *keyIter) next() (string, bool) {
+	for {
+		switch {
+		case it.bi >= len(it.base) && it.di >= len(it.delta):
+			return "", false
+		case it.di >= len(it.delta):
+			k := it.base[it.bi]
+			it.bi++
+			return k, true
+		case it.bi >= len(it.base):
+			d := it.delta[it.di]
+			it.di++
+			if d.dead {
+				continue
+			}
+			return d.key, true
+		case it.base[it.bi] < it.delta[it.di].key:
+			k := it.base[it.bi]
+			it.bi++
+			return k, true
+		case it.base[it.bi] > it.delta[it.di].key:
+			d := it.delta[it.di]
+			it.di++
+			if d.dead {
+				continue
+			}
+			return d.key, true
+		default: // same key in both runs: the delta entry decides
+			d := it.delta[it.di]
+			it.di++
+			it.bi++
+			if d.dead {
+				continue
+			}
+			return d.key, true
+		}
+	}
+}

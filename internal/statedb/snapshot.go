@@ -1,0 +1,272 @@
+package statedb
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// storeSnapshot is a height-stamped consistent read view over a sharded
+// Store. Creation is O(1): it pins the store's immutable key index and
+// records nothing else up front. When a later ApplyUpdates overwrites or
+// deletes a key, the apply first preserves the key's prior value into this
+// snapshot's overlay (copy-on-write undo log); snapshot reads consult the
+// overlay before the live shards, so they always observe the state exactly
+// as of the snapshot's batch boundary — without ever blocking the apply.
+type storeSnapshot struct {
+	store  *Store
+	height Version
+	index  *keyIndex
+
+	mu      sync.Mutex
+	overlay map[string]preImage // lazily allocated
+
+	released atomic.Bool
+	detached atomic.Bool
+}
+
+// preImage is a key's value as of the snapshot's boundary; existed is false
+// when the key was absent then (and was created afterwards).
+type preImage struct {
+	vv      VersionedValue
+	existed bool
+}
+
+var _ Snapshot = (*storeSnapshot)(nil)
+
+// preserve records key's pre-apply value, keeping only the oldest pre-image
+// (the one at the snapshot boundary). Called by ApplyUpdates under the
+// key's shard lock, before the shard mutation.
+func (sn *storeSnapshot) preserve(key string, old VersionedValue, existed bool) {
+	if sn.released.Load() {
+		return
+	}
+	sn.mu.Lock()
+	if sn.overlay == nil {
+		sn.overlay = make(map[string]preImage)
+	}
+	if _, ok := sn.overlay[key]; !ok {
+		sn.overlay[key] = preImage{vv: old, existed: existed}
+	}
+	sn.mu.Unlock()
+}
+
+func (sn *storeSnapshot) lookupOverlay(key string) (preImage, bool) {
+	sn.mu.Lock()
+	pi, ok := sn.overlay[key]
+	sn.mu.Unlock()
+	return pi, ok
+}
+
+// Height returns the commit height the snapshot was taken at.
+func (sn *storeSnapshot) Height() Version { return sn.height }
+
+// Len returns the number of live keys at the snapshot boundary.
+func (sn *storeSnapshot) Len() int { return sn.index.live }
+
+// Get returns key's value as of the snapshot boundary. The overlay is
+// checked before and after the live read: an apply always records a key's
+// pre-image before mutating its shard, so if the live read raced a
+// concurrent apply, the second overlay lookup finds the preserved value.
+func (sn *storeSnapshot) Get(key string) (VersionedValue, bool) {
+	if sn.detached.Load() {
+		return VersionedValue{}, false
+	}
+	if pi, ok := sn.lookupOverlay(key); ok {
+		return pi.vv, pi.existed
+	}
+	vv, ok := sn.store.Get(key)
+	if pi, hit := sn.lookupOverlay(key); hit {
+		return pi.vv, pi.existed
+	}
+	return vv, ok
+}
+
+// GetVersion returns only the version for key at the snapshot boundary.
+func (sn *storeSnapshot) GetVersion(key string) (Version, bool) {
+	vv, ok := sn.Get(key)
+	return vv.Version, ok
+}
+
+// GetRange returns a streaming iterator over [startKey, endKey) at the
+// snapshot boundary, excluding the composite-key namespace by bound. The
+// iterator does not release the snapshot; the snapshot's owner does.
+func (sn *storeSnapshot) GetRange(startKey, endKey string) Iterator {
+	return sn.rangeIter(startKey, endKey, false)
+}
+
+// GetByPartialCompositeKey returns a streaming iterator over composite keys
+// matching the prefix at the snapshot boundary.
+func (sn *storeSnapshot) GetByPartialCompositeKey(objectType string, attrs []string) (Iterator, error) {
+	prefix, err := CreateCompositeKey(objectType, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return sn.prefixIter(prefix, false), nil
+}
+
+// All returns a streaming iterator over every live key at the snapshot
+// boundary, composite keys included — the full-state walk fingerprints and
+// checkpoint materialization use.
+func (sn *storeSnapshot) All() Iterator {
+	return sn.newIter(sn.index.seek(""), nil, false)
+}
+
+// rangeIter builds a plain-namespace range iterator. The composite-key
+// namespace (keys prefixed with U+0000) is excluded by clamping the lower
+// bound to plainKeyFloor — one comparison for the whole scan.
+func (sn *storeSnapshot) rangeIter(startKey, endKey string, releaseOnClose bool) Iterator {
+	low := startKey
+	if low < plainKeyFloor {
+		low = plainKeyFloor
+	}
+	var stop func(string) bool
+	if endKey != "" {
+		stop = func(k string) bool { return k >= endKey }
+	}
+	return sn.newIter(sn.index.seek(low), stop, releaseOnClose)
+}
+
+// prefixIter builds a composite-key prefix iterator: it seeks to the prefix
+// and stops at the first key past it.
+func (sn *storeSnapshot) prefixIter(prefix string, releaseOnClose bool) Iterator {
+	stop := func(k string) bool { return !strings.HasPrefix(k, prefix) }
+	return sn.newIter(sn.index.seek(prefix), stop, releaseOnClose)
+}
+
+func (sn *storeSnapshot) newIter(cursor keyIter, stop func(string) bool, releaseOnClose bool) *snapIter {
+	it := &snapIter{sn: sn, cursor: cursor, stop: stop, releaseOnClose: releaseOnClose}
+	if m := sn.store.metrics.Load(); m != nil {
+		it.scanHist = m.scan
+		it.start = time.Now()
+	}
+	return it
+}
+
+// Materialize deep-copies the snapshot into a flat map — the serialized
+// form the checkpoint codec and state transfer use. It runs off the commit
+// path (the recovery manager calls it in the persistence stage), which is
+// exactly why Capture carries a Snapshot instead of a map.
+func (sn *storeSnapshot) Materialize() map[string]VersionedValue {
+	out := make(map[string]VersionedValue, sn.index.live)
+	it := sn.All()
+	defer it.Close()
+	for {
+		kv, ok := it.Next()
+		if !ok {
+			return out
+		}
+		val := make([]byte, len(kv.Value))
+		copy(val, kv.Value)
+		out[kv.Key] = VersionedValue{Value: val, Version: kv.Version}
+	}
+}
+
+// Release detaches the snapshot from the store so applies stop preserving
+// into it. The snapshot must not be read after Release. Idempotent.
+func (sn *storeSnapshot) Release() {
+	if sn.released.CompareAndSwap(false, true) {
+		sn.store.dropSnapshot(sn)
+	}
+}
+
+// detach invalidates the snapshot after a Restore replaced the state out
+// from under it: reads report absent rather than mixing two worlds.
+func (sn *storeSnapshot) detach() {
+	sn.detached.Store(true)
+	sn.released.Store(true)
+}
+
+// snapIter streams ordered KVs from a snapshot: it walks the pinned
+// immutable key index and resolves each key through the snapshot's
+// overlay-then-shard read, skipping keys deleted at the boundary.
+type snapIter struct {
+	sn             *storeSnapshot
+	cursor         keyIter
+	stop           func(string) bool
+	releaseOnClose bool
+	closed         bool
+
+	scanHist interface{ Observe(time.Duration) }
+	start    time.Time
+}
+
+// Next yields the next entry in key order; ok is false once the range is
+// exhausted (the iterator closes itself then).
+func (it *snapIter) Next() (KV, bool) {
+	if it.closed {
+		return KV{}, false
+	}
+	for {
+		k, ok := it.cursor.next()
+		if !ok || (it.stop != nil && it.stop(k)) {
+			it.Close()
+			return KV{}, false
+		}
+		vv, exists := it.sn.Get(k)
+		if !exists {
+			// Detached snapshot, or an index/overlay edge the read resolved
+			// to absent; skip defensively.
+			continue
+		}
+		return KV{Key: k, Value: vv.Value, Version: vv.Version}, true
+	}
+}
+
+// Close ends the scan early, releasing the backing snapshot when the
+// iterator owns it. Idempotent; Next auto-closes on exhaustion.
+func (it *snapIter) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	if it.scanHist != nil {
+		it.scanHist.Observe(time.Since(it.start))
+	}
+	if it.releaseOnClose {
+		it.sn.Release()
+	}
+}
+
+// Collect drains an iterator into a slice, closing it. It is the bridge for
+// callers that want the whole result set at once (tests, small ranges).
+func Collect(it Iterator) []KV {
+	defer it.Close()
+	var out []KV
+	for {
+		kv, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, kv)
+	}
+}
+
+// View is the read surface handed to one chaincode simulation (endorsement
+// or query): point, range, and composite reads come from a height-stamped
+// snapshot — a consistent world no concurrent commit can shear — while rich
+// (Mango) queries delegate to the parent store's live index-served path,
+// whose results are phantom-validated at commit exactly as before. Release
+// the view when the simulation ends.
+type View struct {
+	Snapshot
+	rq RichQueryer
+}
+
+// NewView snapshots db and builds the simulation read surface over it.
+func NewView(db StateDB) *View {
+	v := &View{Snapshot: db.Snapshot()}
+	v.rq, _ = db.(RichQueryer)
+	return v
+}
+
+// ExecuteQuery serves a rich query: index-accelerated through the parent
+// store when it supports rich queries, by filtered scan of the snapshot
+// otherwise.
+func (v *View) ExecuteQuery(query []byte) (*QueryResult, error) {
+	if v.rq != nil {
+		return v.rq.ExecuteQuery(query)
+	}
+	return ScanQuery(v.Snapshot, query)
+}

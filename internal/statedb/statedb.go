@@ -1,16 +1,27 @@
 // Package statedb implements the versioned world-state key-value store that
 // backs each peer's ledger, mirroring Fabric's state database (LevelDB
 // flavour). Every committed value carries the (block, txNum) version used by
-// MVCC validation, and iterators provide ordered range and composite-key
-// queries for chaincode.
+// MVCC validation.
+//
+// The store is sharded: point reads and writes hash (FNV-1a) onto N
+// lock-striped shards, so the hot paths — endorsement reads, MVCC version
+// checks, batch apply — never contend on one global lock. Ordered access
+// (range scans, composite-key queries) is served by a copy-on-write sorted
+// key index (keyIndex), so scans are streaming iterators with O(log n)
+// seek and early termination instead of a full-map materialize-and-sort.
+// Height-stamped snapshots (Store.Snapshot) give readers a consistent view
+// at a batch boundary without blocking ApplyUpdates; see snapshot.go.
 package statedb
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Version identifies the transaction that last wrote a key.
@@ -58,6 +69,12 @@ type KV struct {
 // as Fabric does.
 const compositeKeySep = "\x00"
 
+// plainKeyFloor is the smallest key outside the composite-key namespace:
+// every composite key starts with U+0000, so clamping a plain range scan's
+// lower bound to "\x01" excludes the whole namespace with a single bound
+// check instead of a per-key substring scan.
+const plainKeyFloor = "\x01"
+
 // Errors returned by this package.
 var (
 	ErrEmptyKey          = errors.New("statedb: empty key")
@@ -65,25 +82,91 @@ var (
 	ErrStaleCommitHeight = errors.New("statedb: commit height not monotonically increasing")
 )
 
-// Store is a thread-safe versioned KV store for one channel on one peer.
-// The zero value is not usable; call New.
-type Store struct {
-	mu     sync.RWMutex
-	data   map[string]VersionedValue
-	height Version // version of the last applied update batch
+// shard is one lock stripe of the store's key-value data.
+type shard struct {
+	mu   sync.RWMutex
+	data map[string]VersionedValue
 }
 
-// New creates an empty state store.
-func New() *Store {
-	return &Store{data: make(map[string]VersionedValue)}
+// Store is a thread-safe versioned KV store for one channel on one peer.
+// The zero value is not usable; call New or NewSharded.
+//
+// Concurrency model: point operations take only their shard's lock. Batch
+// apply (ApplyUpdates) and Restore are writers; snapshot creation briefly
+// synchronizes with them so every snapshot sits exactly at a batch
+// boundary. Readers holding a Snapshot never block a subsequent apply —
+// the apply preserves overwritten values into the snapshot's overlay
+// (copy-on-write) instead of waiting.
+type Store struct {
+	shards []shard
+
+	// applyMu serializes writers (ApplyUpdates, Restore) and orders
+	// snapshot creation against them; point reads never touch it.
+	applyMu sync.RWMutex
+
+	height atomic.Pointer[Version]
+	index  atomic.Pointer[keyIndex]
+
+	snapMu sync.Mutex
+	snaps  map[*storeSnapshot]struct{}
+
+	metrics atomic.Pointer[storeMetrics]
 }
+
+// maxShards caps the stripe count; past this, stripes only add footprint.
+const maxShards = 256
+
+// parallelApplyMin is the batch size below which fanning ApplyUpdates
+// across shard goroutines costs more than it saves.
+const parallelApplyMin = 64
+
+// New creates an empty state store with one shard per available CPU.
+func New() *Store { return NewSharded(0) }
+
+// NewSharded creates an empty state store with n lock-striped shards;
+// n <= 0 means GOMAXPROCS.
+func NewSharded(n int) *Store {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	s := &Store{
+		shards: make([]shard, n),
+		snaps:  make(map[*storeSnapshot]struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].data = make(map[string]VersionedValue)
+	}
+	s.index.Store(emptyKeyIndex)
+	s.height.Store(&Version{})
+	return s
+}
+
+// ShardCount returns the number of lock stripes.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// shardFor hashes key (FNV-1a) onto its shard.
+func (s *Store) shardFor(key string) *shard { return &s.shards[s.shardIndex(key)] }
 
 // Get returns the committed value and version for key. ok is false if the
-// key is absent (or has been deleted).
-func (s *Store) Get(key string) (vv VersionedValue, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	vv, ok = s.data[key]
+// key is absent (or has been deleted). Only the key's shard is locked.
+func (s *Store) Get(key string) (VersionedValue, bool) {
+	m := s.metrics.Load()
+	if m == nil {
+		sh := s.shardFor(key)
+		sh.mu.RLock()
+		vv, ok := sh.data[key]
+		sh.mu.RUnlock()
+		return vv, ok
+	}
+	start := time.Now()
+	sh := s.shardFor(key)
+	m.rlock(&sh.mu)
+	vv, ok := sh.data[key]
+	sh.mu.RUnlock()
+	m.get.Observe(time.Since(start))
 	return vv, ok
 }
 
@@ -94,11 +177,10 @@ func (s *Store) GetVersion(key string) (Version, bool) {
 }
 
 // Height returns the version of the most recently applied update batch.
-func (s *Store) Height() Version {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.height
-}
+func (s *Store) Height() Version { return *s.height.Load() }
+
+// Len returns the number of live keys (including composite keys).
+func (s *Store) Len() int { return s.index.Load().live }
 
 // UpdateBatch is a set of writes applied atomically at commit time.
 type UpdateBatch struct {
@@ -149,47 +231,151 @@ func (b *UpdateBatch) Range(f func(key string, value []byte, isDelete bool, ver 
 	}
 }
 
+// keyedWrite pairs a staged write with its key for per-shard grouping.
+type keyedWrite struct {
+	key string
+	w   write
+}
+
 // ApplyUpdates applies the batch atomically and records height as the new
 // commit height. Heights must be strictly increasing across calls; this is
 // the ledger invariant that makes peer restarts idempotent.
+//
+// The batch is partitioned by shard and — above parallelApplyMin writes —
+// applied to the shards in parallel, so the commit pipeline's apply stage
+// scales with cores. Values overwritten or deleted while a Snapshot is
+// outstanding are preserved into that snapshot's overlay first, which is
+// what lets snapshot readers proceed without blocking this call.
 func (s *Store) ApplyUpdates(batch *UpdateBatch, height Version) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if height.Compare(s.height) <= 0 && (s.height != Version{}) {
-		return fmt.Errorf("%w: have %v, got %v", ErrStaleCommitHeight, s.height, height)
+	m := s.metrics.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
 	}
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if cur := s.Height(); height.Compare(cur) <= 0 && (cur != Version{}) {
+		return fmt.Errorf("%w: have %v, got %v", ErrStaleCommitHeight, cur, height)
+	}
+	snaps := s.activeSnapshots()
+
+	groups := make([][]keyedWrite, len(s.shards))
 	for key, w := range batch.writes {
-		if w.delete {
-			delete(s.data, key)
-		} else {
-			s.data[key] = VersionedValue{Value: w.value, Version: w.ver}
+		i := s.shardIndex(key)
+		groups[i] = append(groups[i], keyedWrite{key: key, w: w})
+	}
+
+	nonEmpty := make([]int, 0, len(groups))
+	for i := range groups {
+		if len(groups[i]) > 0 {
+			nonEmpty = append(nonEmpty, i)
 		}
 	}
-	s.height = height
+	added := make([][]string, len(s.shards))
+	removed := make([][]string, len(s.shards))
+	// Fan the per-shard applies across workers, the calling goroutine
+	// included (it must not idle in Wait while holding applyMu). Capped by
+	// GOMAXPROCS: extra goroutines on a saturated machine only add
+	// scheduling latency to the apply's critical path.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(nonEmpty) {
+		workers = len(nonEmpty)
+	}
+	if len(batch.writes) >= parallelApplyMin && workers > 1 {
+		var cursor atomic.Int32
+		work := func() {
+			for {
+				n := int(cursor.Add(1)) - 1
+				if n >= len(nonEmpty) {
+					return
+				}
+				i := nonEmpty[n]
+				added[i], removed[i] = s.applyToShard(i, groups[i], snaps, m)
+			}
+		}
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+	} else {
+		for _, i := range nonEmpty {
+			added[i], removed[i] = s.applyToShard(i, groups[i], snaps, m)
+		}
+	}
+
+	var allAdded, allRemoved []string
+	for i := range added {
+		allAdded = append(allAdded, added[i]...)
+		allRemoved = append(allRemoved, removed[i]...)
+	}
+	sort.Strings(allAdded)
+	sort.Strings(allRemoved)
+	s.index.Store(s.index.Load().apply(allAdded, allRemoved))
+
+	h := height
+	s.height.Store(&h)
+	if m != nil {
+		m.apply.Observe(time.Since(start))
+	}
 	return nil
 }
 
-// GetRange returns committed entries with startKey <= key < endKey in key
-// order. An empty endKey means "to the end of the keyspace". Composite keys
-// (containing U+0000) are excluded from plain range scans.
-func (s *Store) GetRange(startKey, endKey string) []KV {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]KV, 0, 16)
-	for key, vv := range s.data {
-		if strings.Contains(key, compositeKeySep) {
-			continue
-		}
-		if key < startKey {
-			continue
-		}
-		if endKey != "" && key >= endKey {
-			continue
-		}
-		out = append(out, KV{Key: key, Value: vv.Value, Version: vv.Version})
+func (s *Store) shardIndex(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
+	return int(h % uint32(len(s.shards)))
+}
+
+// applyToShard applies one shard's slice of the batch under that shard's
+// lock, preserving overwritten values into outstanding snapshots before
+// each mutation. It reports which keys became live and which stopped being
+// live, for the ordered key index.
+func (s *Store) applyToShard(i int, ws []keyedWrite, snaps []*storeSnapshot, m *storeMetrics) (added, removed []string) {
+	sh := &s.shards[i]
+	if m != nil {
+		m.lock(&sh.mu)
+	} else {
+		sh.mu.Lock()
+	}
+	for _, kw := range ws {
+		old, existed := sh.data[kw.key]
+		for _, sn := range snaps {
+			sn.preserve(kw.key, old, existed)
+		}
+		if kw.w.delete {
+			if existed {
+				delete(sh.data, kw.key)
+				removed = append(removed, kw.key)
+			}
+		} else {
+			if !existed {
+				added = append(added, kw.key)
+			}
+			sh.data[kw.key] = VersionedValue{Value: kw.w.value, Version: kw.w.ver}
+		}
+	}
+	sh.mu.Unlock()
+	return added, removed
+}
+
+// GetRange returns a streaming iterator over committed entries with
+// startKey <= key < endKey in key order. An empty endKey means "to the end
+// of the keyspace". The composite-key namespace (keys prefixed with U+0000)
+// is excluded by clamping the lower bound — a single comparison, not a
+// per-key check. The iterator reads from an internal snapshot, so the scan
+// is consistent at a batch boundary and never blocks ApplyUpdates; it
+// releases the snapshot on Close (or exhaustion).
+func (s *Store) GetRange(startKey, endKey string) Iterator {
+	return s.snapshot().rangeIter(startKey, endKey, true)
 }
 
 // CreateCompositeKey builds a composite key from an object type and
@@ -229,44 +415,70 @@ func SplitCompositeKey(key string) (objectType string, attrs []string, err error
 	return parts[0], parts[1 : len(parts)-1], nil
 }
 
-// GetByPartialCompositeKey returns all entries whose composite key starts
-// with the given object type and attribute prefix, in key order.
-func (s *Store) GetByPartialCompositeKey(objectType string, attrs []string) ([]KV, error) {
+// GetByPartialCompositeKey returns a streaming iterator over all entries
+// whose composite key starts with the given object type and attribute
+// prefix, in key order.
+func (s *Store) GetByPartialCompositeKey(objectType string, attrs []string) (Iterator, error) {
 	prefix, err := CreateCompositeKey(objectType, attrs)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]KV, 0, 8)
-	for key, vv := range s.data {
-		if strings.HasPrefix(key, prefix) {
-			out = append(out, KV{Key: key, Value: vv.Value, Version: vv.Version})
-		}
+	return s.snapshot().prefixIter(prefix, true), nil
+}
+
+// Snapshot returns a height-stamped consistent read view at the current
+// batch boundary. Creation is O(1): the view pins the immutable key index
+// and lazily copies only values that later applies overwrite. Callers must
+// Release the snapshot when done so applies stop preserving into it.
+func (s *Store) Snapshot() Snapshot { return s.snapshot() }
+
+// snapshot is Snapshot returning the concrete type. Registration happens
+// before applyMu is released: an apply that started after the pinned
+// boundary must already see the snapshot in snaps, or it would mutate
+// shards without preserving pre-images and the view would shear. (Lock
+// order applyMu -> snapMu matches ApplyUpdates and replaceState.)
+func (s *Store) snapshot() *storeSnapshot {
+	s.applyMu.RLock()
+	sn := &storeSnapshot{
+		store:  s,
+		height: s.Height(),
+		index:  s.index.Load(),
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out, nil
+	s.snapMu.Lock()
+	s.snaps[sn] = struct{}{}
+	s.snapMu.Unlock()
+	s.applyMu.RUnlock()
+	return sn
 }
 
-// Len returns the number of live keys (including composite keys).
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.data)
-}
-
-// Snapshot returns a deep copy of the live state; used by tests and by
-// state-transfer when a peer rejoins after a partition.
-func (s *Store) Snapshot() map[string]VersionedValue {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string]VersionedValue, len(s.data))
-	for k, vv := range s.data {
-		val := make([]byte, len(vv.Value))
-		copy(val, vv.Value)
-		out[k] = VersionedValue{Value: val, Version: vv.Version}
+// activeSnapshots returns the outstanding snapshots an apply must preserve
+// overwritten values into.
+func (s *Store) activeSnapshots() []*storeSnapshot {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if len(s.snaps) == 0 {
+		return nil
+	}
+	out := make([]*storeSnapshot, 0, len(s.snaps))
+	for sn := range s.snaps {
+		out = append(out, sn)
 	}
 	return out
+}
+
+// dropSnapshot unregisters a released snapshot.
+func (s *Store) dropSnapshot(sn *storeSnapshot) {
+	s.snapMu.Lock()
+	delete(s.snaps, sn)
+	s.snapMu.Unlock()
+}
+
+// Export returns a deep copy of the live state as a flat map — the form the
+// checkpoint codec and state transfer serialize.
+func (s *Store) Export() map[string]VersionedValue {
+	sn := s.snapshot()
+	defer sn.Release()
+	return sn.Materialize()
 }
 
 // Restore replaces the live state with the given snapshot at the given
@@ -274,27 +486,54 @@ func (s *Store) Snapshot() map[string]VersionedValue {
 // The restored height is the MVCC low-water mark: a later ApplyUpdates at a
 // height at or below it is rejected as stale, which is what makes replaying
 // an already-reflected block after restart a detectable no-op instead of a
-// silent double-apply.
+// silent double-apply. Outstanding snapshots are detached (their reads
+// report absent thereafter); callers quiesce readers around a restore.
 func (s *Store) Restore(snap map[string]VersionedValue, height Version) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data = make(map[string]VersionedValue, len(snap))
-	for k, vv := range snap {
-		val := make([]byte, len(vv.Value))
-		copy(val, vv.Value)
-		s.data[k] = VersionedValue{Value: val, Version: vv.Version}
-	}
-	s.height = height
+	s.replaceState(snap, height, true)
 }
 
 // restoreOwned is Restore without the defensive deep copy: the store takes
-// ownership of snap and its value slices. Reserved for callers that freshly
+// ownership of snap's value slices. Reserved for callers that freshly
 // materialized the snapshot and never touch it again (checkpoint recovery),
 // where copying a large state would only stretch the restart the snapshot
 // exists to shorten.
 func (s *Store) restoreOwned(snap map[string]VersionedValue, height Version) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data = snap
-	s.height = height
+	s.replaceState(snap, height, false)
+}
+
+func (s *Store) replaceState(snap map[string]VersionedValue, height Version, copyValues bool) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+
+	s.snapMu.Lock()
+	for sn := range s.snaps {
+		sn.detach()
+	}
+	s.snaps = make(map[*storeSnapshot]struct{})
+	s.snapMu.Unlock()
+
+	fresh := make([]map[string]VersionedValue, len(s.shards))
+	for i := range fresh {
+		fresh[i] = make(map[string]VersionedValue, len(snap)/len(s.shards)+1)
+	}
+	keys := make([]string, 0, len(snap))
+	for k, vv := range snap {
+		keys = append(keys, k)
+		if copyValues {
+			val := make([]byte, len(vv.Value))
+			copy(val, vv.Value)
+			vv = VersionedValue{Value: val, Version: vv.Version}
+		}
+		fresh[s.shardIndex(k)][k] = vv
+	}
+	sort.Strings(keys)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.data = fresh[i]
+		sh.mu.Unlock()
+	}
+	s.index.Store(&keyIndex{base: keys, live: len(keys)})
+	h := height
+	s.height.Store(&h)
 }

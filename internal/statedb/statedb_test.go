@@ -111,7 +111,7 @@ func TestGetRange(t *testing.T) {
 		{"x", "z", nil},
 	}
 	for _, tt := range tests {
-		got := s.GetRange(tt.start, tt.end)
+		got := Collect(s.GetRange(tt.start, tt.end))
 		keys := make([]string, len(got))
 		for i, kv := range got {
 			keys[i] = kv.Key
@@ -171,17 +171,19 @@ func TestPartialCompositeKeyQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	got, err := s.GetByPartialCompositeKey("edge", []string{"p1"})
+	it, err := s.GetByPartialCompositeKey("edge", []string{"p1"})
 	if err != nil {
 		t.Fatal(err)
 	}
+	got := Collect(it)
 	if len(got) != 2 {
 		t.Fatalf("partial query returned %d entries, want 2", len(got))
 	}
-	all, err := s.GetByPartialCompositeKey("edge", nil)
+	allIt, err := s.GetByPartialCompositeKey("edge", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	all := Collect(allIt)
 	if len(all) != 3 {
 		t.Fatalf("full prefix query returned %d entries, want 3", len(all))
 	}
@@ -194,15 +196,15 @@ func TestSnapshotRestore(t *testing.T) {
 	if err := s.ApplyUpdates(b, Version{3, 1}); err != nil {
 		t.Fatal(err)
 	}
-	snap := s.Snapshot()
-	// Mutating the snapshot must not affect the store.
+	snap := s.Export()
+	// Mutating the exported copy must not affect the store.
 	snap["k"].Value[0] = 'X'
 	if vv, _ := s.Get("k"); vv.Value[0] != 'v' {
-		t.Error("snapshot aliases store data")
+		t.Error("export aliases store data")
 	}
 
 	s2 := New()
-	s2.Restore(s.Snapshot(), s.Height())
+	s2.Restore(s.Export(), s.Height())
 	if vv, ok := s2.Get("k"); !ok || !bytes.Equal(vv.Value, []byte("v")) {
 		t.Errorf("restored Get(k) = %v, %v", vv, ok)
 	}
@@ -258,7 +260,7 @@ func TestQuickLastWriterWins(t *testing.T) {
 			}
 		}
 		// No extra plain keys beyond those expected.
-		return len(s.GetRange("", "")) == len(want)
+		return len(Collect(s.GetRange("", ""))) == len(want)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -280,7 +282,7 @@ func TestQuickRangeOrdered(t *testing.T) {
 		if err := s.ApplyUpdates(b, Version{1, uint64(len(keys) + 1)}); err != nil {
 			return false
 		}
-		got := s.GetRange(start, end)
+		got := Collect(s.GetRange(start, end))
 		for i, kv := range got {
 			if kv.Key < start {
 				return false
@@ -307,7 +309,7 @@ func TestRestoreHeightSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snap := s.Snapshot()
+	snap := s.Export()
 	restored := New()
 	restored.Restore(snap, Version{7, 3})
 	if got := restored.Height(); got != (Version{7, 3}) {
@@ -347,7 +349,7 @@ func TestVersionedValueJSONRoundtrip(t *testing.T) {
 	if err := s.ApplyUpdates(b, Version{3, 2}); err != nil {
 		t.Fatal(err)
 	}
-	raw, err := json.Marshal(s.Snapshot())
+	raw, err := json.Marshal(s.Export())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,8 +45,11 @@ race:
 bench:
 	$(GO) test -bench . -benchtime=500ms -run '^$$' ./...
 
+# The -overhead-guard run doubles as the observability budget check: with
+# metrics + tracing fully enabled, pipelined commit throughput must stay
+# within 5% of the uninstrumented run.
 bench-commit:
-	$(GO) run ./cmd/hyperprov-bench -experiment commit -out BENCH_commit.json
+	$(GO) run ./cmd/hyperprov-bench -experiment commit -out BENCH_commit.json -overhead-guard 5
 
 bench-recovery:
 	$(GO) run ./cmd/hyperprov-bench -experiment recovery -recovery-out BENCH_recovery.json

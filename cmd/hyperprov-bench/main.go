@@ -26,14 +26,16 @@ func main() {
 		"path the recovery experiment writes its JSON result to (empty disables)")
 	stateOut := flag.String("state-out", "BENCH_state.json",
 		"path the state experiment writes its JSON result to (empty disables)")
+	overheadGuard := flag.Float64("overhead-guard", 0,
+		"in the commit experiment: also measure observability (metrics+tracing) overhead and fail when it exceeds this percent (0 disables)")
 	flag.Parse()
-	if err := run(*experiment, *quick, *out, *recoveryOut, *stateOut); err != nil {
+	if err := run(*experiment, *quick, *out, *recoveryOut, *stateOut, *overheadGuard); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, quick bool, out, recoveryOut, stateOut string) error {
+func run(experiment string, quick bool, out, recoveryOut, stateOut string, overheadGuard float64) error {
 	sweep := bench.DefaultSweep()
 	energyCfg := bench.DefaultEnergy()
 	if quick {
@@ -109,6 +111,7 @@ func run(experiment string, quick bool, out, recoveryOut, stateOut string) error
 			if quick {
 				cfg = bench.QuickCommitBench()
 			}
+			cfg.Overhead = overheadGuard > 0
 			res, err := bench.RunCommitBench(cfg)
 			if err != nil {
 				return err
@@ -119,6 +122,10 @@ func run(experiment string, quick bool, out, recoveryOut, stateOut string) error
 					return err
 				}
 				fmt.Println("wrote", out)
+			}
+			if o := res.Overhead; o != nil && o.OverheadPct > overheadGuard {
+				return fmt.Errorf("observability overhead %.2f%% exceeds guard %.2f%%",
+					o.OverheadPct, overheadGuard)
 			}
 		case "recovery":
 			cfg := bench.DefaultRecoveryBench()

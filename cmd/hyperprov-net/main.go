@@ -25,16 +25,19 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/hyperprov/hyperprov/internal/admin"
 	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
 	"github.com/hyperprov/hyperprov/internal/core"
 	"github.com/hyperprov/hyperprov/internal/fabric"
 	"github.com/hyperprov/hyperprov/internal/gossip"
 	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/metrics"
 	"github.com/hyperprov/hyperprov/internal/network"
 	"github.com/hyperprov/hyperprov/internal/offchain"
 	"github.com/hyperprov/hyperprov/internal/orderer"
 	"github.com/hyperprov/hyperprov/internal/peer"
 	"github.com/hyperprov/hyperprov/internal/shim"
+	"github.com/hyperprov/hyperprov/internal/trace"
 	"github.com/hyperprov/hyperprov/internal/transport"
 )
 
@@ -59,6 +62,7 @@ type options struct {
 	expectFP     string
 	timeout      time.Duration
 	runFor       time.Duration
+	admin        string
 }
 
 func main() {
@@ -79,7 +83,8 @@ func main() {
 	flag.Uint64Var(&o.expectHeight, "expect-height", 0, "in -join mode: block height to wait for")
 	flag.StringVar(&o.expectFP, "expect-fingerprint", "", "in -join mode: state fingerprint that must match after catch-up")
 	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "in -join mode: catch-up deadline")
-	flag.DurationVar(&o.runFor, "run-for", 0, "in -peer-serve mode: exit after this duration (default: until SIGINT)")
+	flag.DurationVar(&o.runFor, "run-for", 0, "in -peer-serve/-join mode: keep serving for this duration (default: until SIGINT / immediate exit)")
+	flag.StringVar(&o.admin, "admin", "", "serve the admin endpoint (/metrics, /healthz, /tracez, pprof) on this address, e.g. 127.0.0.1:0")
 	flag.Parse()
 
 	var err error
@@ -97,6 +102,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hyperprov-net:", err)
 		os.Exit(1)
 	}
+}
+
+// startAdmin exposes one peer's observability surface when -admin is set:
+// its pipeline metrics (unprefixed), the process's network-level registry
+// (prefixed net_), the trace recorder, and a health summary. Returns nil
+// without error when the flag is unset.
+func (o options) startAdmin(p *peer.Peer, netReg *metrics.Registry, tracer *trace.Recorder,
+	gossipCount func() int, lastErr func() string) (*admin.Server, error) {
+	if o.admin == "" {
+		return nil, nil
+	}
+	regs := map[string]*metrics.Registry{"": p.Metrics()}
+	if netReg != nil {
+		regs["net_"] = netReg
+	}
+	srv, err := admin.New(o.admin, admin.Config{
+		Registries: regs,
+		Tracer:     tracer,
+		HealthFunc: func() admin.Health {
+			h := admin.Health{Peer: p.Name(), Height: p.Height(), LastCommitAgeMs: -1}
+			if t := p.LastCommitTime(); !t.IsZero() {
+				h.LastCommitAgeMs = time.Since(t).Milliseconds()
+			}
+			if gossipCount != nil {
+				h.GossipPeers = gossipCount()
+			}
+			if lastErr != nil {
+				h.TransportLastError = lastErr()
+			}
+			return h
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("ADMIN %s\n", srv.URL())
+	return srv, nil
 }
 
 func (o options) storageShape() network.LinkShape {
@@ -153,6 +195,22 @@ func runPeerServe(o options) error {
 		func() shim.Chaincode { return provenance.New() }); err != nil {
 		return err
 	}
+	adminSrv, err := o.startAdmin(n.Peers()[0], n.Metrics(), n.Tracer(),
+		n.Gossip().MemberCount,
+		func() string {
+			for _, c := range n.Remotes() {
+				if e := c.LastError(); e != "" {
+					return e
+				}
+			}
+			return ""
+		})
+	if err != nil {
+		return err
+	}
+	if adminSrv != nil {
+		defer adminSrv.Close()
+	}
 	gw, err := n.NewGateway("net-primary")
 	if err != nil {
 		return err
@@ -191,6 +249,11 @@ func runPeerServe(o options) error {
 // then catches up over TCP anti-entropy until it reaches the expected
 // height, and verifies its state fingerprint.
 func runJoin(o options) error {
+	// The joining process's own observability state, created before dialing
+	// so handshakes and catch-up traffic are counted from the first byte.
+	tracer := trace.NewRecorder()
+	netReg := metrics.NewRegistry()
+
 	addrs := strings.Split(o.join, ",")
 	clients := make([]*transport.Client, 0, len(addrs))
 	defer func() {
@@ -199,7 +262,11 @@ func runJoin(o options) error {
 		}
 	}()
 	for _, a := range addrs {
-		c, err := transport.Dial(strings.TrimSpace(a), transport.ClientConfig{Shape: o.peerShape()})
+		c, err := transport.Dial(strings.TrimSpace(a), transport.ClientConfig{
+			Shape:   o.peerShape(),
+			Metrics: netReg,
+			Tracer:  tracer,
+		})
 		if err != nil {
 			return err
 		}
@@ -229,7 +296,7 @@ func runJoin(o options) error {
 	if err != nil {
 		return err
 	}
-	p := peer.New(peer.Config{Name: o.name, Signer: signer, MSP: msp, ChannelID: info.ChannelID})
+	p := peer.New(peer.Config{Name: o.name, Signer: signer, MSP: msp, ChannelID: info.ChannelID, Tracer: tracer})
 	defer p.Stop()
 	// Same derivation the serving network used, so both sides validate
 	// endorsements against the identical policy.
@@ -243,6 +310,8 @@ func runJoin(o options) error {
 			Orgs:       info.Orgs,
 			CACertsPEM: info.CACertsPEM,
 			Shape:      o.peerShape(),
+			Metrics:    netReg,
+			Tracer:     tracer,
 		})
 		if err != nil {
 			return err
@@ -261,6 +330,24 @@ func runJoin(o options) error {
 	}
 	g := gossip.New(gossip.Config{Interval: 25 * time.Millisecond, Fanout: 1}, members...)
 	defer g.Stop()
+	g.SetMetrics(netReg)
+	g.SetTracer(tracer)
+
+	adminSrv, err := o.startAdmin(p, netReg, tracer, g.MemberCount,
+		func() string {
+			for _, c := range clients {
+				if e := c.LastError(); e != "" {
+					return e
+				}
+			}
+			return ""
+		})
+	if err != nil {
+		return err
+	}
+	if adminSrv != nil {
+		defer adminSrv.Close()
+	}
 
 	deadline := time.Now().Add(o.timeout)
 	for p.Height() < o.expectHeight {
@@ -276,6 +363,11 @@ func runJoin(o options) error {
 	fmt.Printf("CONVERGED height=%d fingerprint=%s\n", p.Height(), fp)
 	if o.expectFP != "" && fp != o.expectFP {
 		return fmt.Errorf("state fingerprint mismatch: got %s, want %s", fp, o.expectFP)
+	}
+	if o.runFor > 0 {
+		// Keep serving (gossip, transport, admin) so other processes can
+		// inspect this peer after convergence.
+		waitForSignal(o.runFor)
 	}
 	return nil
 }

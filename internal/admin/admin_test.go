@@ -1,0 +1,141 @@
+package admin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	peerReg := metrics.NewRegistry()
+	peerReg.Counter(metrics.BlocksCommitted).Add(3)
+	peerReg.Histogram(metrics.CommitStagePersist).Observe(2 * time.Millisecond)
+	netReg := metrics.NewRegistry()
+	netReg.Counter(metrics.GossipRounds).Add(7)
+
+	tracer := trace.NewRecorder()
+	start := time.Now()
+	tracer.Observe("tx-1", trace.StagePropose, "gateway", start, "")
+	tracer.Observe("tx-1", trace.StageCommitPersist, "peer0", start, "")
+	tracer.Complete("tx-1", "VALID")
+
+	srv, err := New("127.0.0.1:0", Config{
+		Registries: map[string]*metrics.Registry{
+			"peer0_": peerReg,
+			"net_":   netReg,
+		},
+		Tracer: tracer,
+		HealthFunc: func() Health {
+			return Health{
+				Peer:               "peer0",
+				Height:             4,
+				GossipPeers:        2,
+				LastCommitAgeMs:    12,
+				TransportLastError: "dial tcp: refused",
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	code, body := get(t, srv.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"peer0_blocks_committed 3",
+		"net_gossip_rounds 7",
+		"peer0_commit_stage_persist_count 1",
+		"# TYPE peer0_commit_stage_persist histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv.URL()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if h.Peer != "peer0" || h.Height != 4 || h.GossipPeers != 2 || h.TransportLastError == "" {
+		t.Errorf("health = %+v", h)
+	}
+
+	code, body = get(t, srv.URL()+"/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("/tracez status = %d", code)
+	}
+	var tz struct {
+		Recent []trace.Trace `json:"recent"`
+		Slow   []trace.Trace `json:"slow"`
+	}
+	if err := json.Unmarshal([]byte(body), &tz); err != nil {
+		t.Fatalf("/tracez not JSON: %v\n%s", err, body)
+	}
+	if len(tz.Recent) != 1 || tz.Recent[0].ID != "tx-1" || tz.Recent[0].Outcome != "VALID" {
+		t.Errorf("recent = %+v", tz.Recent)
+	}
+	if len(tz.Recent[0].Spans) != 2 {
+		t.Errorf("spans = %+v", tz.Recent[0].Spans)
+	}
+	if len(tz.Slow) != 1 {
+		t.Errorf("slow = %+v", tz.Slow)
+	}
+
+	// pprof index answers (profiles themselves are too slow for a unit test).
+	code, _ = get(t, srv.URL()+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+}
+
+// Nil tracer and health func must serve empty documents, not panic.
+func TestAdminNilSources(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	code, body := get(t, srv.URL()+"/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("/tracez status = %d", code)
+	}
+	if !strings.Contains(body, `"recent"`) {
+		t.Errorf("tracez body = %s", body)
+	}
+	code, _ = get(t, srv.URL()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", code)
+	}
+	code, _ = get(t, srv.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+}

@@ -13,9 +13,11 @@ import (
 	"github.com/hyperprov/hyperprov/internal/endorser"
 	"github.com/hyperprov/hyperprov/internal/historydb"
 	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/metrics"
 	"github.com/hyperprov/hyperprov/internal/rwset"
 	"github.com/hyperprov/hyperprov/internal/shim"
 	"github.com/hyperprov/hyperprov/internal/statedb"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // This file holds the commit-throughput experiment: serial vs pipelined
@@ -48,6 +50,12 @@ type CommitBenchConfig struct {
 	Scale float64
 	// Seed fixes modeled jitter.
 	Seed int64
+	// Overhead additionally measures the cost of full observability
+	// (metrics + tracing enabled on the committer) at the largest
+	// configured point, reporting the throughput delta against the
+	// uninstrumented run. The admin endpoint's "<5% overhead" guard in CI
+	// checks this number.
+	Overhead bool
 }
 
 // DefaultCommitBench returns the figure-quality configuration.
@@ -76,15 +84,34 @@ func QuickCommitBench() CommitBenchConfig {
 	}
 }
 
-// CommitBenchRow is one measured (block size, workers) point.
+// CommitBenchRow is one measured (block size, workers) point. The quantile
+// columns are per-block submit-to-persist latencies in modeled milliseconds.
 type CommitBenchRow struct {
-	BlockSize   int     `json:"blockSize"`
-	Workers     int     `json:"workers"`
-	SerialTps   float64 `json:"serialTxPerSec"`
-	PipelineTps float64 `json:"pipelineTxPerSec"`
-	Speedup     float64 `json:"speedup"`
-	SerialMs    float64 `json:"serialMsPerBlock"`
-	PipelineMs  float64 `json:"pipelineMsPerBlock"`
+	BlockSize      int     `json:"blockSize"`
+	Workers        int     `json:"workers"`
+	SerialTps      float64 `json:"serialTxPerSec"`
+	PipelineTps    float64 `json:"pipelineTxPerSec"`
+	Speedup        float64 `json:"speedup"`
+	SerialMs       float64 `json:"serialMsPerBlock"`
+	PipelineMs     float64 `json:"pipelineMsPerBlock"`
+	SerialP50Ms    float64 `json:"serialP50MsPerBlock"`
+	SerialP99Ms    float64 `json:"serialP99MsPerBlock"`
+	SerialP999Ms   float64 `json:"serialP999MsPerBlock"`
+	PipelineP50Ms  float64 `json:"pipelineP50MsPerBlock"`
+	PipelineP99Ms  float64 `json:"pipelineP99MsPerBlock"`
+	PipelineP999Ms float64 `json:"pipelineP999MsPerBlock"`
+}
+
+// CommitOverhead reports the observability overhead guard: the same
+// pipelined run with metrics + tracing fully enabled versus disabled.
+type CommitOverhead struct {
+	BlockSize       int     `json:"blockSize"`
+	Workers         int     `json:"workers"`
+	BaselineTps     float64 `json:"baselineTxPerSec"`
+	InstrumentedTps float64 `json:"instrumentedTxPerSec"`
+	// OverheadPct is the throughput loss in percent (negative when the
+	// instrumented run happened to be faster).
+	OverheadPct float64 `json:"overheadPct"`
 }
 
 // CommitBenchResult is the regenerated comparison table.
@@ -92,17 +119,24 @@ type CommitBenchResult struct {
 	Name        string           `json:"name"`
 	Description string           `json:"description"`
 	Rows        []CommitBenchRow `json:"rows"`
+	Overhead    *CommitOverhead  `json:"overhead,omitempty"`
 }
 
 // Format renders the comparison table.
 func (r CommitBenchResult) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== %s ==\n%s\n", r.Name, r.Description)
-	fmt.Fprintf(&sb, "%-10s %8s %14s %14s %10s\n",
-		"blocksize", "workers", "serial(tx/s)", "pipeline(tx/s)", "speedup")
+	fmt.Fprintf(&sb, "%-10s %8s %14s %14s %10s %12s %12s\n",
+		"blocksize", "workers", "serial(tx/s)", "pipeline(tx/s)", "speedup", "p99-ser(ms)", "p99-pipe(ms)")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&sb, "%-10d %8d %14.0f %14.0f %9.2fx\n",
-			row.BlockSize, row.Workers, row.SerialTps, row.PipelineTps, row.Speedup)
+		fmt.Fprintf(&sb, "%-10d %8d %14.0f %14.0f %9.2fx %12.1f %12.1f\n",
+			row.BlockSize, row.Workers, row.SerialTps, row.PipelineTps, row.Speedup,
+			row.SerialP99Ms, row.PipelineP99Ms)
+	}
+	if o := r.Overhead; o != nil {
+		fmt.Fprintf(&sb, "-- observability overhead (size %d, %d workers) --\n", o.BlockSize, o.Workers)
+		fmt.Fprintf(&sb, "baseline %.0f tx/s, instrumented %.0f tx/s, overhead %.2f%%\n",
+			o.BaselineTps, o.InstrumentedTps, o.OverheadPct)
 	}
 	return sb.String()
 }
@@ -230,19 +264,41 @@ func (f *commitFixture) envelope(txID string, rws *rwset.ReadWriteSet) (blocksto
 	return env, nil
 }
 
+// commitRunResult is one engine pass over a block stream.
+type commitRunResult struct {
+	elapsed time.Duration
+	// perBlock is the submit-to-persist latency distribution across the
+	// stream's blocks (wall clock; scale back to modeled time via Scaled).
+	perBlock Summary
+	fp       string
+	codes    [][]blockstore.ValidationCode
+}
+
 // commitRun feeds the stream through one committer engine over fresh
-// stores and a fresh modeled device, and returns the elapsed wall time
-// plus the final state fingerprint and per-block validation codes for
-// equivalence checking.
-func commitRun(f *commitFixture, bc CommitBenchConfig, stream []*blockstore.Block, workers int, pipelined bool) (time.Duration, string, [][]blockstore.ValidationCode, error) {
+// stores and a fresh modeled device, and returns the elapsed wall time,
+// the per-block commit-latency distribution, plus the final state
+// fingerprint and per-block validation codes for equivalence checking.
+// instrumented additionally attaches a live metrics registry and trace
+// recorder to the committer — the overhead guard's configuration.
+func commitRun(f *commitFixture, bc CommitBenchConfig, stream []*blockstore.Block, workers int, pipelined, instrumented bool) (*commitRunResult, error) {
 	exec := device.NewExecutor(bc.Profile, device.RealClock{ScaleFactor: bc.Scale}, bc.Seed)
 	state := statedb.New()
+	lat := NewHistogram()
+	submitted := make([]time.Time, len(stream))
 	cfg := committer.Config{
 		State:    state,
 		History:  historydb.New(),
 		Blocks:   blockstore.NewStore(),
 		Verifier: f.verifier(exec),
 		Workers:  workers,
+		OnCommitted: func(b *blockstore.Block) {
+			lat.Record(time.Since(submitted[b.Header.Number]))
+		},
+	}
+	if instrumented {
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.Tracer = trace.NewRecorder()
+		cfg.Name = "bench-peer"
 	}
 	var eng committer.Committer
 	if pipelined {
@@ -252,9 +308,10 @@ func commitRun(f *commitFixture, bc CommitBenchConfig, stream []*blockstore.Bloc
 	}
 	start := time.Now()
 	for _, b := range stream {
+		submitted[b.Header.Number] = time.Now()
 		if !eng.Submit(b) {
 			eng.Close()
-			return 0, "", nil, fmt.Errorf("bench: block %d rejected", b.Header.Number)
+			return nil, fmt.Errorf("bench: block %d rejected", b.Header.Number)
 		}
 	}
 	eng.Sync()
@@ -265,11 +322,16 @@ func commitRun(f *commitFixture, bc CommitBenchConfig, stream []*blockstore.Bloc
 	for n := range stream {
 		b, err := cfg.Blocks.GetByNumber(uint64(n))
 		if err != nil {
-			return 0, "", nil, err
+			return nil, err
 		}
 		codes[n] = b.TxValidation
 	}
-	return elapsed, committer.StateFingerprint(state), codes, nil
+	return &commitRunResult{
+		elapsed:  elapsed,
+		perBlock: lat.Summarize().Scaled(bc.Scale),
+		fp:       committer.StateFingerprint(state),
+		codes:    codes,
+	}, nil
 }
 
 // RunCommitBench runs the serial-vs-pipelined commit comparison.
@@ -292,36 +354,69 @@ func RunCommitBench(cfg CommitBenchConfig) (CommitBenchResult, error) {
 	modeledMs := func(d time.Duration) float64 {
 		return float64(d.Milliseconds()) / cfg.Scale / float64(cfg.Blocks)
 	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	for _, size := range cfg.BlockSizes {
 		stream, err := f.buildStream(cfg.Blocks, size, cfg.WritesPerTx)
 		if err != nil {
 			return CommitBenchResult{}, err
 		}
-		serialDur, serialFP, serialCodes, err := commitRun(f, cfg, stream, 1, false)
+		serial, err := commitRun(f, cfg, stream, 1, false, false)
 		if err != nil {
 			return CommitBenchResult{}, err
 		}
 		totalTx := float64(cfg.Blocks * size)
 		for _, workers := range cfg.Workers {
-			pipeDur, pipeFP, pipeCodes, err := commitRun(f, cfg, stream, workers, true)
+			pipe, err := commitRun(f, cfg, stream, workers, true, false)
 			if err != nil {
 				return CommitBenchResult{}, err
 			}
-			if err := sameVerdicts(serialFP, pipeFP, serialCodes, pipeCodes); err != nil {
+			if err := sameVerdicts(serial.fp, pipe.fp, serial.codes, pipe.codes); err != nil {
 				return CommitBenchResult{}, fmt.Errorf("bench: size %d workers %d: %w", size, workers, err)
 			}
 			row := CommitBenchRow{
-				BlockSize:   size,
-				Workers:     workers,
-				SerialTps:   totalTx / serialDur.Seconds() * cfg.Scale,
-				PipelineTps: totalTx / pipeDur.Seconds() * cfg.Scale,
-				SerialMs:    modeledMs(serialDur),
-				PipelineMs:  modeledMs(pipeDur),
+				BlockSize:      size,
+				Workers:        workers,
+				SerialTps:      totalTx / serial.elapsed.Seconds() * cfg.Scale,
+				PipelineTps:    totalTx / pipe.elapsed.Seconds() * cfg.Scale,
+				SerialMs:       modeledMs(serial.elapsed),
+				PipelineMs:     modeledMs(pipe.elapsed),
+				SerialP50Ms:    ms(serial.perBlock.P50),
+				SerialP99Ms:    ms(serial.perBlock.P99),
+				SerialP999Ms:   ms(serial.perBlock.P999),
+				PipelineP50Ms:  ms(pipe.perBlock.P50),
+				PipelineP99Ms:  ms(pipe.perBlock.P99),
+				PipelineP999Ms: ms(pipe.perBlock.P999),
 			}
-			if pipeDur > 0 {
-				row.Speedup = float64(serialDur) / float64(pipeDur)
+			if pipe.elapsed > 0 {
+				row.Speedup = float64(serial.elapsed) / float64(pipe.elapsed)
 			}
 			res.Rows = append(res.Rows, row)
+		}
+	}
+	if cfg.Overhead && len(cfg.BlockSizes) > 0 && len(cfg.Workers) > 0 {
+		size := cfg.BlockSizes[len(cfg.BlockSizes)-1]
+		workers := cfg.Workers[len(cfg.Workers)-1]
+		stream, err := f.buildStream(cfg.Blocks, size, cfg.WritesPerTx)
+		if err != nil {
+			return CommitBenchResult{}, err
+		}
+		base, err := commitRun(f, cfg, stream, workers, true, false)
+		if err != nil {
+			return CommitBenchResult{}, err
+		}
+		inst, err := commitRun(f, cfg, stream, workers, true, true)
+		if err != nil {
+			return CommitBenchResult{}, err
+		}
+		totalTx := float64(cfg.Blocks * size)
+		baseTps := totalTx / base.elapsed.Seconds() * cfg.Scale
+		instTps := totalTx / inst.elapsed.Seconds() * cfg.Scale
+		res.Overhead = &CommitOverhead{
+			BlockSize:       size,
+			Workers:         workers,
+			BaselineTps:     baseTps,
+			InstrumentedTps: instTps,
+			OverheadPct:     (baseTps - instTps) / baseTps * 100,
 		}
 	}
 	return res, nil

@@ -49,6 +49,7 @@ type Summary struct {
 	P50    time.Duration
 	P95    time.Duration
 	P99    time.Duration
+	P999   time.Duration
 	Max    time.Duration
 }
 
@@ -83,6 +84,7 @@ func (h *Histogram) Summarize() Summary {
 		P50:    percentile(samples, 0.50),
 		P95:    percentile(samples, 0.95),
 		P99:    percentile(samples, 0.99),
+		P999:   percentile(samples, 0.999),
 		Max:    samples[len(samples)-1],
 	}
 }
@@ -112,7 +114,7 @@ func (s Summary) Scaled(scale float64) Summary {
 	f := func(d time.Duration) time.Duration { return time.Duration(float64(d) / scale) }
 	return Summary{
 		Count: s.Count, Mean: f(s.Mean), Stddev: f(s.Stddev), Min: f(s.Min),
-		P50: f(s.P50), P95: f(s.P95), P99: f(s.P99), Max: f(s.Max),
+		P50: f(s.P50), P95: f(s.P95), P99: f(s.P99), P999: f(s.P999), Max: f(s.Max),
 	}
 }
 

@@ -118,7 +118,9 @@ type StateMixedRow struct {
 type StateLatencyRow struct {
 	Shards    int     `json:"shards"` // 0 = single-lock reference
 	GetMeanUs float64 `json:"getMeanMicros"`
+	GetP50Us  float64 `json:"getP50Micros"`
 	GetP99Us  float64 `json:"getP99Micros"`
+	GetP999Us float64 `json:"getP999Micros"`
 	GetMaxUs  float64 `json:"getMaxMicros"`
 }
 
@@ -152,13 +154,14 @@ func (r StateBenchResult) Format() string {
 			name, row.ReadsPerSec, row.WritesPerSec, row.Speedup)
 	}
 	fmt.Fprintf(&sb, "-- Get latency during continuous ApplyUpdates --\n")
-	fmt.Fprintf(&sb, "%-12s %14s %14s %14s\n", "shards", "mean(us)", "p99(us)", "max(us)")
+	fmt.Fprintf(&sb, "%-12s %12s %12s %12s %12s %12s\n", "shards", "mean(us)", "p50(us)", "p99(us)", "p999(us)", "max(us)")
 	for _, row := range r.Latency {
 		name := fmt.Sprintf("%d", row.Shards)
 		if row.Shards == 0 {
 			name = "single-lock"
 		}
-		fmt.Fprintf(&sb, "%-12s %14.2f %14.1f %14.1f\n", name, row.GetMeanUs, row.GetP99Us, row.GetMaxUs)
+		fmt.Fprintf(&sb, "%-12s %12.2f %12.1f %12.1f %12.1f %12.1f\n",
+			name, row.GetMeanUs, row.GetP50Us, row.GetP99Us, row.GetP999Us, row.GetMaxUs)
 	}
 	return sb.String()
 }
@@ -399,7 +402,9 @@ func RunStateBench(cfg StateBenchConfig) (StateBenchResult, error) {
 		row := StateLatencyRow{Shards: shards}
 		if len(samples) > 0 {
 			row.GetMeanUs = float64(sum.Microseconds()) / float64(len(samples))
+			row.GetP50Us = float64(percentile(samples, 0.50).Microseconds())
 			row.GetP99Us = float64(samples[len(samples)*99/100].Microseconds())
+			row.GetP999Us = float64(percentile(samples, 0.999).Microseconds())
 			row.GetMaxUs = float64(samples[len(samples)-1].Microseconds())
 		}
 		return row, nil

@@ -30,6 +30,7 @@ import (
 	"github.com/hyperprov/hyperprov/internal/richquery"
 	"github.com/hyperprov/hyperprov/internal/rwset"
 	"github.com/hyperprov/hyperprov/internal/statedb"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // PrevalResult is the outcome of stage-1 validation for one transaction:
@@ -66,6 +67,11 @@ type Config struct {
 	// Metrics, when set, receives per-stage latency histograms
 	// (metrics.CommitStage*).
 	Metrics *metrics.Registry
+	// Tracer, when set, receives per-transaction commit-stage spans (one
+	// AddBatch per block and stage; trace IDs are the block's txIDs).
+	Tracer *trace.Recorder
+	// Name labels this committer's spans (usually the owning peer's name).
+	Name string
 	// OnAccepted, when set, is called synchronously from Submit after the
 	// height check accepts a block and before it enters the pipeline. The
 	// peer charges modeled block-transfer cost here.
@@ -175,6 +181,19 @@ type task struct {
 	// capture is the consistent state snapshot taken right after this
 	// block's apply, when its boundary is a checkpoint point; nil otherwise.
 	capture *Capture
+	// ids caches the block's transaction IDs for span batching.
+	ids []string
+}
+
+// txIDs returns the block's transaction IDs, computed once per task.
+func (t *task) txIDs() []string {
+	if t.ids == nil {
+		t.ids = make([]string, len(t.b.Envelopes))
+		for i := range t.b.Envelopes {
+			t.ids[i] = t.b.Envelopes[i].TxID
+		}
+	}
+	return t.ids
 }
 
 // captureState pins a state snapshot at t's block boundary when the config
@@ -299,13 +318,18 @@ func applyState(state statedb.StateDB, t *task) error {
 // and data integrity, so Append cannot fail here short of a programming
 // error; the guard stays so a bug surfaces as a missing commit callback
 // rather than a corrupted store.
-func persist(cfg Config, t *task) {
+//
+// The persist span is recorded BEFORE OnCommitted fires: the peer completes
+// each transaction's trace from its commit callback, and a span added after
+// Complete would be lost.
+func persist(cfg Config, t *task, start time.Time) {
 	if cfg.History != nil {
 		cfg.History.RecordBatch(t.hist)
 	}
 	if err := cfg.Blocks.Append(t.b); err != nil {
 		return
 	}
+	cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitPersist, cfg.Name, start, time.Since(start))
 	if cfg.OnCommitted != nil {
 		cfg.OnCommitted(t.b)
 	}

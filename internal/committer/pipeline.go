@@ -7,6 +7,7 @@ import (
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // pipelineDepth is the buffer between adjacent stages. A small buffer is
@@ -104,6 +105,7 @@ func (p *Pipeline) prevalStage() {
 		start := time.Now()
 		t.preval = prevalidate(p.cfg.Verifier, t.b, p.workers)
 		observe(p.cfg.Metrics, metrics.CommitStagePreval, start)
+		p.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitPreval, p.cfg.Name, start, time.Since(start))
 		p.mvccCh <- t
 	}
 }
@@ -123,6 +125,7 @@ func (p *Pipeline) mvccStage() {
 			captureState(p.cfg, t)
 		}
 		observe(p.cfg.Metrics, metrics.CommitStageMVCC, start)
+		p.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitMVCC, p.cfg.Name, start, time.Since(start))
 		if err != nil {
 			// Replayed block against restored state: drop, but still move
 			// the watermark so Sync cannot wedge.
@@ -139,7 +142,7 @@ func (p *Pipeline) persistStage() {
 	defer p.wg.Done()
 	for t := range p.persistCh {
 		start := time.Now()
-		persist(p.cfg, t)
+		persist(p.cfg, t, start)
 		observe(p.cfg.Metrics, metrics.CommitStagePersist, start)
 		p.advance(t.b.Header.Number)
 		// Checkpoint delivery runs behind the watermark: queries already

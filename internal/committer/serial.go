@@ -6,6 +6,7 @@ import (
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // Serial is the single-goroutine reference committer: every stage of every
@@ -46,6 +47,7 @@ func (s *Serial) Submit(ordered *blockstore.Block) bool {
 	start := time.Now()
 	t.preval = prevalidate(s.cfg.Verifier, t.b, 1)
 	observe(s.cfg.Metrics, metrics.CommitStagePreval, start)
+	s.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitPreval, s.cfg.Name, start, time.Since(start))
 
 	start = time.Now()
 	mvccFinalize(s.cfg.State, t)
@@ -54,6 +56,7 @@ func (s *Serial) Submit(ordered *blockstore.Block) bool {
 		captureState(s.cfg, t)
 	}
 	observe(s.cfg.Metrics, metrics.CommitStageMVCC, start)
+	s.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitMVCC, s.cfg.Name, start, time.Since(start))
 	if err != nil {
 		// Replayed block against restored state: already reflected, drop
 		// (the height is consumed, exactly as the pipeline does).
@@ -61,7 +64,7 @@ func (s *Serial) Submit(ordered *blockstore.Block) bool {
 	}
 
 	start = time.Now()
-	persist(s.cfg, t)
+	persist(s.cfg, t, start)
 	observe(s.cfg.Metrics, metrics.CommitStagePersist, start)
 	if t.capture != nil {
 		s.cfg.OnCheckpoint(*t.capture)

@@ -14,10 +14,12 @@ import (
 	"github.com/hyperprov/hyperprov/internal/endorser"
 	"github.com/hyperprov/hyperprov/internal/gossip"
 	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/metrics"
 	"github.com/hyperprov/hyperprov/internal/network"
 	"github.com/hyperprov/hyperprov/internal/orderer"
 	"github.com/hyperprov/hyperprov/internal/peer"
 	"github.com/hyperprov/hyperprov/internal/shim"
+	"github.com/hyperprov/hyperprov/internal/trace"
 	"github.com/hyperprov/hyperprov/internal/transport"
 )
 
@@ -118,18 +120,20 @@ func PolicyFor(orgs []string) endorser.Policy {
 
 // Network is an assembled, running network.
 type Network struct {
-	cfg       Config
-	cas       []*identity.CA
-	ca        *identity.CA // CA of the first org; used for client enrollment
-	msp       *identity.MSP
-	peers     []*peer.Peer
-	orderer   orderer.Service
-	gossipNet *gossip.Network
-	servers   []*transport.Server
-	remotes   []*transport.Client
-	clock     device.Clock
-	policy    endorser.Policy
-	clients   int
+	cfg        Config
+	cas        []*identity.CA
+	ca         *identity.CA // CA of the first org; used for client enrollment
+	msp        *identity.MSP
+	peers      []*peer.Peer
+	orderer    orderer.Service
+	gossipNet  *gossip.Network
+	servers    []*transport.Server
+	remotes    []*transport.Client
+	clock      device.Clock
+	policy     endorser.Policy
+	clients    int
+	tracer     *trace.Recorder
+	netMetrics *metrics.Registry
 }
 
 // NewNetwork assembles and starts a network: it enrolls peer and orderer
@@ -165,12 +169,14 @@ func NewNetwork(cfg Config) (*Network, error) {
 	policy := PolicyFor(orgs)
 
 	n := &Network{
-		cfg:    cfg,
-		cas:    cas,
-		ca:     cas[0],
-		msp:    msp,
-		clock:  cfg.Clock,
-		policy: policy,
+		cfg:        cfg,
+		cas:        cas,
+		ca:         cas[0],
+		msp:        msp,
+		clock:      cfg.Clock,
+		policy:     policy,
+		tracer:     trace.NewRecorder(),
+		netMetrics: metrics.NewRegistry(),
 	}
 
 	ordExec := device.NewExecutor(cfg.OrdererProfile, cfg.Clock, cfg.Seed+1000)
@@ -184,6 +190,12 @@ func NewNetwork(cfg Config) (*Network, error) {
 	default:
 		n.orderer = orderer.NewSolo(cfg.Batch, ordExec)
 	}
+	// The Service interface is unchanged; both built-in orderers expose
+	// SetTracer as a concrete method, discovered here by assertion so a
+	// third-party Service without tracing still assembles fine.
+	if st, ok := n.orderer.(interface{ SetTracer(*trace.Recorder) }); ok {
+		st.SetTracer(n.tracer)
+	}
 
 	for i, prof := range cfg.PeerProfiles {
 		orgCA := cas[i%len(cas)]
@@ -193,13 +205,20 @@ func NewNetwork(cfg Config) (*Network, error) {
 			n.Stop()
 			return nil, fmt.Errorf("fabric: enroll %s: %w", name, err)
 		}
-		p := peer.New(peer.Config{
+		pcfg := peer.Config{
 			Name:      name,
 			Signer:    signer,
 			MSP:       msp,
 			Executor:  device.NewExecutor(prof, cfg.Clock, cfg.Seed+int64(i)*17),
 			ChannelID: cfg.ChannelID,
-		})
+		}
+		// Exactly one peer drives the recorder's commit spans and Complete
+		// calls — every peer commits every block, so tracing all of them
+		// would record duplicate stages and race the trace's completion.
+		if i == 0 {
+			pcfg.Tracer = n.tracer
+		}
+		p := peer.New(pcfg)
 		p.Start(n.orderer.Subscribe())
 		n.peers = append(n.peers, p)
 	}
@@ -211,6 +230,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 		gcfg := gossip.DefaultConfig()
 		gcfg.Seed = cfg.Seed
 		n.gossipNet = gossip.New(gcfg, members...)
+		n.gossipNet.SetMetrics(n.netMetrics)
+		n.gossipNet.SetTracer(n.tracer)
 	}
 	if cfg.PeerListen {
 		caPEMs := make([][]byte, len(cas))
@@ -222,6 +243,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 			Orgs:       orgs,
 			CACertsPEM: caPEMs,
 			Shape:      cfg.PeerLink,
+			Metrics:    n.netMetrics,
+			Tracer:     n.tracer,
 		}
 		for i, p := range n.peers {
 			addr := "127.0.0.1:0"
@@ -257,7 +280,11 @@ func (n *Network) JoinRemote(addr string, shape network.LinkShape) (*transport.M
 	if n.gossipNet == nil {
 		return nil, errors.New("fabric: gossip not enabled")
 	}
-	client, err := transport.Dial(addr, transport.ClientConfig{Shape: shape})
+	client, err := transport.Dial(addr, transport.ClientConfig{
+		Shape:   shape,
+		Metrics: n.netMetrics,
+		Tracer:  n.tracer,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("fabric: join %s: %w", addr, err)
 	}
@@ -304,6 +331,22 @@ func (n *Network) AddGossipPeer(prof device.Profile, ccs map[string]shim.Chainco
 
 // Gossip returns the gossip network, or nil when disabled.
 func (n *Network) Gossip() *gossip.Network { return n.gossipNet }
+
+// Tracer returns the network's transaction-lifecycle trace recorder. The
+// gateway, orderer, gossip, transport servers, and peer 0's commit pipeline
+// all record into it, so a submitted transaction's full timeline is visible
+// here (and on the admin endpoint's /tracez view).
+func (n *Network) Tracer() *trace.Recorder { return n.tracer }
+
+// Metrics returns the network-level registry: gossip protocol counters,
+// convergence lag, and transport frame/byte/latency instrumentation.
+// Per-peer pipeline metrics live on each peer's own registry
+// (Peer.Metrics).
+func (n *Network) Metrics() *metrics.Registry { return n.netMetrics }
+
+// Remotes returns the transport clients created by JoinRemote, in join
+// order (the admin endpoint surfaces their last connection errors).
+func (n *Network) Remotes() []*transport.Client { return n.remotes }
 
 // Stop shuts down the ordering service, gossip, transport servers and
 // clients, and all peers.

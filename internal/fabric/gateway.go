@@ -12,6 +12,7 @@ import (
 	"github.com/hyperprov/hyperprov/internal/endorser"
 	"github.com/hyperprov/hyperprov/internal/identity"
 	"github.com/hyperprov/hyperprov/internal/shim"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // Errors returned by the gateway.
@@ -182,6 +183,9 @@ func (g *Gateway) Submit(chaincode, fn string, args ...[]byte) (*TxResult, error
 	if g.exec != nil {
 		g.exec.Transfer(len(resps[0].RWSet) + 768) // client -> orderer
 	}
+	// The propose span covers the client-side work — proposal signing,
+	// endorsement fan-out, and envelope assembly — ending at broadcast.
+	g.net.Tracer().Observe(txID, trace.StagePropose, "gateway", start, "")
 	if err := g.net.Orderer().Submit(env); err != nil {
 		return nil, fmt.Errorf("fabric: broadcast: %w", err)
 	}

@@ -10,9 +10,12 @@ package gossip
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // Member is the peer surface gossip needs: report height, serve blocks,
@@ -68,6 +71,12 @@ type Network struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+
+	// metrics and tracer are attached after construction (the anti-entropy
+	// loop is already running by then), hence atomic pointers rather than
+	// plain fields.
+	metrics atomic.Pointer[metrics.Registry]
+	tracer  atomic.Pointer[trace.Recorder]
 }
 
 // New creates a gossip network over the given members and starts its
@@ -90,6 +99,24 @@ func New(cfg Config, members ...Member) *Network {
 	}
 	go g.loop()
 	return g
+}
+
+// SetMetrics attaches a registry receiving gossip protocol counters
+// (rounds, pull deliveries, blocks pulled) and the convergence-lag
+// histogram. Safe to call while the loop runs.
+func (g *Network) SetMetrics(reg *metrics.Registry) { g.metrics.Store(reg) }
+
+// SetTracer attaches a trace recorder: each pulled block's transactions
+// gain a gossip.deliver span naming the pulling member. Safe to call while
+// the loop runs.
+func (g *Network) SetTracer(t *trace.Recorder) { g.tracer.Store(t) }
+
+// MemberCount returns the current gossip membership size (the /healthz
+// peer count).
+func (g *Network) MemberCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.members)
 }
 
 // Stop terminates the anti-entropy loop.
@@ -168,6 +195,9 @@ func (g *Network) loop() {
 // round runs one anti-entropy exchange: every member pulls missing blocks
 // from up to Fanout random neighbours.
 func (g *Network) round() {
+	if reg := g.metrics.Load(); reg != nil {
+		reg.Counter(metrics.GossipRounds).Inc()
+	}
 	members := g.membersSnapshot()
 	for _, m := range members {
 		for f := 0; f < g.cfg.Fanout; f++ {
@@ -223,19 +253,41 @@ func (g *Network) pull(puller, source Member) {
 		return
 	}
 	have := puller.Height()
-	if source.Height() <= have {
+	srcH := source.Height()
+	if srcH <= have {
 		return
 	}
 	blocks := source.BlocksFrom(have)
 	if len(blocks) == 0 {
 		return
 	}
+	tracer := g.tracer.Load()
 	for _, b := range blocks {
+		start := time.Now()
 		puller.DeliverBlock(b)
+		if tracer != nil {
+			tracer.AddBatch(envelopeIDs(b), trace.StageGossipDeliver, puller.Name(), start, time.Since(start))
+		}
 	}
 	if s, ok := puller.(Syncer); ok {
 		s.Sync()
 	}
+	if reg := g.metrics.Load(); reg != nil {
+		reg.Counter(metrics.GossipPullDeliveries).Inc()
+		reg.Counter(metrics.GossipBlocksPulled).Add(int64(len(blocks)))
+		// Convergence lag: how many blocks behind the source this puller was
+		// when the pull started (1 block == 1ns in the histogram's slots).
+		reg.Histogram(metrics.GossipConvergenceLag).Observe(time.Duration(srcH - have))
+	}
+}
+
+// envelopeIDs collects a block's transaction IDs for span batching.
+func envelopeIDs(b *blockstore.Block) []string {
+	ids := make([]string, len(b.Envelopes))
+	for i := range b.Envelopes {
+		ids[i] = b.Envelopes[i].TxID
+	}
+	return ids
 }
 
 // Converged reports whether all non-isolated members are at the same

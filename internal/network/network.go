@@ -19,6 +19,16 @@ import (
 // payloads in the paper's sweeps with room to spare).
 const MaxFrame = 64 << 20
 
+// traceFlag marks a frame carrying a trace-ID extension. MaxFrame is far
+// below 2^31, so the length word's top bit is free: a flagged frame is
+// [4-byte len|traceFlag][1-byte id length][id bytes][body], where len counts
+// the id-length byte, the id, and the body. Readers that predate the flag
+// reject such frames (length check fails) rather than misparse them.
+const traceFlag = 1 << 31
+
+// maxTraceID bounds the trace-ID extension (one length byte).
+const maxTraceID = 255
+
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("network: frame exceeds maximum size")
 
@@ -27,27 +37,60 @@ var ErrFrameTooLarge = errors.New("network: frame exceeds maximum size")
 // per frame, and concurrent frame writers sharing a connection cannot
 // interleave one frame's header with another's body.
 func WriteFrame(w io.Writer, payload []byte) error {
+	return WriteTracedFrame(w, "", payload)
+}
+
+// WriteTracedFrame writes one frame, embedding traceID in the header when
+// non-empty so the receiving process can join the sender's trace. An empty
+// traceID produces a plain frame identical to WriteFrame's. Trace IDs
+// longer than 255 bytes are dropped (the frame is still sent, untraced).
+func WriteTracedFrame(w io.Writer, traceID string, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
-	buf := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
-	copy(buf[4:], payload)
+	if len(traceID) > maxTraceID {
+		traceID = ""
+	}
+	if traceID == "" {
+		buf := make([]byte, 4+len(payload))
+		binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+		copy(buf[4:], payload)
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("network: write frame: %w", err)
+		}
+		return nil
+	}
+	ext := 1 + len(traceID)
+	buf := make([]byte, 4+ext+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(ext+len(payload))|traceFlag)
+	buf[4] = byte(len(traceID))
+	copy(buf[5:], traceID)
+	copy(buf[5+len(traceID):], payload)
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("network: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame, discarding any trace-ID
+// extension.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	payload, _, err := ReadTracedFrame(r)
+	return payload, err
+}
+
+// ReadTracedFrame reads one frame and returns its payload plus the trace ID
+// carried in the header (empty for plain frames).
+func ReadTracedFrame(r io.Reader) ([]byte, string, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err // io.EOF passes through for clean shutdown
+		return nil, "", err // io.EOF passes through for clean shutdown
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	word := binary.BigEndian.Uint32(hdr[:])
+	traced := word&traceFlag != 0
+	n := word &^ traceFlag
+	if n > MaxFrame+1+maxTraceID {
+		return nil, "", fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -57,30 +100,53 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 			// signals to callers.
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, fmt.Errorf("network: read frame body: %w", err)
+		return nil, "", fmt.Errorf("network: read frame body: %w", err)
 	}
-	return payload, nil
+	if !traced {
+		return payload, "", nil
+	}
+	if len(payload) < 1 {
+		return nil, "", fmt.Errorf("network: read frame body: %w", io.ErrUnexpectedEOF)
+	}
+	idLen := int(payload[0])
+	if len(payload) < 1+idLen {
+		return nil, "", fmt.Errorf("network: read frame body: %w", io.ErrUnexpectedEOF)
+	}
+	return payload[1+idLen:], string(payload[1 : 1+idLen]), nil
 }
 
 // WriteJSON frames and writes a JSON-encoded message.
 func WriteJSON(w io.Writer, v any) error {
+	return WriteTracedJSON(w, "", v)
+}
+
+// WriteTracedJSON frames and writes a JSON-encoded message carrying traceID
+// in the frame header.
+func WriteTracedJSON(w io.Writer, traceID string, v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("network: marshal: %w", err)
 	}
-	return WriteFrame(w, b)
+	return WriteTracedFrame(w, traceID, b)
 }
 
 // ReadJSON reads one frame and decodes it into v.
 func ReadJSON(r io.Reader, v any) error {
-	b, err := ReadFrame(r)
+	_, err := ReadTracedJSON(r, v)
+	return err
+}
+
+// ReadTracedJSON reads one frame, decodes it into v, and returns the frame's
+// trace ID (empty for plain frames).
+func ReadTracedJSON(r io.Reader, v any) (string, error) {
+	b, id, err := ReadTracedFrame(r)
 	if err != nil {
-		return err
+		return "", err
 	}
 	if err := json.Unmarshal(b, v); err != nil {
-		return fmt.Errorf("network: unmarshal: %w", err)
+		return "", fmt.Errorf("network: unmarshal: %w", err)
 	}
-	return nil
+	return id, nil
 }
 
 // ErrCode is a machine-readable error classification carried in response

@@ -3,9 +3,11 @@ package orderer
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // Errors returned by ordering services.
@@ -41,10 +43,39 @@ type chain struct {
 	subs    []chan *blockstore.Block
 	closed  bool
 	metrics *metrics.Registry
+
+	// tracer, when set, receives one "order" span per envelope covering
+	// enqueue (markEnqueued in the consenter loop) to block cut. enq holds
+	// the pending enqueue timestamps; entries are consumed at cut, and the
+	// map stays empty when no tracer is attached.
+	tracer *trace.Recorder
+	enq    map[string]time.Time
 }
 
 func newChain() *chain {
-	return &chain{store: blockstore.NewStore(), metrics: metrics.NewRegistry()}
+	return &chain{
+		store:   blockstore.NewStore(),
+		metrics: metrics.NewRegistry(),
+		enq:     make(map[string]time.Time),
+	}
+}
+
+// setTracer attaches a trace recorder. Call before traffic flows.
+func (c *chain) setTracer(t *trace.Recorder) {
+	c.mu.Lock()
+	c.tracer = t
+	c.mu.Unlock()
+}
+
+// markEnqueued timestamps an envelope's arrival at the consenter so the
+// order span covers queueing plus batching (and, for raft, replication).
+// A no-op without a tracer, so the untraced hot path stays allocation-free.
+func (c *chain) markEnqueued(txID string) {
+	c.mu.Lock()
+	if c.tracer != nil && txID != "" {
+		c.enq[txID] = time.Now()
+	}
+	c.mu.Unlock()
 }
 
 // appendBatch assembles the next block from a batch and delivers it.
@@ -60,6 +91,23 @@ func (c *chain) appendBatch(batch []blockstore.Envelope) (*blockstore.Block, err
 	}
 	c.metrics.Counter(metrics.BatchesCut).Inc()
 	c.metrics.Counter(metrics.EnvelopesOrdered).Add(int64(len(batch)))
+	if c.tracer != nil {
+		now := time.Now()
+		for i := range batch {
+			id := batch[i].TxID
+			start, ok := c.enq[id]
+			if !ok {
+				continue // enqueued before the tracer was attached
+			}
+			delete(c.enq, id)
+			c.tracer.Add(id, trace.Span{
+				Stage:    trace.StageOrder,
+				Peer:     "orderer",
+				Start:    start,
+				Duration: now.Sub(start),
+			})
+		}
+	}
 	for _, sub := range c.subs {
 		sub <- b
 	}

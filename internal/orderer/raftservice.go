@@ -7,6 +7,7 @@ import (
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/device"
 	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // Raft is a crash-fault-tolerant ordering service backed by an in-process
@@ -107,6 +108,11 @@ func (r *Raft) Height() uint64 { return r.chain.height() }
 // Metrics returns the ordering service's counters.
 func (r *Raft) Metrics() *metrics.Registry { return r.chain.metrics }
 
+// SetTracer attaches a trace recorder: each ordered envelope gains an
+// "order" span covering enqueue through replication to block cut. Call
+// before traffic flows.
+func (r *Raft) SetTracer(t *trace.Recorder) { r.chain.setTracer(t) }
+
 // Leader returns the current leader node id, or -1 if none.
 func (r *Raft) Leader() int { return r.cluster.leader() }
 
@@ -190,6 +196,8 @@ func (r *Raft) loop() {
 			if err != nil {
 				// Unserializable envelope: drop, as the solo consenter does.
 				r.chain.metrics.Counter(metrics.EnvelopesRejected).Inc()
+			} else {
+				r.chain.markEnqueued(env.TxID)
 			}
 			for _, b := range batches {
 				r.propose(b)

@@ -7,6 +7,7 @@ import (
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/device"
 	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // Solo is the single-node consenter (Fabric's "solo"), which the paper's
@@ -62,6 +63,10 @@ func (s *Solo) Height() uint64 { return s.chain.height() }
 
 // Metrics returns the ordering service's counters.
 func (s *Solo) Metrics() *metrics.Registry { return s.chain.metrics }
+
+// SetTracer attaches a trace recorder: each ordered envelope gains an
+// "order" span covering enqueue to block cut. Call before traffic flows.
+func (s *Solo) SetTracer(t *trace.Recorder) { s.chain.setTracer(t) }
 
 // Stop terminates the ordering loop and closes subscriber channels.
 func (s *Solo) Stop() {
@@ -124,6 +129,8 @@ func (s *Solo) loop() {
 				// Unserializable envelope: it can never be hashed into a
 				// block, so drop it rather than poison a batch.
 				s.chain.metrics.Counter(metrics.EnvelopesRejected).Inc()
+			} else {
+				s.chain.markEnqueued(env.TxID)
 			}
 			for _, b := range batches {
 				emit(b)

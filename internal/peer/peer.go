@@ -25,6 +25,7 @@ import (
 	"github.com/hyperprov/hyperprov/internal/richquery"
 	"github.com/hyperprov/hyperprov/internal/shim"
 	"github.com/hyperprov/hyperprov/internal/statedb"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // InitFunction is the reserved function name that routes to chaincode Init.
@@ -81,6 +82,13 @@ type Config struct {
 	// block (power-loss bound of one block) instead of only at checkpoints
 	// and close. Only meaningful with Open.
 	SyncEachAppend bool
+
+	// Tracer, when set, receives transaction lifecycle spans (endorse and
+	// the three commit stages) and is completed — outcome recorded, trace
+	// moved to the recent/slow lists — as each transaction commits on this
+	// peer. Wire it on exactly one peer per recorder, or racing completions
+	// will split timelines.
+	Tracer *trace.Recorder
 }
 
 // DefaultCheckpointEvery is the default block interval between durable
@@ -114,6 +122,12 @@ type Peer struct {
 
 	events  eventHub
 	metrics *metrics.Registry
+	tracer  *trace.Recorder
+
+	// lastCommitNs is the wall-clock time (UnixNano) of the most recent
+	// committed block; 0 until the first commit. /healthz derives the
+	// last-commit age from it.
+	lastCommitNs atomic.Int64
 
 	// committer runs the pipelined commit path: parallel pre-validation,
 	// sequential MVCC + state apply, async persistence. It owns block
@@ -196,6 +210,7 @@ func newPeer(cfg Config, state statedb.StateDB, history *historydb.DB, blocks bl
 		ccs:         make(map[string]installedCC),
 		txListeners: make(map[string][]chan CommitEvent),
 		metrics:     metrics.NewRegistry(),
+		tracer:      cfg.Tracer,
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
@@ -215,6 +230,8 @@ func newPeer(cfg Config, state statedb.StateDB, history *historydb.DB, blocks bl
 		},
 		Workers: cfg.CommitWorkers,
 		Metrics: p.metrics,
+		Tracer:  cfg.Tracer,
+		Name:    cfg.Name,
 		OnAccepted: func(b *blockstore.Block) {
 			if p.exec != nil {
 				p.exec.Transfer(blockWireSize(b)) // block dissemination
@@ -349,11 +366,16 @@ func proposalWireSize(prop *endorser.Proposal) int {
 // and returns a signed endorsement. This is the peer half of HyperProv's
 // Post path.
 func (p *Peer) ProcessProposal(prop *endorser.Proposal) (resp *endorser.Response, err error) {
+	start := time.Now()
+	inflight := p.metrics.Gauge(metrics.EndorseInflight)
+	inflight.Inc()
 	defer func() {
+		inflight.Dec()
 		if err != nil {
 			p.metrics.Counter(metrics.EndorsementsFailed).Inc()
 		} else {
 			p.metrics.Counter(metrics.EndorsementsServed).Inc()
+			p.tracer.Observe(prop.TxID, trace.StageEndorse, p.name, start, "")
 		}
 	}()
 	if p.exec != nil {
@@ -624,6 +646,7 @@ func (p *Peer) CommitBlock(ordered *blockstore.Block) {
 // registered transaction listeners.
 func (p *Peer) onBlockCommitted(b *blockstore.Block) {
 	p.metrics.Counter(metrics.BlocksCommitted).Inc()
+	p.lastCommitNs.Store(time.Now().UnixNano())
 	for i := range b.Envelopes {
 		if b.TxValidation[i] == blockstore.TxValid {
 			p.metrics.Counter(metrics.TxValidated).Inc()
@@ -631,12 +654,24 @@ func (p *Peer) onBlockCommitted(b *blockstore.Block) {
 		} else {
 			p.metrics.Counter(metrics.TxInvalidated).Inc()
 		}
+		p.tracer.Complete(b.Envelopes[i].TxID, b.TxValidation[i].String())
 		p.notifyCommit(CommitEvent{
 			TxID:     b.Envelopes[i].TxID,
 			BlockNum: b.Header.Number,
 			Code:     b.TxValidation[i],
 		})
 	}
+}
+
+// LastCommitTime returns when the most recent block committed on this peer
+// (zero time before the first commit). The admin endpoint's /healthz view
+// reports its age.
+func (p *Peer) LastCommitTime() time.Time {
+	ns := p.lastCommitNs.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // BlocksFrom returns this peer's committed blocks with number >= from,

@@ -1,0 +1,296 @@
+// Package trace provides the lightweight transaction-lifecycle tracing the
+// admin endpoint's /tracez view is built on. A trace is rooted at a
+// transaction ID (no separate trace-ID allocation: the txID already crosses
+// every hop of the execute–order–validate flow) and accumulates one span per
+// pipeline stage — propose, endorse, order, gossip send/deliver, and the
+// three commit stages — each with a start time and duration. Remote hops
+// join the same trace by carrying the txID in the transport frame header.
+//
+// The Recorder is bounded-memory by construction: live traces are capped
+// and FIFO-evicted, spans per trace are capped, and completed traces land
+// in a fixed recent ring plus a fixed top-K slow list. A nil *Recorder is a
+// valid no-op recorder, so every call site can thread an optional tracer
+// without branching.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage names of the transaction lifecycle, in pipeline order.
+const (
+	StagePropose       = "propose"
+	StageEndorse       = "endorse"
+	StageOrder         = "order"
+	StageGossipSend    = "gossip.send"
+	StageGossipDeliver = "gossip.deliver"
+	StageCommitPreval  = "commit.preval"
+	StageCommitMVCC    = "commit.mvcc"
+	StageCommitPersist = "commit.persist"
+)
+
+// Span is one timed hop of a transaction's lifecycle.
+type Span struct {
+	// Stage is one of the Stage* names.
+	Stage string `json:"stage"`
+	// Peer names the component that recorded the span (a peer name,
+	// "gateway", or "orderer").
+	Peer string `json:"peer,omitempty"`
+	// Start is when the stage began.
+	Start time.Time `json:"start"`
+	// Duration is how long the stage took.
+	Duration time.Duration `json:"durationNs"`
+	// Note carries optional stage detail (e.g. a block number).
+	Note string `json:"note,omitempty"`
+	// Remote marks a span measured in another process and joined into this
+	// recorder via the frame-header trace ID.
+	Remote bool `json:"remote,omitempty"`
+}
+
+// End returns the span's end time.
+func (s Span) End() time.Time { return s.Start.Add(s.Duration) }
+
+// Trace is the accumulated timeline of one transaction.
+type Trace struct {
+	// ID is the transaction ID the trace is rooted at.
+	ID string `json:"id"`
+	// Spans are the recorded hops. Snapshots returned by Recent/Slow are
+	// sorted by start time; the live copy is in arrival order.
+	Spans []Span `json:"spans"`
+	// Outcome is the final validation code ("VALID", "MVCC_READ_CONFLICT",
+	// …), set at Complete.
+	Outcome string `json:"outcome,omitempty"`
+	// Done reports whether Complete was called.
+	Done bool `json:"done"`
+	// Total is the first-span-start to last-span-end duration, set at
+	// Complete.
+	Total time.Duration `json:"totalNs"`
+}
+
+// Recorder capacity bounds.
+const (
+	maxLive      = 1024 // live (incomplete) traces; oldest evicted first
+	maxSpans     = 32   // spans kept per trace; later spans are dropped
+	recentCap    = 256  // completed traces kept in the recent ring
+	slowCap      = 32   // completed traces kept in the top-K slow list
+	defaultDepth = 16   // span slice pre-allocation
+)
+
+// Recorder collects traces under one mutex. All methods are safe for
+// concurrent use and are no-ops on a nil receiver, so an unset tracer costs
+// one nil check per call site.
+type Recorder struct {
+	mu    sync.Mutex
+	live  map[string]*Trace
+	order []string // live-trace insertion order, for FIFO eviction
+
+	recent   []*Trace // ring of completed traces
+	recentAt int
+	slow     []*Trace // completed traces, sorted by Total descending
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{live: make(map[string]*Trace, 64)}
+}
+
+// Observe records one span ending now: the stage ran from start to
+// time.Now(). Unknown IDs start a new trace (the propose span usually does,
+// but on a gossip-only peer the first span seen is a delivery).
+func (r *Recorder) Observe(id, stage, peer string, start time.Time, note string) {
+	if r == nil || id == "" {
+		return
+	}
+	r.Add(id, Span{Stage: stage, Peer: peer, Start: start, Duration: time.Since(start), Note: note})
+}
+
+// Add records a fully-formed span (used for spans measured elsewhere, e.g.
+// shipped back from a remote endorser).
+func (r *Recorder) Add(id string, s Span) {
+	if r == nil || id == "" {
+		return
+	}
+	r.mu.Lock()
+	r.addLocked(id, s)
+	r.mu.Unlock()
+}
+
+// AddBatch records the same stage timing for many transactions at once —
+// one lock acquisition per committed block, not per transaction.
+func (r *Recorder) AddBatch(ids []string, stage, peer string, start time.Time, d time.Duration) {
+	if r == nil || len(ids) == 0 {
+		return
+	}
+	s := Span{Stage: stage, Peer: peer, Start: start, Duration: d}
+	r.mu.Lock()
+	for _, id := range ids {
+		if id != "" {
+			r.addLocked(id, s)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *Recorder) addLocked(id string, s Span) {
+	t, ok := r.live[id]
+	if !ok {
+		if len(r.order) >= maxLive {
+			// FIFO-evict the oldest live trace: an abandoned tx must not
+			// pin memory forever.
+			oldest := r.order[0]
+			r.order = r.order[1:]
+			delete(r.live, oldest)
+		}
+		t = &Trace{ID: id, Spans: make([]Span, 0, defaultDepth)}
+		r.live[id] = t
+		r.order = append(r.order, id)
+	}
+	if len(t.Spans) < maxSpans {
+		t.Spans = append(t.Spans, s)
+	}
+}
+
+// Complete marks a trace finished with the given outcome (the transaction's
+// validation code), computes its total duration, and moves it from the live
+// set into the recent ring and, when slow enough, the slow list. Completing
+// an unknown ID is a no-op.
+func (r *Recorder) Complete(id, outcome string) {
+	if r == nil || id == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.live[id]
+	if !ok {
+		return
+	}
+	delete(r.live, id)
+	for i, o := range r.order {
+		if o == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	t.Outcome = outcome
+	t.Done = true
+	if len(t.Spans) > 0 {
+		first := t.Spans[0].Start
+		last := t.Spans[0].End()
+		for _, s := range t.Spans[1:] {
+			if s.Start.Before(first) {
+				first = s.Start
+			}
+			if e := s.End(); e.After(last) {
+				last = e
+			}
+		}
+		t.Total = last.Sub(first)
+	}
+	// Recent ring: overwrite the oldest slot.
+	if len(r.recent) < recentCap {
+		r.recent = append(r.recent, t)
+	} else {
+		r.recent[r.recentAt] = t
+		r.recentAt = (r.recentAt + 1) % recentCap
+	}
+	// Slow list: keep the top slowCap by total duration.
+	if len(r.slow) < slowCap || t.Total > r.slow[len(r.slow)-1].Total {
+		r.slow = append(r.slow, t)
+		sort.SliceStable(r.slow, func(i, j int) bool { return r.slow[i].Total > r.slow[j].Total })
+		if len(r.slow) > slowCap {
+			r.slow = r.slow[:slowCap]
+		}
+	}
+}
+
+// Recent returns up to n most recently completed traces, newest first, each
+// with its spans sorted by start time. n <= 0 means all retained.
+func (r *Recorder) Recent(n int) []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	// Reconstruct newest-first order from the ring. While filling,
+	// recentAt is 0 and the newest entry sits at the end; once full,
+	// recentAt is the next overwrite slot, i.e. one past the newest.
+	size := len(r.recent)
+	out := make([]*Trace, 0, size)
+	for i := 1; i <= size; i++ {
+		out = append(out, r.recent[(r.recentAt-i+size)%size])
+	}
+	r.mu.Unlock()
+	return snapshot(out, n)
+}
+
+// Slow returns up to n slowest completed traces, slowest first, each with
+// its spans sorted by start time. n <= 0 means all retained.
+func (r *Recorder) Slow(n int) []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*Trace, len(r.slow))
+	copy(out, r.slow)
+	r.mu.Unlock()
+	return snapshot(out, n)
+}
+
+// Lookup returns the trace for id — live or completed — and whether it was
+// found. The returned copy has its spans sorted by start time.
+func (r *Recorder) Lookup(id string) (Trace, bool) {
+	if r == nil {
+		return Trace{}, false
+	}
+	r.mu.Lock()
+	t, ok := r.live[id]
+	if !ok {
+		for _, c := range r.recent {
+			if c.ID == id {
+				t, ok = c, true
+				break
+			}
+		}
+	}
+	var cp Trace
+	if ok {
+		// Copy under the lock: a live trace may gain spans concurrently.
+		cp = copyTrace(t)
+	}
+	r.mu.Unlock()
+	return cp, ok
+}
+
+// LiveCount returns the number of incomplete traces currently retained.
+func (r *Recorder) LiveCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.live)
+}
+
+// snapshot deep-copies up to n traces with spans sorted by start time.
+func snapshot(ts []*Trace, n int) []Trace {
+	if n > 0 && len(ts) > n {
+		ts = ts[:n]
+	}
+	out := make([]Trace, len(ts))
+	for i, t := range ts {
+		out[i] = copyTrace(t)
+	}
+	return out
+}
+
+// copyTrace deep-copies one trace and sorts its spans into timeline order.
+// Completed traces are immutable once out of the live map, but the copy
+// keeps callers from mutating recorder-owned memory either way.
+func copyTrace(t *Trace) Trace {
+	cp := *t
+	cp.Spans = make([]Span, len(t.Spans))
+	copy(cp.Spans, t.Spans)
+	sort.SliceStable(cp.Spans, func(i, j int) bool { return cp.Spans[i].Start.Before(cp.Spans[j].Start) })
+	return cp
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Observe("tx", StagePropose, "gw", time.Now(), "")
+	r.Add("tx", Span{Stage: StageEndorse})
+	r.AddBatch([]string{"tx"}, StageCommitMVCC, "p", time.Now(), time.Millisecond)
+	r.Complete("tx", "VALID")
+	if got := r.Recent(10); got != nil {
+		t.Errorf("Recent on nil = %v", got)
+	}
+	if got := r.Slow(10); got != nil {
+		t.Errorf("Slow on nil = %v", got)
+	}
+	if _, ok := r.Lookup("tx"); ok {
+		t.Error("Lookup on nil found a trace")
+	}
+	if r.LiveCount() != 0 {
+		t.Error("LiveCount on nil != 0")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	r := NewRecorder()
+	base := time.Now()
+	// Spans arrive out of timeline order (commit before the late-recorded
+	// propose), as they do when the gateway records propose after fan-out.
+	r.Add("tx1", Span{Stage: StageEndorse, Peer: "peer0", Start: base.Add(time.Millisecond), Duration: 2 * time.Millisecond})
+	r.Add("tx1", Span{Stage: StagePropose, Peer: "gateway", Start: base, Duration: 5 * time.Millisecond})
+	r.AddBatch([]string{"tx1"}, StageCommitPersist, "peer0", base.Add(8*time.Millisecond), 2*time.Millisecond)
+	if r.LiveCount() != 1 {
+		t.Fatalf("LiveCount = %d, want 1", r.LiveCount())
+	}
+	if _, ok := r.Lookup("tx1"); !ok {
+		t.Fatal("Lookup missed live trace")
+	}
+
+	r.Complete("tx1", "VALID")
+	if r.LiveCount() != 0 {
+		t.Fatalf("LiveCount after Complete = %d", r.LiveCount())
+	}
+	recent := r.Recent(10)
+	if len(recent) != 1 {
+		t.Fatalf("Recent = %d traces, want 1", len(recent))
+	}
+	tr := recent[0]
+	if tr.ID != "tx1" || !tr.Done || tr.Outcome != "VALID" {
+		t.Errorf("trace = %+v", tr)
+	}
+	// Spans sorted into timeline order; total covers first start to last end.
+	if tr.Spans[0].Stage != StagePropose || tr.Spans[2].Stage != StageCommitPersist {
+		t.Errorf("span order = %v", tr.Spans)
+	}
+	if tr.Total != 10*time.Millisecond {
+		t.Errorf("Total = %v, want 10ms", tr.Total)
+	}
+	if _, ok := r.Lookup("tx1"); !ok {
+		t.Error("Lookup missed completed trace")
+	}
+}
+
+func TestSlowKeepsSlowest(t *testing.T) {
+	r := NewRecorder()
+	base := time.Now()
+	for i := 0; i < slowCap+10; i++ {
+		id := fmt.Sprintf("tx%03d", i)
+		r.Add(id, Span{Stage: StageCommitMVCC, Start: base, Duration: time.Duration(i) * time.Millisecond})
+		r.Complete(id, "VALID")
+	}
+	slow := r.Slow(0)
+	if len(slow) != slowCap {
+		t.Fatalf("Slow = %d traces, want %d", len(slow), slowCap)
+	}
+	if slow[0].ID != fmt.Sprintf("tx%03d", slowCap+9) {
+		t.Errorf("slowest = %s", slow[0].ID)
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Total > slow[i-1].Total {
+			t.Fatalf("slow list not sorted at %d", i)
+		}
+	}
+	// Recent is newest-first.
+	recent := r.Recent(3)
+	if len(recent) != 3 || recent[0].ID != fmt.Sprintf("tx%03d", slowCap+9) {
+		t.Errorf("recent head = %+v", recent)
+	}
+}
+
+func TestBoundedMemory(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < maxLive+100; i++ {
+		r.Observe(fmt.Sprintf("tx%d", i), StagePropose, "gw", time.Now(), "")
+	}
+	if got := r.LiveCount(); got != maxLive {
+		t.Errorf("LiveCount = %d, want cap %d", got, maxLive)
+	}
+	// Oldest live traces were evicted; completing one is a harmless no-op.
+	r.Complete("tx0", "VALID")
+	if len(r.Recent(0)) != 0 {
+		t.Error("evicted trace reached the recent ring")
+	}
+
+	// Span cap per trace.
+	for i := 0; i < maxSpans+10; i++ {
+		r.Observe("fat", StageEndorse, "p", time.Now(), "")
+	}
+	tr, ok := r.Lookup("fat")
+	if !ok || len(tr.Spans) != maxSpans {
+		t.Errorf("fat trace spans = %d, want %d", len(tr.Spans), maxSpans)
+	}
+
+	// Recent ring cap.
+	for i := 0; i < recentCap+50; i++ {
+		id := fmt.Sprintf("done%d", i)
+		r.Add(id, Span{Stage: StageOrder, Start: time.Now()})
+		r.Complete(id, "VALID")
+	}
+	if got := len(r.Recent(0)); got != recentCap {
+		t.Errorf("recent = %d, want cap %d", got, recentCap)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("w%d-tx%d", w, i)
+				r.Observe(id, StagePropose, "gw", time.Now(), "")
+				r.AddBatch([]string{id}, StageCommitPersist, "p", time.Now(), time.Microsecond)
+				r.Complete(id, "VALID")
+				r.Recent(5)
+				r.Slow(5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(r.Recent(0)) == 0 {
+		t.Error("no traces recorded")
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/endorser"
 	"github.com/hyperprov/hyperprov/internal/gossip"
+	"github.com/hyperprov/hyperprov/internal/metrics"
 	"github.com/hyperprov/hyperprov/internal/network"
 	"github.com/hyperprov/hyperprov/internal/shim"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // ErrBackoff is returned when a request arrives while the client is
@@ -30,6 +32,13 @@ type ClientConfig struct {
 	// failed dial; 0 means 50ms / 2s.
 	MinBackoff time.Duration
 	MaxBackoff time.Duration
+	// Metrics, when set, receives transport counters (frames/bytes in each
+	// direction, reconnects, handshake failures) and per-RPC latency
+	// histograms named metrics.TransportRPC + "_<op>".
+	Metrics *metrics.Registry
+	// Tracer, when set, joins remote endorse spans (shipped back in the
+	// response, marked Remote) into this process's trace timelines.
+	Tracer *trace.Recorder
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -63,6 +72,13 @@ type Client struct {
 	backoff  time.Duration
 	nextDial time.Time
 	closed   bool
+
+	// everConnected distinguishes a reconnect (a previously working peer
+	// came back) from the first dial, for the reconnect counter.
+	everConnected bool
+	// lastErr keeps the most recent transport failure so the backoff path
+	// no longer swallows the reason; /healthz surfaces it per peer.
+	lastErr string
 }
 
 // Dial connects to a serving peer and performs the hello handshake.
@@ -82,6 +98,53 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 
 // Addr returns the remote peer's address.
 func (c *Client) Addr() string { return c.addr }
+
+// LastError returns the most recent transport failure against this peer
+// ("" when the last operation succeeded). Dial failures during backoff and
+// handshake rejections land here instead of being silently swallowed.
+func (c *Client) LastError() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// setErrLocked records a failure for LastError; nil clears it.
+func (c *Client) setErrLocked(err error) {
+	if err == nil {
+		c.lastErr = ""
+	} else {
+		c.lastErr = err.Error()
+	}
+}
+
+// count bumps a transport counter when metrics are configured.
+func (c *Client) count(name string) {
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Counter(name).Inc()
+	}
+}
+
+// countingConn counts bytes crossing the wire in each direction.
+type countingConn struct {
+	net.Conn
+	reg *metrics.Registry
+}
+
+func (cc *countingConn) Read(p []byte) (int, error) {
+	n, err := cc.Conn.Read(p)
+	if n > 0 {
+		cc.reg.Counter(metrics.TransportBytesReceived).Add(int64(n))
+	}
+	return n, err
+}
+
+func (cc *countingConn) Write(p []byte) (int, error) {
+	n, err := cc.Conn.Write(p)
+	if n > 0 {
+		cc.reg.Counter(metrics.TransportBytesSent).Add(int64(n))
+	}
+	return n, err
+}
 
 // Hello returns the remote peer's handshake info, performing the exchange
 // if it has not happened yet (e.g. after Dial-time info was requested
@@ -104,12 +167,18 @@ func (c *Client) Hello() (HelloInfo, error) {
 
 // helloLocked exchanges the handshake on the current connection.
 func (c *Client) helloLocked() error {
-	resp, err := c.exchangeLocked(&request{Op: opHello})
+	resp, err := c.exchangeLocked(&request{Op: opHello}, "")
 	if err != nil {
-		return fmt.Errorf("transport: hello %s: %w", c.addr, err)
+		err = fmt.Errorf("transport: hello %s: %w", c.addr, err)
+		c.count(metrics.TransportHandshakeFailures)
+		c.setErrLocked(err)
+		return err
 	}
 	if !resp.OK {
-		return remoteErr(resp)
+		err := remoteErr(resp)
+		c.count(metrics.TransportHandshakeFailures)
+		c.setErrLocked(err)
+		return err
 	}
 	c.hello = HelloInfo{
 		Name:       resp.Name,
@@ -141,12 +210,22 @@ func (c *Client) connectLocked() error {
 			}
 		}
 		c.nextDial = time.Now().Add(c.backoff)
-		return fmt.Errorf("transport: dial %s: %w", c.addr, err)
+		err = fmt.Errorf("transport: dial %s: %w", c.addr, err)
+		c.setErrLocked(err)
+		return err
+	}
+	if c.cfg.Metrics != nil {
+		conn = &countingConn{Conn: conn, reg: c.cfg.Metrics}
 	}
 	c.conn = conn
 	c.shaped = network.NewShapedConn(conn, c.cfg.Shape)
 	c.backoff = 0
 	c.nextDial = time.Time{}
+	if c.everConnected {
+		c.count(metrics.TransportReconnects)
+	}
+	c.everConnected = true
+	c.setErrLocked(nil)
 	return nil
 }
 
@@ -166,34 +245,59 @@ func (c *Client) dropConnLocked() {
 }
 
 // exchangeLocked writes one request and reads one response on the current
-// connection.
-func (c *Client) exchangeLocked(req *request) (*response, error) {
-	if err := network.WriteJSON(c.shaped, req); err != nil {
+// connection. A non-empty traceID rides in the frame header so the serving
+// process joins the sender's trace.
+func (c *Client) exchangeLocked(req *request, traceID string) (*response, error) {
+	if err := network.WriteTracedJSON(c.shaped, traceID, req); err != nil {
 		return nil, err
 	}
+	c.count(metrics.TransportFramesSent)
 	var resp response
 	if err := network.ReadJSON(c.conn, &resp); err != nil {
 		return nil, err
 	}
+	c.count(metrics.TransportFramesReceived)
 	return &resp, nil
+}
+
+// traceIDFor picks the trace ID a request should carry: the proposal's or
+// pushed block's transaction ID, rooting the remote hop in the same trace.
+func traceIDFor(req *request) string {
+	switch {
+	case req.Proposal != nil:
+		return req.Proposal.TxID
+	case req.Block != nil && len(req.Block.Envelopes) > 0:
+		return req.Block.Envelopes[0].TxID
+	}
+	return ""
 }
 
 // roundTrip sends one request and reads one response, redialling once when
 // an established connection turns out to be dead.
 func (c *Client) roundTrip(req *request) (*response, error) {
+	start := time.Now()
+	defer func() {
+		if c.cfg.Metrics != nil {
+			c.cfg.Metrics.Histogram(metrics.TransportRPC + "_" + req.Op).Observe(time.Since(start))
+		}
+	}()
+	traceID := traceIDFor(req)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for attempt := 0; ; attempt++ {
 		if err := c.ensureConnLocked(); err != nil {
 			return nil, err
 		}
-		resp, err := c.exchangeLocked(req)
+		resp, err := c.exchangeLocked(req, traceID)
 		if err == nil {
+			c.setErrLocked(nil)
 			return resp, nil
 		}
 		c.dropConnLocked()
 		if attempt > 0 {
-			return nil, fmt.Errorf("transport: %s %s: %w", req.Op, c.addr, err)
+			err = fmt.Errorf("transport: %s %s: %w", req.Op, c.addr, err)
+			c.setErrLocked(err)
+			return nil, err
 		}
 	}
 }
@@ -222,15 +326,21 @@ func (c *Client) BlocksFrom(from uint64) ([]*blockstore.Block, error) {
 	}
 	if err := network.WriteJSON(c.shaped, &request{Op: opBlocksFrom, From: from}); err != nil {
 		c.dropConnLocked()
-		return nil, fmt.Errorf("transport: blocksFrom %s: %w", c.addr, err)
+		err = fmt.Errorf("transport: blocksFrom %s: %w", c.addr, err)
+		c.setErrLocked(err)
+		return nil, err
 	}
+	c.count(metrics.TransportFramesSent)
 	var blocks []*blockstore.Block
 	for {
 		var resp response
 		if err := network.ReadJSON(c.conn, &resp); err != nil {
 			c.dropConnLocked()
-			return blocks, fmt.Errorf("transport: blocksFrom stream %s: %w", c.addr, err)
+			err = fmt.Errorf("transport: blocksFrom stream %s: %w", c.addr, err)
+			c.setErrLocked(err)
+			return blocks, err
 		}
+		c.count(metrics.TransportFramesReceived)
 		if !resp.OK {
 			return blocks, remoteErr(&resp)
 		}
@@ -281,6 +391,13 @@ func (c *Client) ProcessProposal(prop *endorser.Proposal) (*endorser.Response, e
 	}
 	if resp.Endorsement == nil {
 		return nil, &RemoteError{Code: network.CodeInternal, Msg: "endorse response without endorsement"}
+	}
+	// The serving peer measured its endorse span and shipped it back; join
+	// it into this process's trace, marked as the remote hop.
+	if c.cfg.Tracer != nil && resp.Span != nil {
+		sp := *resp.Span
+		sp.Remote = true
+		c.cfg.Tracer.Add(prop.TxID, sp)
 	}
 	return resp.Endorsement, nil
 }

@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/metrics"
 	"github.com/hyperprov/hyperprov/internal/network"
 	"github.com/hyperprov/hyperprov/internal/peer"
 	"github.com/hyperprov/hyperprov/internal/shim"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // Node is the peer surface the transport serves; *peer.Peer implements it.
@@ -47,6 +50,13 @@ type ServerConfig struct {
 	// connection, modelling the peer's uplink (per-connection link
 	// shaping). Zero means unshaped.
 	Shape network.LinkShape
+	// Metrics, when set, receives server-side transport counters
+	// (frames/bytes in each direction, gossip push deliveries).
+	Metrics *metrics.Registry
+	// Tracer, when set, records spans for remote-initiated work — endorse
+	// and pushed block deliveries — under the trace ID carried in the
+	// request's frame header (or the payload's txID).
+	Tracer *trace.Recorder
 }
 
 // Server exposes one peer on a TCP listener.
@@ -124,25 +134,39 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// count bumps a server-side transport counter when metrics are configured.
+func (s *Server) count(name string) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Counter(name).Inc()
+	}
+}
+
 // serve handles one connection: framed requests in, shaped framed
 // responses out. A framing violation (oversized announcement, torn frame)
 // closes the connection — the client reconnects with backoff.
 func (s *Server) serve(conn net.Conn) {
-	shaped := network.NewShapedConn(conn, s.cfg.Shape)
+	var rw net.Conn = conn
+	if s.cfg.Metrics != nil {
+		rw = &countingConn{Conn: conn, reg: s.cfg.Metrics}
+	}
+	shaped := network.NewShapedConn(rw, s.cfg.Shape)
 	for {
 		var req request
-		if err := network.ReadJSON(conn, &req); err != nil {
+		traceID, err := network.ReadTracedJSON(rw, &req)
+		if err != nil {
 			return // EOF, oversized frame, or broken connection
 		}
+		s.count(metrics.TransportFramesReceived)
 		if req.Op == opBlocksFrom {
 			if err := s.streamBlocks(shaped, req.From); err != nil {
 				return
 			}
 			continue
 		}
-		if err := network.WriteJSON(shaped, s.handle(&req)); err != nil {
+		if err := network.WriteJSON(shaped, s.handle(&req, traceID)); err != nil {
 			return
 		}
+		s.count(metrics.TransportFramesSent)
 	}
 }
 
@@ -152,14 +176,38 @@ func (s *Server) serve(conn net.Conn) {
 // each block its own transfer.
 func (s *Server) streamBlocks(w *network.ShapedConn, from uint64) error {
 	for _, b := range s.node.BlocksFrom(from) {
-		if err := network.WriteJSON(w, &response{OK: true, More: true, Block: b}); err != nil {
+		start := time.Now()
+		// Stamp the frame with the block's first txID so the pulling process
+		// can associate the stream with in-flight traces.
+		var traceID string
+		if len(b.Envelopes) > 0 {
+			traceID = b.Envelopes[0].TxID
+		}
+		if err := network.WriteTracedJSON(w, traceID, &response{OK: true, More: true, Block: b}); err != nil {
 			return err
 		}
+		s.count(metrics.TransportFramesSent)
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.AddBatch(envelopeIDs(b), trace.StageGossipSend, s.node.Name(), start, time.Since(start))
+		}
 	}
-	return network.WriteJSON(w, &response{OK: true, More: false})
+	err := network.WriteJSON(w, &response{OK: true, More: false})
+	if err == nil {
+		s.count(metrics.TransportFramesSent)
+	}
+	return err
 }
 
-func (s *Server) handle(req *request) *response {
+// envelopeIDs collects a block's transaction IDs for span batching.
+func envelopeIDs(b *blockstore.Block) []string {
+	ids := make([]string, len(b.Envelopes))
+	for i := range b.Envelopes {
+		ids[i] = b.Envelopes[i].TxID
+	}
+	return ids
+}
+
+func (s *Server) handle(req *request, traceID string) *response {
 	switch req.Op {
 	case opHello:
 		return &response{
@@ -176,7 +224,12 @@ func (s *Server) handle(req *request) *response {
 		if req.Block == nil {
 			return &response{Code: network.CodeBadRequest, Err: "deliver without block"}
 		}
+		start := time.Now()
 		s.node.DeliverBlock(req.Block)
+		s.count(metrics.GossipPushDeliveries)
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.AddBatch(envelopeIDs(req.Block), trace.StageGossipDeliver, s.node.Name(), start, time.Since(start))
+		}
 		return &response{OK: true}
 	case opSync:
 		s.node.Sync()
@@ -185,11 +238,30 @@ func (s *Server) handle(req *request) *response {
 		if req.Proposal == nil {
 			return &response{Code: network.CodeBadRequest, Err: "endorse without proposal"}
 		}
+		start := time.Now()
 		resp, err := s.node.ProcessProposal(req.Proposal)
 		if err != nil {
 			return &response{Code: classifyPeerErr(err), Err: err.Error()}
 		}
-		return &response{OK: true, Endorsement: resp}
+		// Measure the remote endorse hop here (covers simulation + signing
+		// on this peer), record it locally under the frame's trace ID, and
+		// ship it back so the caller joins it into its own timeline.
+		span := trace.Span{
+			Stage:    trace.StageEndorse,
+			Peer:     s.node.Name(),
+			Start:    start,
+			Duration: time.Since(start),
+		}
+		if s.cfg.Tracer != nil {
+			id := traceID
+			if id == "" {
+				id = req.Proposal.TxID
+			}
+			remote := span
+			remote.Remote = true
+			s.cfg.Tracer.Add(id, remote)
+		}
+		return &response{OK: true, Endorsement: resp, Span: &span}
 	case opQuery:
 		resp, err := s.node.Query(req.Chaincode, req.Function, req.Args, req.Creator)
 		if err != nil {

@@ -15,6 +15,7 @@ import (
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/endorser"
 	"github.com/hyperprov/hyperprov/internal/network"
+	"github.com/hyperprov/hyperprov/internal/trace"
 )
 
 // Protocol operations.
@@ -72,8 +73,11 @@ type response struct {
 	Block *blockstore.Block `json:"block,omitempty"`
 	More  bool              `json:"more,omitempty"`
 
-	// endorse field.
+	// endorse fields. Span is the serving peer's measured endorse span,
+	// shipped back so the requesting process can join the remote hop into
+	// its own trace timeline.
 	Endorsement *endorser.Response `json:"endorsement,omitempty"`
+	Span        *trace.Span        `json:"span,omitempty"`
 
 	// query fields.
 	Status  int32  `json:"status,omitempty"`

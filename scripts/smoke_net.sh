@@ -5,6 +5,12 @@
 # anchors over the transport's hello handshake, catches up via TCP gossip
 # anti-entropy, and must reach the primary's exact block height and state
 # fingerprint — three OS processes, every block crossing a real socket.
+#
+# The primary and the second joiner also serve the -admin endpoint; the
+# script asserts /metrics and /healthz answer, and that a committed
+# transaction's /tracez timeline carries every pipeline stage (including
+# the gossip hop observed by the joiner, joined via the frame-header
+# trace ID).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,15 +18,19 @@ cd "$(dirname "$0")/.."
 WORK=$(mktemp -d)
 BIN="$WORK/hyperprov-net"
 LOG="$WORK/primary.log"
+JOINLOG="$WORK/join-b.log"
 go build -o "$BIN" ./cmd/hyperprov-net
 
 # -run-for must exceed the script's worst case (120s ready-wait + two 90s
 # join timeouts); the exit trap kills the primary long before that.
-"$BIN" -peer-serve -addr 127.0.0.1:0 -txs 4 -peer-latency 1ms -run-for 600s >"$LOG" 2>&1 &
+"$BIN" -peer-serve -addr 127.0.0.1:0 -txs 4 -peer-latency 1ms -run-for 600s \
+  -admin 127.0.0.1:0 >"$LOG" 2>&1 &
 PRIMARY=$!
+JOINER=""
 cleanup() {
   kill "$PRIMARY" 2>/dev/null || true
   wait "$PRIMARY" 2>/dev/null || true
+  [ -n "$JOINER" ] && { kill "$JOINER" 2>/dev/null || true; wait "$JOINER" 2>/dev/null || true; }
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -36,17 +46,71 @@ grep -q '^PRIMARY ' "$LOG" || { echo "primary never became ready:"; cat "$LOG"; 
 PEERS=$(awk '/^PEERS /{print $2}' "$LOG")
 HEIGHT=$(sed -n 's/^PRIMARY height=\([0-9]*\).*/\1/p' "$LOG")
 FP=$(sed -n 's/^PRIMARY .*fingerprint=\([0-9a-f]*\)$/\1/p' "$LOG")
+ADMIN=$(awk '/^ADMIN /{print $2}' "$LOG")
 PEER1=$(echo "$PEERS" | cut -d, -f1)
 PEER2=$(echo "$PEERS" | cut -d, -f2)
-[ -n "$HEIGHT" ] && [ -n "$FP" ] && [ -n "$PEER1" ] && [ -n "$PEER2" ] || {
+[ -n "$HEIGHT" ] && [ -n "$FP" ] && [ -n "$PEER1" ] && [ -n "$PEER2" ] && [ -n "$ADMIN" ] || {
   echo "could not parse primary output:"; cat "$LOG"; exit 1;
 }
-echo "primary ready: peers=$PEERS height=$HEIGHT fingerprint=$FP"
+echo "primary ready: peers=$PEERS height=$HEIGHT fingerprint=$FP admin=$ADMIN"
 
-# Two joining processes, each gossiping with a different serving peer.
+# --- admin endpoint on the primary ---------------------------------------
+METRICS=$(curl -fsS "$ADMIN/metrics")
+for want in blocks_committed commit_stage_persist_count net_gossip_rounds \
+    endorsements_served; do
+  echo "$METRICS" | grep -q "^$want" || {
+    echo "primary /metrics missing $want:"; echo "$METRICS" | head -40; exit 1;
+  }
+done
+HEALTH=$(curl -fsS "$ADMIN/healthz")
+echo "$HEALTH" | grep -q '"height": *'"$HEIGHT" || {
+  echo "primary /healthz height mismatch (want $HEIGHT): $HEALTH"; exit 1;
+}
+TRACEZ=$(curl -fsS "$ADMIN/tracez?n=50")
+for stage in '"propose"' '"endorse"' '"order"' '"commit.preval"' '"commit.mvcc"' \
+    '"commit.persist"' '"outcome": *"VALID"'; do
+  echo "$TRACEZ" | grep -Eq "$stage" || {
+    echo "primary /tracez missing $stage"; echo "$TRACEZ" | head -60; exit 1;
+  }
+done
+echo "admin ok: /metrics, /healthz, and a full-lifecycle /tracez timeline"
+
+# Two joining processes, each gossiping with a different serving peer. The
+# second also serves an admin endpoint and lingers so we can inspect the
+# gossip hop's traces from the receiving side.
 "$BIN" -join "$PEER1" -name edge-a -peer-latency 1ms \
   -expect-height "$HEIGHT" -expect-fingerprint "$FP" -timeout 90s
 "$BIN" -join "$PEER2" -name edge-b -peer-latency 1ms \
-  -expect-height "$HEIGHT" -expect-fingerprint "$FP" -timeout 90s
+  -expect-height "$HEIGHT" -expect-fingerprint "$FP" -timeout 90s \
+  -admin 127.0.0.1:0 -run-for 600s >"$JOINLOG" 2>&1 &
+JOINER=$!
+for _ in $(seq 1 240); do
+  grep -q '^CONVERGED ' "$JOINLOG" && break
+  kill -0 "$JOINER" 2>/dev/null || { echo "joiner exited early:"; cat "$JOINLOG"; exit 1; }
+  sleep 0.5
+done
+grep -q '^CONVERGED ' "$JOINLOG" || { echo "joiner never converged:"; cat "$JOINLOG"; exit 1; }
+JADMIN=$(awk '/^ADMIN /{print $2}' "$JOINLOG")
+[ -n "$JADMIN" ] || { echo "joiner printed no ADMIN line:"; cat "$JOINLOG"; exit 1; }
+
+# The joiner received every block over gossip: its traces must show the
+# delivery hop plus the local commit stages for the same transactions.
+JTRACEZ=$(curl -fsS "$JADMIN/tracez?n=50")
+for stage in '"gossip.deliver"' '"commit.preval"' '"commit.mvcc"' '"commit.persist"' \
+    '"outcome": *"VALID"'; do
+  echo "$JTRACEZ" | grep -Eq "$stage" || {
+    echo "joiner /tracez missing $stage"; echo "$JTRACEZ" | head -60; exit 1;
+  }
+done
+curl -fsS "$JADMIN/healthz" | grep -q '"peer": *"edge-b"' || {
+  echo "joiner /healthz wrong peer"; exit 1;
+}
+echo "joiner admin ok: gossip.deliver + commit stages visible on edge-b"
+
+# After the joins, the primary's transport servers have served real
+# connections: the frame counters must now be on its /metrics.
+curl -fsS "$ADMIN/metrics" | grep -q '^net_transport_frames_sent' || {
+  echo "primary /metrics missing net_transport_frames_sent after joins"; exit 1;
+}
 
 echo "smoke ok: two joined processes converged to height $HEIGHT with matching state fingerprints"

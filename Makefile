@@ -8,7 +8,8 @@ GO ?= go
 COVER_FLOOR ?= 84.0
 
 .PHONY: all fmt fmt-check vet lint build test race bench bench-commit \
-	bench-recovery bench-state cover crash-test cross smoke
+	bench-commit-sweep bench-check bench-recovery bench-state cover \
+	crash-test cross smoke
 
 all: build test
 
@@ -50,6 +51,19 @@ bench:
 # within 5% of the uninstrumented run.
 bench-commit:
 	$(GO) run ./cmd/hyperprov-bench -experiment commit -out BENCH_commit.json -overhead-guard 5
+
+# MVCC contention sweep: parallel conflict-graph commit throughput from 0%
+# (embarrassingly parallel) to 100% (every tx fighting over a hot-key pool).
+bench-commit-sweep:
+	$(GO) run ./cmd/hyperprov-bench -experiment mvcc-sweep -sweep-out BENCH_mvcc_sweep.json
+
+# Local dry run of the CI bench-regression gate: two quick commit runs back
+# to back must stay inside the same budgets CI enforces nightly
+# (tx/s drop <= 10%, per-block p99 rise <= 15%).
+bench-check:
+	$(GO) run ./cmd/hyperprov-bench -experiment commit -quick -out /tmp/hyperprov_bench_baseline.json
+	$(GO) run ./cmd/hyperprov-bench -experiment commit -quick -out /tmp/hyperprov_bench_current.json
+	$(GO) run ./scripts -old /tmp/hyperprov_bench_baseline.json -new /tmp/hyperprov_bench_current.json
 
 bench-recovery:
 	$(GO) run ./cmd/hyperprov-bench -experiment recovery -recovery-out BENCH_recovery.json

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|recovery|state|all [-quick] [-out file] [-recovery-out file] [-state-out file]
+//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|mvcc-sweep|recovery|state|all [-quick] [-out file] [-sweep-out file] [-recovery-out file] [-state-out file]
 package main
 
 import (
@@ -18,10 +18,12 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, recovery, state, or all")
+		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, mvcc-sweep, recovery, state, or all")
 	quick := flag.Bool("quick", false, "use reduced sweep sizes and windows")
 	out := flag.String("out", "BENCH_commit.json",
 		"path the commit experiment writes its JSON result to (empty disables)")
+	sweepOut := flag.String("sweep-out", "BENCH_mvcc_sweep.json",
+		"path the mvcc-sweep experiment writes its JSON result to (empty disables)")
 	recoveryOut := flag.String("recovery-out", "BENCH_recovery.json",
 		"path the recovery experiment writes its JSON result to (empty disables)")
 	stateOut := flag.String("state-out", "BENCH_state.json",
@@ -29,13 +31,13 @@ func main() {
 	overheadGuard := flag.Float64("overhead-guard", 0,
 		"in the commit experiment: also measure observability (metrics+tracing) overhead and fail when it exceeds this percent (0 disables)")
 	flag.Parse()
-	if err := run(*experiment, *quick, *out, *recoveryOut, *stateOut, *overheadGuard); err != nil {
+	if err := run(*experiment, *quick, *out, *sweepOut, *recoveryOut, *stateOut, *overheadGuard); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, quick bool, out, recoveryOut, stateOut string, overheadGuard float64) error {
+func run(experiment string, quick bool, out, sweepOut, recoveryOut, stateOut string, overheadGuard float64) error {
 	sweep := bench.DefaultSweep()
 	energyCfg := bench.DefaultEnergy()
 	if quick {
@@ -127,6 +129,22 @@ func run(experiment string, quick bool, out, recoveryOut, stateOut string, overh
 				return fmt.Errorf("observability overhead %.2f%% exceeds guard %.2f%%",
 					o.OverheadPct, overheadGuard)
 			}
+		case "mvcc-sweep":
+			cfg := bench.DefaultMVCCSweep()
+			if quick {
+				cfg = bench.QuickMVCCSweep()
+			}
+			res, err := bench.RunMVCCSweep(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+			if sweepOut != "" {
+				if err := res.WriteJSON(sweepOut); err != nil {
+					return err
+				}
+				fmt.Println("wrote", sweepOut)
+			}
 		case "recovery":
 			cfg := bench.DefaultRecoveryBench()
 			if quick {
@@ -166,7 +184,7 @@ func run(experiment string, quick bool, out, recoveryOut, stateOut string, overh
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit", "recovery", "state"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit", "mvcc-sweep", "recovery", "state"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

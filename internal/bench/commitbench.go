@@ -38,6 +38,12 @@ type CommitBenchConfig struct {
 	// Workers are the pipeline pre-validation worker counts; serial is the
 	// baseline each is compared against.
 	Workers []int
+	// MVCCWorkers sizes stage 2's conflict-graph validation pool for the
+	// parallel-MVCC column. Every row is measured twice through the
+	// pipeline: once with a sequential MVCC walk (MVCCWorkers=1, the
+	// pre-conflict-graph pipeline) and once with this pool — the ratio is
+	// the MVCC speedup. <= 0 defaults to the profile's core count.
+	MVCCWorkers int
 	// Blocks is the stream length per measurement.
 	Blocks int
 	// WritesPerTx is the number of state writes each transaction carries.
@@ -63,6 +69,7 @@ func DefaultCommitBench() CommitBenchConfig {
 	return CommitBenchConfig{
 		BlockSizes:  []int{10, 50, 100, 250},
 		Workers:     []int{1, 2, 4, 8},
+		MVCCWorkers: 4,
 		Blocks:      20,
 		WritesPerTx: 2,
 		Profile:     device.XeonE51603,
@@ -76,6 +83,7 @@ func QuickCommitBench() CommitBenchConfig {
 	return CommitBenchConfig{
 		BlockSizes:  []int{10, 100},
 		Workers:     []int{1, 4},
+		MVCCWorkers: 4,
 		Blocks:      5,
 		WritesPerTx: 2,
 		Profile:     device.XeonE51603,
@@ -86,20 +94,28 @@ func QuickCommitBench() CommitBenchConfig {
 
 // CommitBenchRow is one measured (block size, workers) point. The quantile
 // columns are per-block submit-to-persist latencies in modeled milliseconds.
+// PipelineTps is the pipeline with a sequential MVCC walk (MVCCWorkers=1);
+// ParallelMVCCTps is the same pipeline with the conflict-graph scheduler
+// fanned across MVCCWorkers goroutines, and MVCCSpeedup is their ratio.
 type CommitBenchRow struct {
-	BlockSize      int     `json:"blockSize"`
-	Workers        int     `json:"workers"`
-	SerialTps      float64 `json:"serialTxPerSec"`
-	PipelineTps    float64 `json:"pipelineTxPerSec"`
-	Speedup        float64 `json:"speedup"`
-	SerialMs       float64 `json:"serialMsPerBlock"`
-	PipelineMs     float64 `json:"pipelineMsPerBlock"`
-	SerialP50Ms    float64 `json:"serialP50MsPerBlock"`
-	SerialP99Ms    float64 `json:"serialP99MsPerBlock"`
-	SerialP999Ms   float64 `json:"serialP999MsPerBlock"`
-	PipelineP50Ms  float64 `json:"pipelineP50MsPerBlock"`
-	PipelineP99Ms  float64 `json:"pipelineP99MsPerBlock"`
-	PipelineP999Ms float64 `json:"pipelineP999MsPerBlock"`
+	BlockSize       int     `json:"blockSize"`
+	Workers         int     `json:"workers"`
+	MVCCWorkers     int     `json:"mvccWorkers"`
+	SerialTps       float64 `json:"serialTxPerSec"`
+	PipelineTps     float64 `json:"pipelineTxPerSec"`
+	ParallelMVCCTps float64 `json:"parallelMVCCTxPerSec"`
+	Speedup         float64 `json:"speedup"`
+	MVCCSpeedup     float64 `json:"mvccSpeedup"`
+	SerialMs        float64 `json:"serialMsPerBlock"`
+	PipelineMs      float64 `json:"pipelineMsPerBlock"`
+	SerialP50Ms     float64 `json:"serialP50MsPerBlock"`
+	SerialP99Ms     float64 `json:"serialP99MsPerBlock"`
+	SerialP999Ms    float64 `json:"serialP999MsPerBlock"`
+	PipelineP50Ms   float64 `json:"pipelineP50MsPerBlock"`
+	PipelineP99Ms   float64 `json:"pipelineP99MsPerBlock"`
+	PipelineP999Ms  float64 `json:"pipelineP999MsPerBlock"`
+	// ParallelMVCCP99Ms is the per-block p99 of the parallel-MVCC run.
+	ParallelMVCCP99Ms float64 `json:"parallelMVCCP99MsPerBlock"`
 }
 
 // CommitOverhead reports the observability overhead guard: the same
@@ -116,8 +132,11 @@ type CommitOverhead struct {
 
 // CommitBenchResult is the regenerated comparison table.
 type CommitBenchResult struct {
-	Name        string           `json:"name"`
-	Description string           `json:"description"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// MVCCWorkers is the parallel-MVCC pool size every row's
+	// ParallelMVCCTps column was measured with.
+	MVCCWorkers int              `json:"mvccWorkers"`
 	Rows        []CommitBenchRow `json:"rows"`
 	Overhead    *CommitOverhead  `json:"overhead,omitempty"`
 }
@@ -126,12 +145,13 @@ type CommitBenchResult struct {
 func (r CommitBenchResult) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== %s ==\n%s\n", r.Name, r.Description)
-	fmt.Fprintf(&sb, "%-10s %8s %14s %14s %10s %12s %12s\n",
-		"blocksize", "workers", "serial(tx/s)", "pipeline(tx/s)", "speedup", "p99-ser(ms)", "p99-pipe(ms)")
+	fmt.Fprintf(&sb, "%-10s %8s %14s %14s %16s %10s %10s %12s %12s\n",
+		"blocksize", "workers", "serial(tx/s)", "pipeline(tx/s)",
+		fmt.Sprintf("mvcc=%d(tx/s)", r.MVCCWorkers), "speedup", "mvcc-gain", "p99-pipe(ms)", "p99-mvcc(ms)")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&sb, "%-10d %8d %14.0f %14.0f %9.2fx %12.1f %12.1f\n",
-			row.BlockSize, row.Workers, row.SerialTps, row.PipelineTps, row.Speedup,
-			row.SerialP99Ms, row.PipelineP99Ms)
+		fmt.Fprintf(&sb, "%-10d %8d %14.0f %14.0f %16.0f %9.2fx %9.2fx %12.1f %12.1f\n",
+			row.BlockSize, row.Workers, row.SerialTps, row.PipelineTps, row.ParallelMVCCTps,
+			row.Speedup, row.MVCCSpeedup, row.PipelineP99Ms, row.ParallelMVCCP99Ms)
 	}
 	if o := r.Overhead; o != nil {
 		fmt.Fprintf(&sb, "-- observability overhead (size %d, %d workers) --\n", o.BlockSize, o.Workers)
@@ -139,6 +159,19 @@ func (r CommitBenchResult) Format() string {
 			o.BaselineTps, o.InstrumentedTps, o.OverheadPct)
 	}
 	return sb.String()
+}
+
+// ParseCommitBenchResult decodes a BENCH_commit.json artifact — the
+// regression gate reads the previous nightly's upload with this.
+func ParseCommitBenchResult(raw []byte) (CommitBenchResult, error) {
+	var r CommitBenchResult
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return CommitBenchResult{}, fmt.Errorf("bench: parse commit result: %w", err)
+	}
+	if len(r.Rows) == 0 {
+		return CommitBenchResult{}, fmt.Errorf("bench: parse commit result: no rows")
+	}
+	return r, nil
 }
 
 // WriteJSON writes the result to path (the BENCH_commit.json artifact the
@@ -280,17 +313,20 @@ type commitRunResult struct {
 // fingerprint and per-block validation codes for equivalence checking.
 // instrumented additionally attaches a live metrics registry and trace
 // recorder to the committer — the overhead guard's configuration.
-func commitRun(f *commitFixture, bc CommitBenchConfig, stream []*blockstore.Block, workers int, pipelined, instrumented bool) (*commitRunResult, error) {
+// mvccWorkers sizes stage 2's conflict-graph pool (1 = sequential walk).
+func commitRun(f *commitFixture, bc CommitBenchConfig, stream []*blockstore.Block, workers, mvccWorkers int, pipelined, instrumented bool) (*commitRunResult, error) {
 	exec := device.NewExecutor(bc.Profile, device.RealClock{ScaleFactor: bc.Scale}, bc.Seed)
 	state := statedb.New()
 	lat := NewHistogram()
 	submitted := make([]time.Time, len(stream))
 	cfg := committer.Config{
-		State:    state,
-		History:  historydb.New(),
-		Blocks:   blockstore.NewStore(),
-		Verifier: f.verifier(exec),
-		Workers:  workers,
+		State:       state,
+		History:     historydb.New(),
+		Blocks:      blockstore.NewStore(),
+		Verifier:    f.verifier(exec),
+		Workers:     workers,
+		MVCCWorkers: mvccWorkers,
+		Exec:        exec,
 		OnCommitted: func(b *blockstore.Block) {
 			lat.Record(time.Since(submitted[b.Header.Number]))
 		},
@@ -339,11 +375,15 @@ func RunCommitBench(cfg CommitBenchConfig) (CommitBenchResult, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
+	if cfg.MVCCWorkers <= 0 {
+		cfg.MVCCWorkers = cfg.Profile.Cores
+	}
 	res := CommitBenchResult{
-		Name: "Commit pipeline: serial vs pipelined block commit",
+		Name:        "Commit pipeline: serial vs pipelined vs parallel-MVCC block commit",
+		MVCCWorkers: cfg.MVCCWorkers,
 		Description: fmt.Sprintf(
-			"%d blocks per run, %d writes/tx, real ECDSA P-256 signatures; modeled peer: %s (%d cores); rates in modeled tx/s",
-			cfg.Blocks, cfg.WritesPerTx, cfg.Profile.Name, cfg.Profile.Cores),
+			"%d blocks per run, %d writes/tx, real ECDSA P-256 signatures; modeled peer: %s (%d cores); parallel-MVCC pool: %d; rates in modeled tx/s",
+			cfg.Blocks, cfg.WritesPerTx, cfg.Profile.Name, cfg.Profile.Cores, cfg.MVCCWorkers),
 	}
 	f, err := newCommitFixture()
 	if err != nil {
@@ -360,35 +400,49 @@ func RunCommitBench(cfg CommitBenchConfig) (CommitBenchResult, error) {
 		if err != nil {
 			return CommitBenchResult{}, err
 		}
-		serial, err := commitRun(f, cfg, stream, 1, false, false)
+		serial, err := commitRun(f, cfg, stream, 1, 1, false, false)
 		if err != nil {
 			return CommitBenchResult{}, err
 		}
 		totalTx := float64(cfg.Blocks * size)
 		for _, workers := range cfg.Workers {
-			pipe, err := commitRun(f, cfg, stream, workers, true, false)
+			pipe, err := commitRun(f, cfg, stream, workers, 1, true, false)
 			if err != nil {
 				return CommitBenchResult{}, err
 			}
 			if err := sameVerdicts(serial.fp, pipe.fp, serial.codes, pipe.codes); err != nil {
 				return CommitBenchResult{}, fmt.Errorf("bench: size %d workers %d: %w", size, workers, err)
 			}
+			par, err := commitRun(f, cfg, stream, workers, cfg.MVCCWorkers, true, false)
+			if err != nil {
+				return CommitBenchResult{}, err
+			}
+			if err := sameVerdicts(serial.fp, par.fp, serial.codes, par.codes); err != nil {
+				return CommitBenchResult{}, fmt.Errorf("bench: size %d workers %d mvcc %d: %w",
+					size, workers, cfg.MVCCWorkers, err)
+			}
 			row := CommitBenchRow{
-				BlockSize:      size,
-				Workers:        workers,
-				SerialTps:      totalTx / serial.elapsed.Seconds() * cfg.Scale,
-				PipelineTps:    totalTx / pipe.elapsed.Seconds() * cfg.Scale,
-				SerialMs:       modeledMs(serial.elapsed),
-				PipelineMs:     modeledMs(pipe.elapsed),
-				SerialP50Ms:    ms(serial.perBlock.P50),
-				SerialP99Ms:    ms(serial.perBlock.P99),
-				SerialP999Ms:   ms(serial.perBlock.P999),
-				PipelineP50Ms:  ms(pipe.perBlock.P50),
-				PipelineP99Ms:  ms(pipe.perBlock.P99),
-				PipelineP999Ms: ms(pipe.perBlock.P999),
+				BlockSize:         size,
+				Workers:           workers,
+				MVCCWorkers:       cfg.MVCCWorkers,
+				SerialTps:         totalTx / serial.elapsed.Seconds() * cfg.Scale,
+				PipelineTps:       totalTx / pipe.elapsed.Seconds() * cfg.Scale,
+				ParallelMVCCTps:   totalTx / par.elapsed.Seconds() * cfg.Scale,
+				SerialMs:          modeledMs(serial.elapsed),
+				PipelineMs:        modeledMs(pipe.elapsed),
+				SerialP50Ms:       ms(serial.perBlock.P50),
+				SerialP99Ms:       ms(serial.perBlock.P99),
+				SerialP999Ms:      ms(serial.perBlock.P999),
+				PipelineP50Ms:     ms(pipe.perBlock.P50),
+				PipelineP99Ms:     ms(pipe.perBlock.P99),
+				PipelineP999Ms:    ms(pipe.perBlock.P999),
+				ParallelMVCCP99Ms: ms(par.perBlock.P99),
 			}
 			if pipe.elapsed > 0 {
 				row.Speedup = float64(serial.elapsed) / float64(pipe.elapsed)
+			}
+			if par.elapsed > 0 {
+				row.MVCCSpeedup = float64(pipe.elapsed) / float64(par.elapsed)
 			}
 			res.Rows = append(res.Rows, row)
 		}
@@ -400,11 +454,11 @@ func RunCommitBench(cfg CommitBenchConfig) (CommitBenchResult, error) {
 		if err != nil {
 			return CommitBenchResult{}, err
 		}
-		base, err := commitRun(f, cfg, stream, workers, true, false)
+		base, err := commitRun(f, cfg, stream, workers, cfg.MVCCWorkers, true, false)
 		if err != nil {
 			return CommitBenchResult{}, err
 		}
-		inst, err := commitRun(f, cfg, stream, workers, true, true)
+		inst, err := commitRun(f, cfg, stream, workers, cfg.MVCCWorkers, true, true)
 		if err != nil {
 			return CommitBenchResult{}, err
 		}

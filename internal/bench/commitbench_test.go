@@ -33,6 +33,12 @@ func TestCommitBenchSmoke(t *testing.T) {
 		if row.SerialTps <= 0 || row.PipelineTps <= 0 || row.Speedup <= 0 {
 			t.Errorf("row %+v has non-positive rates", row)
 		}
+		if row.ParallelMVCCTps <= 0 || row.MVCCSpeedup <= 0 {
+			t.Errorf("row %+v has non-positive parallel-MVCC rates", row)
+		}
+		if row.MVCCWorkers != res.MVCCWorkers {
+			t.Errorf("row %+v mvccWorkers != result's %d", row, res.MVCCWorkers)
+		}
 	}
 	if res.Format() == "" {
 		t.Error("empty format")

@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/committer"
+	"github.com/hyperprov/hyperprov/internal/device"
+	"github.com/hyperprov/hyperprov/internal/historydb"
+	"github.com/hyperprov/hyperprov/internal/metrics"
+	"github.com/hyperprov/hyperprov/internal/rwset"
+	"github.com/hyperprov/hyperprov/internal/statedb"
+)
+
+// This file holds the MVCC contention sweep: parallel conflict-graph
+// commit throughput as a function of how hard the block's transactions
+// fight over a small pool of hot keys. 0% overlap is the embarrassingly
+// parallel case (one wavefront per block); 100% means every transaction
+// read-modify-writes a hot key, degenerating toward the sequential walk.
+// The sweep is the scaling story behind the single MVCCWorkers column in
+// the commit benchmark, and the nightly CI job uploads its JSON artifact
+// next to BENCH_commit.json.
+
+// MVCCSweepConfig parameterizes the contention sweep.
+type MVCCSweepConfig struct {
+	// Overlaps are the percentages of transactions per block that contend
+	// on the hot-key pool (the x-axis).
+	Overlaps []int
+	// BlockSize is transactions per block.
+	BlockSize int
+	// Blocks is the stream length per measurement.
+	Blocks int
+	// MVCCWorkers sizes the parallel conflict-graph pool; the sequential
+	// baseline is always MVCCWorkers=1.
+	MVCCWorkers int
+	// HotKeys is the size of each block's hot-key pool. Smaller pools mean
+	// deeper writer chains at a given overlap.
+	HotKeys int
+	// Profile models the committing peer; Scale compresses modeled time.
+	Profile device.Profile
+	Scale   float64
+	Seed    int64
+}
+
+// DefaultMVCCSweep returns the figure-quality sweep.
+func DefaultMVCCSweep() MVCCSweepConfig {
+	return MVCCSweepConfig{
+		Overlaps:    []int{0, 25, 50, 75, 100},
+		BlockSize:   100,
+		Blocks:      10,
+		MVCCWorkers: 4,
+		HotKeys:     4,
+		Profile:     device.XeonE51603,
+		Scale:       0.5,
+		Seed:        1,
+	}
+}
+
+// QuickMVCCSweep returns a reduced sweep for smoke tests.
+func QuickMVCCSweep() MVCCSweepConfig {
+	return MVCCSweepConfig{
+		Overlaps:    []int{0, 50, 100},
+		BlockSize:   24,
+		Blocks:      3,
+		MVCCWorkers: 4,
+		HotKeys:     4,
+		Profile:     device.XeonE51603,
+		Scale:       0.05,
+		Seed:        1,
+	}
+}
+
+// MVCCSweepRow is one measured overlap point.
+type MVCCSweepRow struct {
+	OverlapPct int `json:"overlapPct"`
+	// SequentialTps is the pipeline with MVCCWorkers=1.
+	SequentialTps float64 `json:"sequentialTxPerSec"`
+	// ParallelTps is the pipeline with the configured MVCC pool.
+	ParallelTps float64 `json:"parallelTxPerSec"`
+	Speedup     float64 `json:"speedup"`
+	// AvgWaveWidth is the mean conflict-graph wavefront width observed by
+	// the parallel run (block size / avg width ~ waves per block).
+	AvgWaveWidth float64 `json:"avgWaveWidth"`
+	// ValidPct is the share of transactions that committed TxValid — the
+	// rest lost MVCC on a hot key, identically in both runs.
+	ValidPct float64 `json:"validPct"`
+}
+
+// MVCCSweepResult is the sweep's artifact (BENCH_mvcc_sweep.json in CI).
+type MVCCSweepResult struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description"`
+	MVCCWorkers int            `json:"mvccWorkers"`
+	Rows        []MVCCSweepRow `json:"rows"`
+}
+
+// Format renders the sweep table.
+func (r MVCCSweepResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n%s\n", r.Name, r.Description)
+	fmt.Fprintf(&sb, "%-10s %16s %16s %10s %10s %8s\n",
+		"overlap%", "mvcc=1(tx/s)", fmt.Sprintf("mvcc=%d(tx/s)", r.MVCCWorkers),
+		"speedup", "avg-wave", "valid%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10d %16.0f %16.0f %9.2fx %10.1f %7.1f%%\n",
+			row.OverlapPct, row.SequentialTps, row.ParallelTps, row.Speedup,
+			row.AvgWaveWidth, row.ValidPct)
+	}
+	return sb.String()
+}
+
+// WriteJSON writes the result to path.
+func (r MVCCSweepResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal mvcc sweep: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// buildContendedStream builds `blocks` chained blocks of blockSize signed
+// transactions where overlapPct percent read-modify-write one of hotKeys
+// per-block hot keys (fresh every block, so the first claimant of each key
+// commits and later claimants lose MVCC — deterministically, in both
+// engines) and the rest write unique cold keys.
+func (f *commitFixture) buildContendedStream(blocks, blockSize, overlapPct, hotKeys int) ([]*blockstore.Block, error) {
+	out := make([]*blockstore.Block, 0, blocks)
+	var prev []byte
+	tx := 0
+	hotPerBlock := blockSize * overlapPct / 100
+	for bn := 0; bn < blocks; bn++ {
+		envs := make([]blockstore.Envelope, blockSize)
+		for i := range envs {
+			rws := &rwset.ReadWriteSet{}
+			if i < hotPerBlock {
+				key := fmt.Sprintf("hot-%04d-%d", bn, i%hotKeys)
+				rws.Reads = []rwset.Read{{Key: key, Version: nil}}
+				rws.Writes = []rwset.Write{{Key: key, Value: []byte(fmt.Sprintf("w%07d", tx))}}
+			} else {
+				key := fmt.Sprintf("cold-%07d", tx)
+				rws.Writes = []rwset.Write{{Key: key, Value: []byte(fmt.Sprintf("v%07d", tx))}}
+			}
+			env, err := f.envelope(fmt.Sprintf("tx-%07d", tx), rws)
+			if err != nil {
+				return nil, err
+			}
+			envs[i] = env
+			tx++
+		}
+		b, err := blockstore.NewBlock(uint64(bn), prev, envs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+		prev = b.Header.Hash()
+	}
+	return out, nil
+}
+
+// sweepRun commits the stream through the pipeline with the given MVCC
+// pool, returning elapsed wall time, the state fingerprint and codes for
+// equivalence, the valid-transaction count, and the average conflict-graph
+// wavefront width (0 when the sequential walk never builds a graph).
+func sweepRun(f *commitFixture, sc MVCCSweepConfig, stream []*blockstore.Block, mvccWorkers int) (*commitRunResult, int, float64, error) {
+	exec := device.NewExecutor(sc.Profile, device.RealClock{ScaleFactor: sc.Scale}, sc.Seed)
+	state := statedb.New()
+	reg := metrics.NewRegistry()
+	cfg := committer.Config{
+		State:       state,
+		History:     historydb.New(),
+		Blocks:      blockstore.NewStore(),
+		Verifier:    f.verifier(exec),
+		Workers:     sc.Profile.Cores,
+		MVCCWorkers: mvccWorkers,
+		Exec:        exec,
+		Metrics:     reg,
+	}
+	eng := committer.New(cfg)
+	start := time.Now()
+	for _, b := range stream {
+		if !eng.Submit(b) {
+			eng.Close()
+			return nil, 0, 0, fmt.Errorf("bench: sweep block %d rejected", b.Header.Number)
+		}
+	}
+	eng.Sync()
+	elapsed := time.Since(start)
+	eng.Close()
+
+	valid := 0
+	codes := make([][]blockstore.ValidationCode, len(stream))
+	for n := range stream {
+		b, err := cfg.Blocks.GetByNumber(uint64(n))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		codes[n] = b.TxValidation
+		for _, c := range b.TxValidation {
+			if c == blockstore.TxValid {
+				valid++
+			}
+		}
+	}
+	// Wave widths ride in nanosecond slots (1 tx == 1ns).
+	var avgWave float64
+	if s := reg.Histogram(metrics.CommitMVCCWaveWidth).Summary(); s.Count > 0 {
+		avgWave = float64(s.Sum) / float64(s.Count)
+	}
+	return &commitRunResult{
+		elapsed: elapsed,
+		fp:      committer.StateFingerprint(state),
+		codes:   codes,
+	}, valid, avgWave, nil
+}
+
+// RunMVCCSweep measures parallel-MVCC commit throughput across contention
+// levels, checking sequential/parallel equivalence at every point.
+func RunMVCCSweep(cfg MVCCSweepConfig) (MVCCSweepResult, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.MVCCWorkers <= 0 {
+		cfg.MVCCWorkers = cfg.Profile.Cores
+	}
+	if cfg.HotKeys <= 0 {
+		cfg.HotKeys = 4
+	}
+	res := MVCCSweepResult{
+		Name:        "Parallel MVCC: throughput vs intra-block key contention",
+		MVCCWorkers: cfg.MVCCWorkers,
+		Description: fmt.Sprintf(
+			"%d blocks x %d tx, %d-key hot pool per block, real ECDSA P-256; modeled peer: %s (%d cores); rates in modeled tx/s",
+			cfg.Blocks, cfg.BlockSize, cfg.HotKeys, cfg.Profile.Name, cfg.Profile.Cores),
+	}
+	f, err := newCommitFixture()
+	if err != nil {
+		return MVCCSweepResult{}, err
+	}
+	totalTx := float64(cfg.Blocks * cfg.BlockSize)
+	for _, overlap := range cfg.Overlaps {
+		stream, err := f.buildContendedStream(cfg.Blocks, cfg.BlockSize, overlap, cfg.HotKeys)
+		if err != nil {
+			return MVCCSweepResult{}, err
+		}
+		seq, seqValid, _, err := sweepRun(f, cfg, stream, 1)
+		if err != nil {
+			return MVCCSweepResult{}, err
+		}
+		par, parValid, avgWave, err := sweepRun(f, cfg, stream, cfg.MVCCWorkers)
+		if err != nil {
+			return MVCCSweepResult{}, err
+		}
+		if err := sameVerdicts(seq.fp, par.fp, seq.codes, par.codes); err != nil {
+			return MVCCSweepResult{}, fmt.Errorf("bench: sweep overlap %d%%: %w", overlap, err)
+		}
+		if seqValid != parValid { // sameVerdicts already implies this
+			return MVCCSweepResult{}, fmt.Errorf("bench: sweep overlap %d%%: valid %d vs %d",
+				overlap, seqValid, parValid)
+		}
+		row := MVCCSweepRow{
+			OverlapPct:    overlap,
+			SequentialTps: totalTx / seq.elapsed.Seconds() * cfg.Scale,
+			ParallelTps:   totalTx / par.elapsed.Seconds() * cfg.Scale,
+			AvgWaveWidth:  avgWave,
+			ValidPct:      float64(parValid) / totalTx * 100,
+		}
+		if par.elapsed > 0 {
+			row.Speedup = float64(seq.elapsed) / float64(par.elapsed)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,417 @@
+package committer
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+	"github.com/hyperprov/hyperprov/internal/rwset"
+	"github.com/hyperprov/hyperprov/internal/statedb"
+)
+
+// mvccConfig returns a committer config with the MVCC pool pinned.
+func (l *ledger) mvccConfig(f *txFactory, workers, mvccWorkers int) Config {
+	cfg := l.config(f, workers)
+	cfg.MVCCWorkers = mvccWorkers
+	return cfg
+}
+
+// runStream drives a committer over the stream and syncs it.
+func runStream(t *testing.T, c Committer, stream []*blockstore.Block) {
+	t.Helper()
+	for _, b := range stream {
+		if !c.Submit(b) {
+			t.Fatalf("committer rejected block %d", b.Header.Number)
+		}
+	}
+	c.Sync()
+	c.Close()
+}
+
+// writtenKeys collects every key any envelope in the stream writes, for
+// history comparison.
+func writtenKeys(t *testing.T, stream []*blockstore.Block) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var keys []string
+	for _, b := range stream {
+		for i := range b.Envelopes {
+			rws, err := rwset.Unmarshal(b.Envelopes[i].RWSet)
+			if err != nil {
+				continue // malformed-by-design envelope
+			}
+			for _, w := range rws.Writes {
+				if !seen[w.Key] {
+					seen[w.Key] = true
+					keys = append(keys, w.Key)
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// assertEquivalent checks codes, state fingerprint, and per-key history of
+// `got` against the serial oracle's ledger.
+func assertEquivalent(t *testing.T, label string, oracle, got *ledger, stream []*blockstore.Block) {
+	t.Helper()
+	if gh, wh := got.blocks.Height(), oracle.blocks.Height(); gh != wh {
+		t.Fatalf("%s: height = %d, serial = %d", label, gh, wh)
+	}
+	for n := uint64(0); n < oracle.blocks.Height(); n++ {
+		sb, err := oracle.blocks.GetByNumber(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := got.blocks.GetByNumber(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sb.TxValidation {
+			if sb.TxValidation[i] != pb.TxValidation[i] {
+				t.Errorf("%s: block %d tx %d = %s, serial = %s",
+					label, n, i, pb.TxValidation[i], sb.TxValidation[i])
+			}
+		}
+	}
+	if sf, pf := StateFingerprint(oracle.state), StateFingerprint(got.state); sf != pf {
+		t.Errorf("%s: state fingerprint %s, serial %s", label, pf, sf)
+	}
+	for _, key := range writtenKeys(t, stream) {
+		if sv, pv := oracle.history.Versions(key), got.history.Versions(key); sv != pv {
+			t.Errorf("%s: history versions for %q = %d, serial = %d", label, key, pv, sv)
+		}
+	}
+	if err := got.blocks.VerifyChain(); err != nil {
+		t.Errorf("%s: chain: %v", label, err)
+	}
+}
+
+// checkAllWorkerCounts runs the stream through the serial oracle and the
+// pipeline at MVCC worker counts 1..8, asserting bit-identical outcomes.
+func checkAllWorkerCounts(t *testing.T, f *txFactory, stream []*blockstore.Block) {
+	t.Helper()
+	oracle := newLedger()
+	runStream(t, NewSerial(oracle.config(f, 0)), stream)
+
+	for mvcc := 1; mvcc <= 8; mvcc++ {
+		l := newLedger()
+		runStream(t, New(l.mvccConfig(f, 4, mvcc)), stream)
+		assertEquivalent(t, fmt.Sprintf("mvcc=%d", mvcc), oracle, l, stream)
+	}
+}
+
+// TestParallelMVCCEquivalence runs the shared adversarial stream — MVCC
+// losers, bad signatures, malformed rwsets, duplicate txIDs, deletes —
+// through the conflict-graph scheduler at every worker count from the
+// degenerate 1 to 8 (oversubscribed on most CI hosts), pinning the outcome
+// to the serial oracle.
+func TestParallelMVCCEquivalence(t *testing.T) {
+	f := newTxFactory(t)
+	checkAllWorkerCounts(t, f, buildStream(t, f))
+}
+
+// TestParallelMVCCContendedStream is the scheduler's own adversarial
+// stream: wide blocks where many transactions fight over a handful of hot
+// keys, interleaved with independent traffic — the shape that exercises
+// multi-wave scheduling rather than one wide wave.
+func TestParallelMVCCContendedStream(t *testing.T) {
+	f := newTxFactory(t)
+	var stream []*blockstore.Block
+	var prev []byte
+	add := func(envs ...blockstore.Envelope) {
+		b, err := blockstore.NewBlock(uint64(len(stream)), prev, envs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, b)
+		prev = b.Header.Hash()
+	}
+
+	// Block 0: seed a key range the later phantom readers scan.
+	seed := &rwset.ReadWriteSet{}
+	for i := 0; i < 8; i++ {
+		seed.Writes = append(seed.Writes, rwset.Write{
+			Key: fmt.Sprintf("r%d", i), Value: []byte("seed"),
+		})
+	}
+	add(f.envelope(f.txID(), seed, nil))
+
+	// Block 1: 16 transactions, 4 hot keys, read-modify-write — each hot
+	// key's first claimant wins, the rest lose MVCC; 8 cold writers ride
+	// along untouched.
+	var envs []blockstore.Envelope
+	for i := 0; i < 16; i++ {
+		hot := fmt.Sprintf("hot%d", i%4)
+		envs = append(envs, f.envelope(f.txID(), &rwset.ReadWriteSet{
+			Reads:  []rwset.Read{{Key: hot, Version: nil}},
+			Writes: []rwset.Write{{Key: hot, Value: []byte(fmt.Sprintf("w%d", i))}},
+		}, nil))
+	}
+	for i := 0; i < 8; i++ {
+		envs = append(envs, f.envelope(f.txID(), writeSet(fmt.Sprintf("cold%d", i)), nil))
+	}
+	add(envs...)
+
+	// Block 2: range scans racing writers inside their bounds. tx0 updates
+	// r2; tx1 scans [r0,r5) — the earlier-in-block write to r2 is an MVCC
+	// conflict for the scan. tx2 scans [r5,) with no in-block writer and
+	// stays valid; tx3 then updates r6 inside tx2's bounds — a LATER
+	// writer, which must not retroactively invalidate tx2.
+	add(
+		f.envelope(f.txID(), &rwset.ReadWriteSet{
+			Writes: []rwset.Write{{Key: "r2", Value: []byte("bump")}},
+		}, nil),
+		f.envelope(f.txID(), &rwset.ReadWriteSet{
+			RangeReads: []rwset.RangeRead{{StartKey: "r0", EndKey: "r5", Keys: []string{"r0", "r1", "r2", "r3", "r4"}}},
+			Writes:     []rwset.Write{{Key: "scan-a", Value: []byte("x")}},
+		}, nil),
+		f.envelope(f.txID(), &rwset.ReadWriteSet{
+			RangeReads: []rwset.RangeRead{{StartKey: "r5", EndKey: "", Keys: []string{"r5", "r6", "r7"}}},
+			Writes:     []rwset.Write{{Key: "scan-b", Value: []byte("y")}},
+		}, nil),
+		f.envelope(f.txID(), &rwset.ReadWriteSet{
+			Writes: []rwset.Write{{Key: "r6", Value: []byte("late")}},
+		}, nil),
+	)
+
+	// Block 3: long write-write chain on one key plus a fan of independent
+	// readers of a cold key — a deep graph next to a wide one.
+	envs = nil
+	for i := 0; i < 6; i++ {
+		envs = append(envs, f.envelope(f.txID(), &rwset.ReadWriteSet{
+			Writes: []rwset.Write{{Key: "chain", Value: []byte(fmt.Sprintf("link%d", i))}},
+		}, nil))
+	}
+	for i := 0; i < 6; i++ {
+		envs = append(envs, f.envelope(f.txID(), &rwset.ReadWriteSet{
+			Reads:  []rwset.Read{{Key: "cold0", Version: &statedb.Version{BlockNum: 1, TxNum: 16}}},
+			Writes: []rwset.Write{{Key: fmt.Sprintf("fan%d", i), Value: []byte("z")}},
+		}, nil))
+	}
+	add(envs...)
+
+	checkAllWorkerCounts(t, f, stream)
+
+	// Pin the contended block's verdicts on one engine so equivalence can
+	// not degrade into "all engines equally wrong".
+	l := newLedger()
+	runStream(t, New(l.mvccConfig(f, 4, 4)), stream)
+	b1, err := l.blocks.GetByNumber(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		want := blockstore.TxMVCCConflict
+		if i < 4 { // first claimant of each hot key
+			want = blockstore.TxValid
+		}
+		if b1.TxValidation[i] != want {
+			t.Errorf("block 1 tx %d = %s, want %s", i, b1.TxValidation[i], want)
+		}
+	}
+	b2, err := l.blocks.GetByNumber(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB2 := []blockstore.ValidationCode{
+		blockstore.TxValid,        // r2 writer
+		blockstore.TxMVCCConflict, // scan [r0,r5) trips on in-block r2 write
+		blockstore.TxValid,        // scan [r5,∞) — later r6 writer is no phantom
+		blockstore.TxValid,        // r6 writer
+	}
+	for i, want := range wantB2 {
+		if b2.TxValidation[i] != want {
+			t.Errorf("block 2 tx %d = %s, want %s", i, b2.TxValidation[i], want)
+		}
+	}
+}
+
+// TestParallelMVCCEdgeCases covers the scheduler's corner shapes one at a
+// time; every case must agree with the serial oracle at all worker counts.
+func TestParallelMVCCEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(f *txFactory) []blockstore.Envelope
+	}{
+		{
+			// A transaction that reads and writes the same key must not
+			// conflict with itself, only with its neighbors.
+			name: "read-modify-write-same-key",
+			build: func(f *txFactory) []blockstore.Envelope {
+				var envs []blockstore.Envelope
+				for i := 0; i < 5; i++ {
+					envs = append(envs, f.envelope(f.txID(), &rwset.ReadWriteSet{
+						Reads:  []rwset.Read{{Key: "rmw", Version: nil}},
+						Writes: []rwset.Write{{Key: "rmw", Value: []byte(fmt.Sprintf("v%d", i))}},
+					}, nil))
+				}
+				return envs
+			},
+		},
+		{
+			// Write-only transactions on disjoint keys: one wave, all valid,
+			// batch last-write-wins semantics never invoked.
+			name: "write-only-disjoint",
+			build: func(f *txFactory) []blockstore.Envelope {
+				var envs []blockstore.Envelope
+				for i := 0; i < 12; i++ {
+					envs = append(envs, f.envelope(f.txID(), writeSet(fmt.Sprintf("w%d", i)), nil))
+				}
+				return envs
+			},
+		},
+		{
+			// Write-only transactions all hitting the SAME key: the writer
+			// chain serializes them; the batch must keep the last write.
+			name: "write-only-same-key",
+			build: func(f *txFactory) []blockstore.Envelope {
+				var envs []blockstore.Envelope
+				for i := 0; i < 5; i++ {
+					envs = append(envs, f.envelope(f.txID(), &rwset.ReadWriteSet{
+						Writes: []rwset.Write{{Key: "shared", Value: []byte(fmt.Sprintf("v%d", i))}},
+					}, nil))
+				}
+				return envs
+			},
+		},
+		{
+			// Star graph: tx 0 writes ten keys; every later transaction
+			// reads one of them — all conflict with tx 0 and nothing else.
+			name: "star-around-tx0",
+			build: func(f *txFactory) []blockstore.Envelope {
+				hub := &rwset.ReadWriteSet{}
+				for i := 0; i < 10; i++ {
+					hub.Writes = append(hub.Writes, rwset.Write{
+						Key: fmt.Sprintf("s%d", i), Value: []byte("hub"),
+					})
+				}
+				envs := []blockstore.Envelope{f.envelope(f.txID(), hub, nil)}
+				for i := 0; i < 10; i++ {
+					envs = append(envs, f.envelope(f.txID(), &rwset.ReadWriteSet{
+						Reads:  []rwset.Read{{Key: fmt.Sprintf("s%d", i), Version: nil}},
+						Writes: []rwset.Write{{Key: fmt.Sprintf("spoke%d", i), Value: []byte("x")}},
+					}, nil))
+				}
+				return envs
+			},
+		},
+		{
+			// A range read whose bounds cover a later transaction's write:
+			// the scan validates against pre-block state, so the later
+			// writer must not flip it — but the edge still serializes them.
+			name: "range-read-before-writer",
+			build: func(f *txFactory) []blockstore.Envelope {
+				return []blockstore.Envelope{
+					f.envelope(f.txID(), &rwset.ReadWriteSet{
+						RangeReads: []rwset.RangeRead{{StartKey: "p", EndKey: "q", Keys: nil}},
+						Writes:     []rwset.Write{{Key: "reader-mark", Value: []byte("x")}},
+					}, nil),
+					f.envelope(f.txID(), &rwset.ReadWriteSet{
+						Writes: []rwset.Write{{Key: "p5", Value: []byte("phantom-to-be")}},
+					}, nil),
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newTxFactory(t)
+			b, err := blockstore.NewBlock(0, nil, tc.build(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAllWorkerCounts(t, f, []*blockstore.Block{b})
+		})
+	}
+}
+
+// prevalWrites builds a stage-1-valid PrevalResult writing the given keys.
+func prevalWrites(keys ...string) PrevalResult {
+	return PrevalResult{Code: blockstore.TxValid, RWSet: writeSet(keys...)}
+}
+
+// TestConflictGraphWaves unit-tests the graph builder's wave structure on
+// hand-built footprints.
+func TestConflictGraphWaves(t *testing.T) {
+	read := func(keys ...string) PrevalResult {
+		rws := &rwset.ReadWriteSet{}
+		for _, k := range keys {
+			rws.Reads = append(rws.Reads, rwset.Read{Key: k})
+		}
+		return PrevalResult{Code: blockstore.TxValid, RWSet: rws}
+	}
+
+	cases := []struct {
+		name   string
+		preval []PrevalResult
+		want   [][]int
+	}{
+		{
+			name:   "disjoint-single-wave",
+			preval: []PrevalResult{prevalWrites("a"), prevalWrites("b"), prevalWrites("c")},
+			want:   [][]int{{0, 1, 2}},
+		},
+		{
+			name:   "write-chain-serializes",
+			preval: []PrevalResult{prevalWrites("k"), prevalWrites("k"), prevalWrites("k")},
+			want:   [][]int{{0}, {1}, {2}},
+		},
+		{
+			name: "reader-between-writers",
+			preval: []PrevalResult{
+				prevalWrites("k"), read("k"), prevalWrites("k"),
+			},
+			want: [][]int{{0}, {1}, {2}},
+		},
+		{
+			name: "invalid-tx-is-isolated",
+			preval: []PrevalResult{
+				prevalWrites("k"),
+				{Code: blockstore.TxBadSignature},
+				prevalWrites("k"),
+			},
+			want: [][]int{{0, 1}, {2}},
+		},
+		{
+			name: "independent-readers-fan-out",
+			preval: []PrevalResult{
+				prevalWrites("a", "b"), read("a"), read("b"), read("a", "b"), prevalWrites("c"),
+			},
+			want: [][]int{{0, 4}, {1, 2, 3}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildConflictGraph(tc.preval)
+			got := g.waves()
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Fatalf("waves = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestConflictGraphRangeBounds checks that range bounds link readers to
+// writers inside the interval — including open-ended scans — and not
+// beyond it.
+func TestConflictGraphRangeBounds(t *testing.T) {
+	ranged := func(start, end string) PrevalResult {
+		return PrevalResult{Code: blockstore.TxValid, RWSet: &rwset.ReadWriteSet{
+			RangeReads: []rwset.RangeRead{{StartKey: start, EndKey: end}},
+		}}
+	}
+	preval := []PrevalResult{
+		prevalWrites("m3"), // inside [m0,m9)
+		ranged("m0", "m9"), // conflicts with 0, not 3
+		prevalWrites("z1"), // outside the range
+		ranged("z0", ""),   // open-ended: conflicts with 2
+		prevalWrites("a0"), // below every range
+	}
+	g := buildConflictGraph(preval)
+	want := [][]int{{0, 2, 4}, {1, 3}}
+	if got := g.waves(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("waves = %v, want %v", got, want)
+	}
+}

@@ -50,7 +50,7 @@ func (s *Serial) Submit(ordered *blockstore.Block) bool {
 	s.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitPreval, s.cfg.Name, start, time.Since(start))
 
 	start = time.Now()
-	mvccFinalize(s.cfg.State, t)
+	mvccFinalize(s.cfg.State, s.cfg.Exec, t)
 	err := applyState(s.cfg.State, t)
 	if err == nil {
 		captureState(s.cfg, t)

@@ -24,22 +24,22 @@ type EnvelopeVerifier struct {
 	MSP *identity.MSP
 	// Policy resolves chaincode endorsement policies.
 	Policy PolicyFunc
-	// Exec, when set, charges the modeled per-operation hardware cost
-	// (signature verifications and the fixed per-transaction commit
-	// overhead). The executor's core semaphore is what lets parallel
-	// workers model — and on real hardware, use — multiple cores.
+	// Exec, when set, charges the modeled per-operation hardware cost of
+	// stage 1 (signature verifications). The executor's core semaphore is
+	// what lets parallel workers model — and on real hardware, use —
+	// multiple cores.
 	Exec *device.Executor
 }
 
 var _ Verifier = (*EnvelopeVerifier)(nil)
 
 // Prevalidate runs the version-independent validation pipeline for one
-// transaction.
+// transaction. The modeled per-transaction commit cost is NOT charged
+// here: it models the validate/apply work and is charged in the MVCC stage
+// (committer.Config.Exec), on the goroutine that actually performs the
+// validation.
 func (v *EnvelopeVerifier) Prevalidate(env *blockstore.Envelope) PrevalResult {
 	code, rws := v.prevalidate(env)
-	if v.Exec != nil {
-		v.Exec.Commit() // fixed per-tx commit cost, charged where the work runs
-	}
 	return PrevalResult{Code: code, RWSet: rws}
 }
 
@@ -76,9 +76,9 @@ func (v *EnvelopeVerifier) prevalidate(env *blockstore.Envelope) (blockstore.Val
 			Endorser:  e.Endorser,
 			Signature: e.Signature,
 		}
-		if v.Exec != nil {
-			v.Exec.Verify()
-		}
+	}
+	if v.Exec != nil {
+		v.Exec.VerifyN(len(env.Endorsements))
 	}
 	if err := endorser.CheckEndorsements(policy, v.MSP, resps); err != nil {
 		return blockstore.TxEndorsementPolicyFailure, rws

@@ -260,6 +260,27 @@ func (e *Executor) Endorse() time.Duration { return e.spend(e.cpuSem, e.profile.
 // Commit models the fixed per-transaction commit cost.
 func (e *Executor) Commit() time.Duration { return e.spend(e.cpuSem, e.profile.CommitOverhead) }
 
+// CommitN models n transactions validated back-to-back on one core,
+// charged as a single core acquisition. The modeled core-time equals n
+// sequential Commit calls (jitter applies once to the batch); batching
+// costs one scheduler wakeup instead of n, which matters when a worker
+// walks a long stripe of a wide MVCC wavefront.
+func (e *Executor) CommitN(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return e.spend(e.cpuSem, time.Duration(n)*e.profile.CommitOverhead)
+}
+
+// VerifyN models n ECDSA verifications performed back-to-back on one core
+// (a transaction's endorsement set), as a single core acquisition.
+func (e *Executor) VerifyN(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return e.spend(e.cpuSem, time.Duration(n)*e.profile.VerifyLatency)
+}
+
 // Order models the orderer's per-batch cost.
 func (e *Executor) Order() time.Duration { return e.spend(e.cpuSem, e.profile.OrderLatency) }
 

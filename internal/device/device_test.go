@@ -66,6 +66,28 @@ func TestExecutorAccountsBusyTime(t *testing.T) {
 	}
 }
 
+func TestBatchChargesMatchSequential(t *testing.T) {
+	p := XeonE51603
+	p.JitterPct = 0 // deterministic
+	e := NewExecutor(p, NopClock{}, 1)
+	if got, want := e.CommitN(5), 5*p.CommitOverhead; got != want {
+		t.Errorf("CommitN(5) = %v, want %v", got, want)
+	}
+	if got, want := e.VerifyN(3), 3*p.VerifyLatency; got != want {
+		t.Errorf("VerifyN(3) = %v, want %v", got, want)
+	}
+	if got := e.CommitN(0); got != 0 {
+		t.Errorf("CommitN(0) = %v, want 0", got)
+	}
+	if got := e.VerifyN(-1); got != 0 {
+		t.Errorf("VerifyN(-1) = %v, want 0", got)
+	}
+	want := 5*p.CommitOverhead + 3*p.VerifyLatency
+	if got := e.BusyTime(); got != want {
+		t.Errorf("BusyTime after batches = %v, want %v", got, want)
+	}
+}
+
 func TestExecutorJitterBounded(t *testing.T) {
 	p := RPi3BPlus // 25% jitter
 	e := NewExecutor(p, NopClock{}, 42)

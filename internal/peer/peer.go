@@ -67,6 +67,10 @@ type Config struct {
 	// CommitWorkers sizes the commit pipeline's pre-validation worker
 	// pool; 0 means one worker per available CPU.
 	CommitWorkers int
+	// MVCCWorkers sizes the commit pipeline's conflict-graph MVCC
+	// validation pool (stage 2); 0 means one worker per available CPU,
+	// 1 restores the strictly sequential walk.
+	MVCCWorkers int
 
 	// Dir, when the peer is built with Open, is its data directory: the
 	// durable block file plus checkpoints live there and the peer recovers
@@ -228,10 +232,12 @@ func newPeer(cfg Config, state statedb.StateDB, history *historydb.DB, blocks bl
 			Policy: p.policyFor,
 			Exec:   p.exec,
 		},
-		Workers: cfg.CommitWorkers,
-		Metrics: p.metrics,
-		Tracer:  cfg.Tracer,
-		Name:    cfg.Name,
+		Workers:     cfg.CommitWorkers,
+		MVCCWorkers: cfg.MVCCWorkers,
+		Exec:        p.exec,
+		Metrics:     p.metrics,
+		Tracer:      cfg.Tracer,
+		Name:        cfg.Name,
 		OnAccepted: func(b *blockstore.Block) {
 			if p.exec != nil {
 				p.exec.Transfer(blockWireSize(b)) // block dissemination

@@ -104,11 +104,25 @@ func TestReadsAndRichQueriesDuringCommit(t *testing.T) {
 	}
 
 	// Writer: full endorse->commit cycles through the pipelined committer.
-	const blocks = 25
-	for i := 0; i < blocks && failures.Load() == 0; i++ {
+	// At least `blocks` commits, then keep the committer busy until every
+	// reader kind has finished at least one iteration — on a single-CPU
+	// runtime the reader goroutines may not be scheduled before the first
+	// 25 commits drain, and the point of the test is reads completing
+	// while commits flow. maxBlocks bounds the wait; the concurrency
+	// assertion below catches a genuinely starved reader.
+	const blocks, maxBlocks = 25, 2000
+	lastBlock := 0
+	for i := 0; failures.Load() == 0; i++ {
+		if i >= blocks && reads.Load() > 0 && queries.Load() > 0 {
+			break
+		}
+		if i >= maxBlocks {
+			break
+		}
 		if code := f.set(fmt.Sprintf("live-%d", i), fmt.Sprintf("sha256:live%d", i)); code != blockstore.TxValid {
 			t.Fatalf("live set %d: validation = %s", i, code)
 		}
+		lastBlock = i
 	}
 	close(stop)
 	wg.Wait()
@@ -121,7 +135,7 @@ func TestReadsAndRichQueriesDuringCommit(t *testing.T) {
 	}
 	// The world must still be exactly the committed one.
 	qr, err := f.peer.Query(provenance.ChaincodeName, provenance.FnGet,
-		[][]byte{[]byte(fmt.Sprintf("live-%d", blocks-1))}, creator)
+		[][]byte{[]byte(fmt.Sprintf("live-%d", lastBlock))}, creator)
 	if err != nil || qr.Status != shim.OK {
 		t.Fatalf("final read: status=%d err=%v", qr.Status, err)
 	}

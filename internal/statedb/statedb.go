@@ -231,6 +231,95 @@ func (b *UpdateBatch) Range(f func(key string, value []byte, isDelete bool, ver 
 	}
 }
 
+// StagingBatch is a write-write-safe front for assembling an UpdateBatch
+// from many goroutines at once: Put and Delete hash the key (FNV-1a, the
+// store's shard hash) onto a lock stripe, so concurrent stagers — the
+// committer's parallel MVCC workers — never race on one map. Each stripe
+// map keeps last-write-wins semantics per key exactly like UpdateBatch;
+// callers that stage the same key concurrently without external ordering
+// get an arbitrary winner, so the conflict-graph scheduler serializes
+// write-write conflicting transactions into different wavefronts.
+type StagingBatch struct {
+	stripes []stagingStripe
+}
+
+type stagingStripe struct {
+	mu     sync.Mutex
+	writes map[string]write
+	_      [48]byte // pad stripes apart so adjacent locks don't false-share
+}
+
+// NewStagingBatch creates a staging batch with n lock stripes (n <= 0 means
+// GOMAXPROCS, capped like the store's shard count).
+func NewStagingBatch(n int) *StagingBatch {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	sb := &StagingBatch{stripes: make([]stagingStripe, n)}
+	for i := range sb.stripes {
+		sb.stripes[i].writes = make(map[string]write)
+	}
+	return sb
+}
+
+func (sb *StagingBatch) stripeFor(key string) *stagingStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &sb.stripes[h%uint32(len(sb.stripes))]
+}
+
+// Put stages a write of value at version ver. Safe for concurrent use.
+func (sb *StagingBatch) Put(key string, value []byte, ver Version) {
+	st := sb.stripeFor(key)
+	st.mu.Lock()
+	st.writes[key] = write{value: value, ver: ver}
+	st.mu.Unlock()
+}
+
+// Delete stages a deletion of key at version ver. Safe for concurrent use.
+func (sb *StagingBatch) Delete(key string, ver Version) {
+	st := sb.stripeFor(key)
+	st.mu.Lock()
+	st.writes[key] = write{delete: true, ver: ver}
+	st.mu.Unlock()
+}
+
+// Len returns the number of staged writes.
+func (sb *StagingBatch) Len() int {
+	n := 0
+	for i := range sb.stripes {
+		st := &sb.stripes[i]
+		st.mu.Lock()
+		n += len(st.writes)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Batch drains the staged writes into a plain UpdateBatch. The staging
+// batch is empty afterwards and may be reused. Batch must not run
+// concurrently with stagers — it is the single-threaded hand-off point at
+// the end of a block's validation.
+func (sb *StagingBatch) Batch() *UpdateBatch {
+	b := NewUpdateBatch()
+	for i := range sb.stripes {
+		st := &sb.stripes[i]
+		st.mu.Lock()
+		for k, w := range st.writes {
+			b.writes[k] = w
+		}
+		st.writes = make(map[string]write)
+		st.mu.Unlock()
+	}
+	return b
+}
+
 // keyedWrite pairs a staged write with its key for per-shard grouping.
 type keyedWrite struct {
 	key string

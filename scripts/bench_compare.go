@@ -1,0 +1,119 @@
+// Command bench_compare is the CI bench-regression gate: it compares a
+// freshly generated BENCH_commit.json against the previous nightly run's
+// artifact and exits non-zero when pipelined commit throughput drops or
+// commit tail latency rises beyond the configured budgets.
+//
+// Rows are matched by (blockSize, workers); rows present on only one side
+// (a resized matrix) are skipped, so widening the benchmark never trips
+// the gate. A missing baseline file is an error unless -allow-missing is
+// set — the first nightly run after the gate lands has nothing to compare
+// against.
+//
+// Usage:
+//
+//	go run ./scripts -old prev/BENCH_commit.json -new BENCH_commit.json \
+//	    [-max-tps-drop 10] [-max-p99-rise 15] [-allow-missing]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hyperprov/hyperprov/internal/bench"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_commit.json (previous run's artifact)")
+	newPath := flag.String("new", "BENCH_commit.json", "freshly generated BENCH_commit.json")
+	maxTpsDrop := flag.Float64("max-tps-drop", 10,
+		"maximum allowed throughput drop in percent (pipeline and parallel-MVCC columns)")
+	maxP99Rise := flag.Float64("max-p99-rise", 15,
+		"maximum allowed per-block p99 latency rise in percent")
+	allowMissing := flag.Bool("allow-missing", false,
+		"exit 0 when the baseline file does not exist (first run)")
+	flag.Parse()
+
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "bench_compare: -old is required")
+		os.Exit(2)
+	}
+	oldRes, err := load(*oldPath)
+	if err != nil {
+		if os.IsNotExist(err) && *allowMissing {
+			fmt.Printf("bench_compare: no baseline at %s; accepting %s as the first baseline\n",
+				*oldPath, *newPath)
+			return
+		}
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+	newRes, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+
+	violations, compared := compare(oldRes, newRes, *maxTpsDrop, *maxP99Rise)
+	fmt.Printf("bench_compare: %d row(s) compared, %d violation(s) "+
+		"(budgets: tps drop <= %.1f%%, p99 rise <= %.1f%%)\n",
+		compared, len(violations), *maxTpsDrop, *maxP99Rise)
+	for _, v := range violations {
+		fmt.Println("  REGRESSION:", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (bench.CommitBenchResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return bench.CommitBenchResult{}, err
+	}
+	return bench.ParseCommitBenchResult(raw)
+}
+
+// compare returns one violation string per breached budget plus the number
+// of row pairs examined. Percentages are relative to the baseline value;
+// baseline columns that are zero or absent (an older artifact without the
+// parallel-MVCC column) are skipped rather than divided by.
+func compare(oldRes, newRes bench.CommitBenchResult, maxTpsDrop, maxP99Rise float64) ([]string, int) {
+	type key struct{ size, workers int }
+	baseline := make(map[key]bench.CommitBenchRow, len(oldRes.Rows))
+	for _, row := range oldRes.Rows {
+		baseline[key{row.BlockSize, row.Workers}] = row
+	}
+	var violations []string
+	compared := 0
+	for _, row := range newRes.Rows {
+		base, ok := baseline[key{row.BlockSize, row.Workers}]
+		if !ok {
+			continue
+		}
+		compared++
+		id := fmt.Sprintf("size=%d workers=%d", row.BlockSize, row.Workers)
+		check := func(col string, baseVal, newVal float64, rise bool, budget float64) {
+			if baseVal <= 0 {
+				return
+			}
+			pct := (baseVal - newVal) / baseVal * 100
+			if rise {
+				pct = -pct
+			}
+			if pct > budget {
+				dir := "dropped"
+				if rise {
+					dir = "rose"
+				}
+				violations = append(violations, fmt.Sprintf(
+					"%s: %s %s %.1f%% (%.1f -> %.1f, budget %.1f%%)",
+					id, col, dir, pct, baseVal, newVal, budget))
+			}
+		}
+		check("pipeline tx/s", base.PipelineTps, row.PipelineTps, false, maxTpsDrop)
+		check("parallel-MVCC tx/s", base.ParallelMVCCTps, row.ParallelMVCCTps, false, maxTpsDrop)
+		check("pipeline p99 ms/block", base.PipelineP99Ms, row.PipelineP99Ms, true, maxP99Rise)
+	}
+	return violations, compared
+}

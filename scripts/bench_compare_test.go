@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hyperprov/hyperprov/internal/bench"
+)
+
+func row(size, workers int, pipeTps, parTps, p99 float64) bench.CommitBenchRow {
+	return bench.CommitBenchRow{
+		BlockSize:       size,
+		Workers:         workers,
+		PipelineTps:     pipeTps,
+		ParallelMVCCTps: parTps,
+		PipelineP99Ms:   p99,
+	}
+}
+
+func result(rows ...bench.CommitBenchRow) bench.CommitBenchResult {
+	return bench.CommitBenchResult{Name: "test", Rows: rows}
+}
+
+// TestComparePassPath is the gate's green path: small fluctuations inside
+// the budgets, plus rows only one side has, produce zero violations.
+func TestComparePassPath(t *testing.T) {
+	oldRes := result(
+		row(100, 4, 1000, 4000, 50),
+		row(250, 8, 900, 3500, 120),
+		row(10, 1, 500, 600, 10), // dropped from the new matrix
+	)
+	newRes := result(
+		row(100, 4, 950, 3800, 55),  // -5% tps, +10% p99: inside budgets
+		row(250, 8, 910, 3600, 115), // improved
+		row(500, 8, 800, 3000, 200), // new point, no baseline
+	)
+	violations, compared := compare(oldRes, newRes, 10, 15)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2", compared)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("violations = %v, want none", violations)
+	}
+}
+
+// TestCompareFailPath injects a synthetic regression into each gated
+// column and checks the gate trips with a violation naming it — the proof
+// the CI job would actually fail.
+func TestCompareFailPath(t *testing.T) {
+	oldRes := result(row(100, 4, 1000, 4000, 50))
+
+	cases := []struct {
+		name string
+		new  bench.CommitBenchRow
+		want string
+	}{
+		{
+			name: "pipeline throughput collapse",
+			new:  row(100, 4, 850, 4000, 50), // -15% > 10% budget
+			want: "pipeline tx/s dropped",
+		},
+		{
+			name: "parallel-MVCC throughput collapse",
+			new:  row(100, 4, 1000, 3000, 50), // -25% > 10% budget
+			want: "parallel-MVCC tx/s dropped",
+		},
+		{
+			name: "p99 blowup",
+			new:  row(100, 4, 1000, 4000, 65), // +30% > 15% budget
+			want: "p99 ms/block rose",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			violations, compared := compare(oldRes, result(tc.new), 10, 15)
+			if compared != 1 {
+				t.Fatalf("compared = %d, want 1", compared)
+			}
+			if len(violations) != 1 {
+				t.Fatalf("violations = %v, want exactly one", violations)
+			}
+			if !strings.Contains(violations[0], tc.want) {
+				t.Fatalf("violation %q does not mention %q", violations[0], tc.want)
+			}
+		})
+	}
+}
+
+// TestCompareSkipsZeroBaselines checks artifacts from before the
+// parallel-MVCC column existed (the column decodes as zero) never divide
+// by zero or flag phantom regressions.
+func TestCompareSkipsZeroBaselines(t *testing.T) {
+	oldRes := result(bench.CommitBenchRow{BlockSize: 100, Workers: 4, PipelineTps: 1000})
+	newRes := result(row(100, 4, 990, 4000, 50))
+	violations, compared := compare(oldRes, newRes, 10, 15)
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1", compared)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("violations = %v, want none", violations)
+	}
+}

@@ -8,8 +8,8 @@ GO ?= go
 COVER_FLOOR ?= 84.0
 
 .PHONY: all fmt fmt-check vet lint build test race bench bench-commit \
-	bench-commit-sweep bench-check bench-recovery bench-state cover \
-	crash-test cross smoke
+	bench-commit-sweep bench-check bench-recovery bench-state \
+	bench-channels cover crash-test cross smoke
 
 all: build test
 
@@ -70,6 +70,12 @@ bench-recovery:
 
 bench-state:
 	$(GO) run ./cmd/hyperprov-bench -experiment state -state-out BENCH_state.json
+
+# Multi-channel tenancy experiment: aggregate modeled tx/s at 1/2/4
+# channels on the 4-core host model, plus the hot-tenant isolation section
+# (quiet-channel p99 under a hot neighbour on a static core partition).
+bench-channels:
+	$(GO) run ./cmd/hyperprov-bench -experiment channels -channels-out BENCH_channels.json
 
 # Crash-recovery torture tests, repeated: the randomized kill points cover
 # different interleavings on every -count iteration.

@@ -51,7 +51,7 @@ func benchNetwork(b *testing.B, cfg fabric.Config) (*core.Client, func()) {
 		n.Stop()
 		b.Fatal(err)
 	}
-	client, err := core.New(core.Config{Gateway: gw, Store: offchain.NewMemStore()})
+	client, err := core.New(gw, core.WithStore(offchain.NewMemStore()))
 	if err != nil {
 		n.Stop()
 		b.Fatal(err)
@@ -151,7 +151,7 @@ func BenchmarkAblABatchSize(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			client, err := core.New(core.Config{Gateway: gw, Store: offchain.NewMemStore()})
+			client, err := core.New(gw, core.WithStore(offchain.NewMemStore()))
 			if err != nil {
 				b.Fatal(err)
 			}

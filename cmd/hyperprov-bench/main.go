@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|mvcc-sweep|recovery|state|all [-quick] [-out file] [-sweep-out file] [-recovery-out file] [-state-out file]
+//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|mvcc-sweep|recovery|state|channels|all [-quick] [-out file] [-sweep-out file] [-recovery-out file] [-state-out file] [-channels-out file]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, mvcc-sweep, recovery, state, or all")
+		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, mvcc-sweep, recovery, state, channels, or all")
 	quick := flag.Bool("quick", false, "use reduced sweep sizes and windows")
 	out := flag.String("out", "BENCH_commit.json",
 		"path the commit experiment writes its JSON result to (empty disables)")
@@ -28,16 +28,18 @@ func main() {
 		"path the recovery experiment writes its JSON result to (empty disables)")
 	stateOut := flag.String("state-out", "BENCH_state.json",
 		"path the state experiment writes its JSON result to (empty disables)")
+	channelsOut := flag.String("channels-out", "BENCH_channels.json",
+		"path the channels experiment writes its JSON result to (empty disables)")
 	overheadGuard := flag.Float64("overhead-guard", 0,
 		"in the commit experiment: also measure observability (metrics+tracing) overhead and fail when it exceeds this percent (0 disables)")
 	flag.Parse()
-	if err := run(*experiment, *quick, *out, *sweepOut, *recoveryOut, *stateOut, *overheadGuard); err != nil {
+	if err := run(*experiment, *quick, *out, *sweepOut, *recoveryOut, *stateOut, *channelsOut, *overheadGuard); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, quick bool, out, sweepOut, recoveryOut, stateOut string, overheadGuard float64) error {
+func run(experiment string, quick bool, out, sweepOut, recoveryOut, stateOut, channelsOut string, overheadGuard float64) error {
 	sweep := bench.DefaultSweep()
 	energyCfg := bench.DefaultEnergy()
 	if quick {
@@ -177,6 +179,22 @@ func run(experiment string, quick bool, out, sweepOut, recoveryOut, stateOut str
 				}
 				fmt.Println("wrote", stateOut)
 			}
+		case "channels":
+			cfg := bench.DefaultChannelBench()
+			if quick {
+				cfg = bench.QuickChannelBench()
+			}
+			res, err := bench.RunChannelBench(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+			if channelsOut != "" {
+				if err := res.WriteJSON(channelsOut); err != nil {
+					return err
+				}
+				fmt.Println("wrote", channelsOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -184,7 +202,7 @@ func run(experiment string, quick bool, out, sweepOut, recoveryOut, stateOut str
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit", "mvcc-sweep", "recovery", "state"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit", "mvcc-sweep", "recovery", "state", "channels"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

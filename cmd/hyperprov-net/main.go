@@ -63,6 +63,9 @@ type options struct {
 	timeout      time.Duration
 	runFor       time.Duration
 	admin        string
+
+	channels string
+	channel  string
 }
 
 func main() {
@@ -85,6 +88,8 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "in -join mode: catch-up deadline")
 	flag.DurationVar(&o.runFor, "run-for", 0, "in -peer-serve/-join mode: keep serving for this duration (default: until SIGINT / immediate exit)")
 	flag.StringVar(&o.admin, "admin", "", "serve the admin endpoint (/metrics, /healthz, /tracez, pprof) on this address, e.g. 127.0.0.1:0")
+	flag.StringVar(&o.channels, "channels", "", "in -peer-serve mode: comma-separated channel IDs to serve (default: the single legacy channel)")
+	flag.StringVar(&o.channel, "channel", "", "in -join mode: channel to join (default: the serving host's first channel)")
 	flag.Parse()
 
 	var err error
@@ -106,24 +111,46 @@ func main() {
 
 // startAdmin exposes one peer's observability surface when -admin is set:
 // its pipeline metrics (unprefixed), the process's network-level registry
-// (prefixed net_), the trace recorder, and a health summary. Returns nil
-// without error when the flag is unset.
-func (o options) startAdmin(p *peer.Peer, netReg *metrics.Registry, tracer *trace.Recorder,
-	gossipCount func() int, lastErr func() string) (*admin.Server, error) {
+// (prefixed net_), the trace recorder, and a health summary. On a
+// multi-channel host chPeers carries the host's per-channel peer instances;
+// their pipeline metrics are then served with a channel="<id>" label (and
+// the unlabeled default-channel registry is dropped to avoid duplicate
+// metric families), and /healthz breaks height and commit age down per
+// channel. Returns nil without error when the flag is unset.
+func (o options) startAdmin(p *peer.Peer, chPeers []*peer.Peer, netReg *metrics.Registry,
+	tracer *trace.Recorder, gossipCount func() int, lastErr func() string) (*admin.Server, error) {
 	if o.admin == "" {
 		return nil, nil
 	}
-	regs := map[string]*metrics.Registry{"": p.Metrics()}
+	regs := map[string]*metrics.Registry{}
+	var chRegs map[string]map[string]*metrics.Registry
+	if len(chPeers) > 1 {
+		chRegs = make(map[string]map[string]*metrics.Registry, len(chPeers))
+		for _, cp := range chPeers {
+			chRegs[cp.ChannelID()] = map[string]*metrics.Registry{"": cp.Metrics()}
+		}
+	} else {
+		regs[""] = p.Metrics()
+	}
 	if netReg != nil {
 		regs["net_"] = netReg
 	}
+	commitAge := func(cp *peer.Peer) int64 {
+		if t := cp.LastCommitTime(); !t.IsZero() {
+			return time.Since(t).Milliseconds()
+		}
+		return -1
+	}
 	srv, err := admin.New(o.admin, admin.Config{
-		Registries: regs,
-		Tracer:     tracer,
+		Registries:        regs,
+		ChannelRegistries: chRegs,
+		Tracer:            tracer,
 		HealthFunc: func() admin.Health {
-			h := admin.Health{Peer: p.Name(), Height: p.Height(), LastCommitAgeMs: -1}
-			if t := p.LastCommitTime(); !t.IsZero() {
-				h.LastCommitAgeMs = time.Since(t).Milliseconds()
+			h := admin.Health{Peer: p.Name(), Height: p.Height(), LastCommitAgeMs: commitAge(p)}
+			for _, cp := range chPeers {
+				h.Channels = append(h.Channels, admin.ChannelHealth{
+					Channel: cp.ChannelID(), Height: cp.Height(), LastCommitAgeMs: commitAge(cp),
+				})
 			}
 			if gossipCount != nil {
 				h.GossipPeers = gossipCount()
@@ -186,16 +213,35 @@ func runPeerServe(o options) error {
 	if o.peerListen != "" {
 		cfg.PeerListenAddrs = strings.Split(o.peerListen, ",")
 	}
+	if o.channels != "" {
+		for _, ch := range strings.Split(o.channels, ",") {
+			cfg.Channels = append(cfg.Channels, fabric.ChannelConfig{ID: strings.TrimSpace(ch)})
+		}
+	}
 	n, err := fabric.NewNetwork(cfg)
 	if err != nil {
 		return err
 	}
 	defer n.Stop()
-	if err := n.DeployChaincode(provenance.ChaincodeName,
-		func() shim.Chaincode { return provenance.New() }); err != nil {
-		return err
+	for _, ch := range n.Channels() {
+		if err := n.DeployChaincodeOn(ch, provenance.ChaincodeName,
+			func() shim.Chaincode { return provenance.New() }); err != nil {
+			return err
+		}
 	}
-	adminSrv, err := o.startAdmin(n.Peers()[0], n.Metrics(), n.Tracer(),
+	// Host 0's per-channel peer instances feed the admin endpoint's
+	// channel-labeled metrics and per-channel health.
+	var chPeers []*peer.Peer
+	if len(n.Channels()) > 1 {
+		for _, ch := range n.Channels() {
+			peers, err := n.ChannelPeers(ch)
+			if err != nil {
+				return err
+			}
+			chPeers = append(chPeers, peers[0])
+		}
+	}
+	adminSrv, err := o.startAdmin(n.Peers()[0], chPeers, n.Metrics(), n.Tracer(),
 		n.Gossip().MemberCount,
 		func() string {
 			for _, c := range n.Remotes() {
@@ -211,33 +257,53 @@ func runPeerServe(o options) error {
 	if adminSrv != nil {
 		defer adminSrv.Close()
 	}
-	gw, err := n.NewGateway("net-primary")
-	if err != nil {
-		return err
-	}
-	client, err := core.New(core.Config{Gateway: gw, Store: store})
-	if err != nil {
-		return err
-	}
 
 	payload := make([]byte, 16<<10)
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	for i := 0; i < o.txs; i++ {
-		key := fmt.Sprintf("net-item-%d", i)
-		if _, err := client.StoreData(key, payload, core.PostOptions{
-			Meta: map[string]string{"transport": "tcp"},
-		}); err != nil {
-			return fmt.Errorf("store %s: %w", key, err)
+	// Submit the same keys on every channel: isolation means they land on
+	// disjoint ledgers with independent fingerprints.
+	for _, ch := range n.Channels() {
+		gw, err := n.Gateway(ch)
+		if err != nil {
+			return err
+		}
+		client, err := core.New(gw, core.WithStore(store))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < o.txs; i++ {
+			key := fmt.Sprintf("net-item-%d", i)
+			if _, err := client.StoreData(key, payload, core.PostOptions{
+				Meta: map[string]string{"transport": "tcp", "channel": ch},
+			}); err != nil {
+				return fmt.Errorf("store %s on %s: %w", key, ch, err)
+			}
 		}
 	}
-	for _, p := range n.Peers() {
-		p.Sync()
+	for _, ch := range n.Channels() {
+		peers, err := n.ChannelPeers(ch)
+		if err != nil {
+			return err
+		}
+		for _, p := range peers {
+			p.Sync()
+		}
 	}
 	p0 := n.Peers()[0]
 	fmt.Printf("PEERS %s\n", strings.Join(n.PeerAddrs(), ","))
 	fmt.Printf("PRIMARY height=%d fingerprint=%s\n", p0.Height(), p0.StateFingerprint())
+	if chs := n.Channels(); len(chs) > 1 {
+		for _, ch := range chs {
+			peers, err := n.ChannelPeers(ch)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("PRIMARY channel=%s height=%d fingerprint=%s\n",
+				ch, peers[0].Height(), peers[0].StateFingerprint())
+		}
+	}
 	fmt.Println("serving peer transport; Ctrl-C to exit")
 	waitForSignal(o.runFor)
 	return nil
@@ -263,6 +329,7 @@ func runJoin(o options) error {
 	}()
 	for _, a := range addrs {
 		c, err := transport.Dial(strings.TrimSpace(a), transport.ClientConfig{
+			Channel: o.channel,
 			Shape:   o.peerShape(),
 			Metrics: netReg,
 			Tracer:  tracer,
@@ -275,6 +342,10 @@ func runJoin(o options) error {
 	info, err := clients[0].Hello()
 	if err != nil {
 		return err
+	}
+	if len(info.Channels) > 0 {
+		fmt.Printf("joining channel %s (host serves %s)\n",
+			info.ChannelID, strings.Join(info.Channels, ","))
 	}
 
 	// Build a verification-only MSP from the network's CA certificates.
@@ -333,7 +404,7 @@ func runJoin(o options) error {
 	g.SetMetrics(netReg)
 	g.SetTracer(tracer)
 
-	adminSrv, err := o.startAdmin(p, netReg, tracer, g.MemberCount,
+	adminSrv, err := o.startAdmin(p, nil, netReg, tracer, g.MemberCount,
 		func() string {
 			for _, c := range clients {
 				if e := c.LastError(); e != "" {
@@ -409,7 +480,7 @@ func runSingleProcess(o options) error {
 	if err != nil {
 		return err
 	}
-	client, err := core.New(core.Config{Gateway: gw, Store: store})
+	client, err := core.New(gw, core.WithStore(store))
 	if err != nil {
 		return err
 	}

@@ -90,7 +90,7 @@ func runQuery(rawQuery string) error {
 	if err != nil {
 		return err
 	}
-	client, err := core.New(core.Config{Gateway: gw, Store: offchain.NewMemStore()})
+	client, err := core.New(gw, core.WithStore(offchain.NewMemStore()))
 	if err != nil {
 		return err
 	}
@@ -172,7 +172,7 @@ func run(rpi bool, items, payload int) error {
 		return err
 	}
 	store := offchain.NewMemStore()
-	client, err := core.New(core.Config{Gateway: gw, Store: store})
+	client, err := core.New(gw, core.WithStore(store))
 	if err != nil {
 		return err
 	}

@@ -42,7 +42,7 @@ func (h *recoverHarness) open(dir string) (*peer.Peer, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := peer.Open(peer.Config{
+	host, err := peer.Open(peer.Config{
 		Name:            "peer0.org1",
 		Signer:          signer,
 		MSP:             h.msp,
@@ -54,6 +54,7 @@ func (h *recoverHarness) open(dir string) (*peer.Peer, error) {
 	if err != nil {
 		return nil, err
 	}
+	p := host.Channel("hyperprov")
 	if err := p.InstallChaincode(provenance.ChaincodeName, provenance.New(),
 		endorser.SignedBy("Org1MSP")); err != nil {
 		p.Close()

@@ -48,7 +48,7 @@ func run() error {
 		if err != nil {
 			return nil, err
 		}
-		return core.New(core.Config{Gateway: gw, Store: store})
+		return core.New(gw, core.WithStore(store))
 	}
 	hospital, err := newClient("Hospital", "clinic-7")
 	if err != nil {

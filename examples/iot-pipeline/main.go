@@ -59,7 +59,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if sensors[i], err = core.New(core.Config{Gateway: gw, Store: store}); err != nil {
+		if sensors[i], err = core.New(gw, core.WithStore(store)); err != nil {
 			return err
 		}
 	}
@@ -67,7 +67,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	gateway, err := core.New(core.Config{Gateway: gwGateway, Store: store})
+	gateway, err := core.New(gwGateway, core.WithStore(store))
 	if err != nil {
 		return err
 	}

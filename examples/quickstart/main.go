@@ -46,7 +46,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	client, err := core.New(core.Config{Gateway: gw, Store: offchain.NewMemStore()})
+	client, err := core.New(gw, core.WithStore(offchain.NewMemStore()))
 	if err != nil {
 		return err
 	}

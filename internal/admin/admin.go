@@ -22,9 +22,10 @@ import (
 // Health is the /healthz payload: the liveness facts an operator checks
 // first when a peer looks wedged.
 type Health struct {
-	// Peer names the serving peer.
+	// Peer names the serving peer (the host name on multi-channel hosts).
 	Peer string `json:"peer"`
-	// Height is the committed (persisted-watermark) block height.
+	// Height is the committed (persisted-watermark) block height of the
+	// default channel.
 	Height uint64 `json:"height"`
 	// GossipPeers is the gossip membership size, 0 when gossip is off.
 	GossipPeers int `json:"gossipPeers"`
@@ -34,6 +35,20 @@ type Health struct {
 	// TransportLastError is the most recent transport-client failure reason,
 	// empty while connections are healthy.
 	TransportLastError string `json:"transportLastError,omitempty"`
+	// Channels breaks liveness down per served channel on multi-channel
+	// hosts; empty on single-channel peers.
+	Channels []ChannelHealth `json:"channels,omitempty"`
+}
+
+// ChannelHealth is one channel's slice of the /healthz payload.
+type ChannelHealth struct {
+	// Channel is the channel ID.
+	Channel string `json:"channel"`
+	// Height is the channel's committed block height.
+	Height uint64 `json:"height"`
+	// LastCommitAgeMs is how long ago this channel's last block committed,
+	// -1 before the first commit.
+	LastCommitAgeMs int64 `json:"lastCommitAgeMs"`
 }
 
 // Config wires the admin server to a process's observability state.
@@ -41,6 +56,11 @@ type Config struct {
 	// Registries maps a metric-name prefix to a registry; /metrics merges
 	// them all into one Prometheus exposition. Use "" for no prefix.
 	Registries map[string]*metrics.Registry
+	// ChannelRegistries maps a channel ID to that channel's prefix->registry
+	// map; /metrics emits these after Registries with a channel="<id>" label
+	// on every sample, so one scrape covers every tenant without metric-name
+	// collisions.
+	ChannelRegistries map[string]map[string]*metrics.Registry
 	// Tracer feeds /tracez. Nil serves empty trace lists.
 	Tracer *trace.Recorder
 	// HealthFunc produces the current /healthz payload on each request.
@@ -65,6 +85,13 @@ func New(addr string, cfg Config) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		for _, prefix := range sortedPrefixes(cfg.Registries) {
 			cfg.Registries[prefix].WritePrometheus(w, prefix)
+		}
+		for _, ch := range sortedPrefixes(cfg.ChannelRegistries) {
+			labels := map[string]string{"channel": ch}
+			regs := cfg.ChannelRegistries[ch]
+			for _, prefix := range sortedPrefixes(regs) {
+				regs[prefix].WritePrometheusLabeled(w, prefix, labels)
+			}
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -118,7 +145,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // sortedPrefixes fixes the registry emission order so /metrics output is
 // stable across scrapes.
-func sortedPrefixes(m map[string]*metrics.Registry) []string {
+func sortedPrefixes[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -139,3 +139,64 @@ func TestAdminNilSources(t *testing.T) {
 		t.Fatalf("/metrics status = %d", code)
 	}
 }
+
+// A multi-channel host exposes one registry per channel on the same scrape,
+// distinguished by the channel label, and breaks health down per channel.
+func TestAdminChannelScopedMetrics(t *testing.T) {
+	host := metrics.NewRegistry()
+	host.Counter(metrics.GossipRounds).Add(9)
+	alpha := metrics.NewRegistry()
+	alpha.Counter(metrics.BlocksCommitted).Add(5)
+	alpha.Histogram(metrics.CommitStagePersist).Observe(time.Millisecond)
+	beta := metrics.NewRegistry()
+	beta.Counter(metrics.BlocksCommitted).Add(2)
+
+	srv, err := New("127.0.0.1:0", Config{
+		Registries: map[string]*metrics.Registry{"net_": host},
+		ChannelRegistries: map[string]map[string]*metrics.Registry{
+			"alpha": {"": alpha},
+			"beta":  {"": beta},
+		},
+		HealthFunc: func() Health {
+			return Health{
+				Peer: "host0", Height: 5, LastCommitAgeMs: 3,
+				Channels: []ChannelHealth{
+					{Channel: "alpha", Height: 5, LastCommitAgeMs: 3},
+					{Channel: "beta", Height: 2, LastCommitAgeMs: 40},
+				},
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	code, body := get(t, srv.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"net_gossip_rounds 9",
+		`blocks_committed{channel="alpha"} 5`,
+		`blocks_committed{channel="beta"} 2`,
+		`commit_stage_persist_count{channel="alpha"} 1`,
+		`commit_stage_persist_bucket{channel="alpha",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv.URL()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if len(h.Channels) != 2 || h.Channels[0].Channel != "alpha" || h.Channels[1].Height != 2 {
+		t.Errorf("channel health = %+v", h.Channels)
+	}
+}

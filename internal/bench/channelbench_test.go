@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Quick multi-channel run: every configured count produces a row, adding
+// channels must not shrink aggregate modeled throughput below the single
+// channel's, and the isolation section reports both tenants.
+func TestChannelBenchQuick(t *testing.T) {
+	cfg := QuickChannelBench()
+	res, err := RunChannelBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.ChannelCounts) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.ChannelCounts))
+	}
+	base := res.Rows[0]
+	if base.Channels != cfg.ChannelCounts[0] || base.Speedup != 1.0 {
+		t.Errorf("baseline row = %+v", base)
+	}
+	for _, row := range res.Rows {
+		if row.AggregateTps <= 0 || row.P99Ms <= 0 {
+			t.Errorf("degenerate row %+v", row)
+		}
+		if row.PerChannelTps*float64(row.Channels)-row.AggregateTps > 1e-6 {
+			t.Errorf("per-channel column inconsistent: %+v", row)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	// The real acceptance bar (>= 1.7x at 4 channels) is enforced by the
+	// nightly figure-quality run; the quick config just has to show
+	// additional channels helping at all on a loaded CI runner.
+	if last.Speedup < 1.0 {
+		t.Errorf("aggregate throughput shrank with %d channels: %.2fx", last.Channels, last.Speedup)
+	}
+	iso := res.Isolation
+	if iso == nil {
+		t.Fatal("no isolation section")
+	}
+	if iso.QuietSoloP99Ms <= 0 || iso.QuietHotP99Ms <= 0 || iso.HotTps <= 0 {
+		t.Errorf("degenerate isolation %+v", iso)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_channels.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseChannelBenchResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Rows) != len(res.Rows) || parsed.Isolation == nil {
+		t.Errorf("artifact round trip lost rows: %+v", parsed)
+	}
+	if parsed.Rows[len(parsed.Rows)-1].AggregateTps != last.AggregateTps {
+		t.Error("artifact round trip changed values")
+	}
+}

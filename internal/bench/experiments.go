@@ -117,7 +117,7 @@ func newClients(n *fabric.Network, workers int, store offchain.Store, prof devic
 		if err != nil {
 			return nil, nil, err
 		}
-		c, err := core.New(core.Config{Gateway: gw, Store: store})
+		c, err := core.New(gw, core.WithStore(store))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -364,7 +364,7 @@ func measureUtilization(n *fabric.Network, workers int, cfg EnergyConfig) (float
 		if err != nil {
 			return 0, 0, err
 		}
-		c, err := core.New(core.Config{Gateway: gw, Store: store})
+		c, err := core.New(gw, core.WithStore(store))
 		if err != nil {
 			return 0, 0, err
 		}

@@ -33,6 +33,18 @@ func (h *Histogram) Record(d time.Duration) {
 	h.mu.Unlock()
 }
 
+// Merge folds other's samples into h (used to summarize a distribution
+// across several channels' recorders).
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	samples := make([]time.Duration, len(other.samples))
+	copy(samples, other.samples)
+	other.mu.Unlock()
+	h.mu.Lock()
+	h.samples = append(h.samples, samples...)
+	h.mu.Unlock()
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int {
 	h.mu.Lock()

@@ -56,13 +56,62 @@ type TxReceipt struct {
 	Latency time.Duration
 }
 
-// Client is a HyperProv handle bound to one identity on one network.
+// Client is a HyperProv handle bound to one identity on one channel of one
+// network.
 type Client struct {
 	gw    *fabric.Gateway
 	store offchain.Store
 }
 
-// Config assembles a client.
+// Option refines a client at construction time.
+type Option func(*options)
+
+type options struct {
+	channel string
+	timeout time.Duration
+	store   offchain.Store
+}
+
+// WithChannel rebinds the client to another channel of the gateway's
+// network. The derived binding keeps the gateway's identity but fans
+// proposals to the target channel's peers; remote endorsers attached to the
+// original gateway are not carried over.
+func WithChannel(ch string) Option { return func(o *options) { o.channel = ch } }
+
+// WithTimeout sets the submit-to-commit wait on the client's gateway
+// binding. Zero or negative keeps the gateway's current timeout.
+func WithTimeout(d time.Duration) Option { return func(o *options) { o.timeout = d } }
+
+// WithStore attaches the off-chain storage backend, enabling the
+// StoreData/GetData operators.
+func WithStore(s offchain.Store) Option { return func(o *options) { o.store = s } }
+
+// New creates a HyperProv client over a fabric gateway. With no options the
+// client is bound to the gateway's channel with on-chain operators only;
+// see WithChannel, WithTimeout, and WithStore.
+func New(gw *fabric.Gateway, opts ...Option) (*Client, error) {
+	if gw == nil {
+		return nil, errors.New("hyperprov: nil gateway")
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.channel != "" && o.channel != gw.ChannelID() {
+		var err error
+		if gw, err = gw.ForChannel(o.channel); err != nil {
+			return nil, err
+		}
+	}
+	if o.timeout > 0 {
+		gw.SetCommitTimeout(o.timeout)
+	}
+	return &Client{gw: gw, store: o.store}, nil
+}
+
+// Config assembles a client the pre-options way.
+//
+// Deprecated: use New(gw, WithStore(s)).
 type Config struct {
 	// Gateway is the fabric client connection.
 	Gateway *fabric.Gateway
@@ -71,12 +120,11 @@ type Config struct {
 	Store offchain.Store
 }
 
-// New creates a HyperProv client.
-func New(cfg Config) (*Client, error) {
-	if cfg.Gateway == nil {
-		return nil, errors.New("hyperprov: nil gateway")
-	}
-	return &Client{gw: cfg.Gateway, store: cfg.Store}, nil
+// NewClient creates a HyperProv client from the legacy Config struct.
+//
+// Deprecated: use New(gw, WithStore(s)).
+func NewClient(cfg Config) (*Client, error) {
+	return New(cfg.Gateway, WithStore(cfg.Store))
 }
 
 // Subject returns the identity string recorded as creator on this client's
@@ -84,6 +132,9 @@ func New(cfg Config) (*Client, error) {
 func (c *Client) Subject() string {
 	return c.gw.Identity().Identity().Subject()
 }
+
+// Channel returns the channel this client is bound to.
+func (c *Client) Channel() string { return c.gw.ChannelID() }
 
 // Post writes a provenance record for key with the given checksum. This is
 // the metadata-only path: the payload is assumed to live elsewhere.
@@ -290,10 +341,15 @@ func (c *Client) VerifyLedger() error {
 	return nil
 }
 
-// gwPeers exposes the network peers for ledger-level queries (CheckTxn and
-// audits operate below the chaincode layer, as in the paper's tooling).
+// gwPeers exposes the client channel's peers for ledger-level queries
+// (CheckTxn and audits operate below the chaincode layer, as in the paper's
+// tooling). Scoping to the bound channel keeps audits from reading sibling
+// tenants' ledgers.
 func (c *Client) gwPeers() []peerLedger {
-	peers := c.gw.Network().Peers()
+	peers, err := c.gw.Network().ChannelPeers(c.gw.ChannelID())
+	if err != nil {
+		return nil
+	}
 	out := make([]peerLedger, len(peers))
 	for i, p := range peers {
 		out[i] = p

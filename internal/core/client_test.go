@@ -38,7 +38,7 @@ func newClient(t *testing.T) (*Client, *offchain.MemStore) {
 		t.Fatal(err)
 	}
 	store := offchain.NewMemStore()
-	c, err := New(Config{Gateway: gw, Store: store})
+	c, err := New(gw, WithStore(store))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestGetDataWithoutLocation(t *testing.T) {
 
 func TestClientWithoutStore(t *testing.T) {
 	c, _ := newClient(t)
-	noStore, err := New(Config{Gateway: cGateway(c)})
+	noStore, err := New(cGateway(c))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestClientWithoutStore(t *testing.T) {
 func cGateway(c *Client) *fabric.Gateway { return c.gw }
 
 func TestNewRequiresGateway(t *testing.T) {
-	if _, err := New(Config{}); err == nil {
+	if _, err := New(nil); err == nil {
 		t.Error("New without gateway succeeded")
 	}
 }

@@ -42,7 +42,7 @@ func TestListPagination(t *testing.T) {
 
 func TestGetByCreatorAcrossClients(t *testing.T) {
 	c, _ := newClient(t)
-	other, err := New(Config{Gateway: mustGateway(t, c, "other-client")})
+	other, err := New(mustGateway(t, c, "other-client"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestChaincodeVersion(t *testing.T) {
 
 func TestOwnershipAcrossClients(t *testing.T) {
 	c, _ := newClient(t)
-	other, err := New(Config{Gateway: mustGateway(t, c, "intruder")})
+	other, err := New(mustGateway(t, c, "intruder"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,10 +32,31 @@ const (
 	ConsensusRaft
 )
 
+// ChannelConfig describes one application channel of a network: an
+// independent ledger with its own ordering instance, per-peer commit
+// pipeline, and gossip stream.
+type ChannelConfig struct {
+	// ID names the channel.
+	ID string
+	// Batch optionally overrides Config.Batch for this channel's orderer
+	// (zero value inherits it), so tenants can run different block-cutting
+	// profiles.
+	Batch orderer.BatchConfig
+}
+
 // Config describes a network to assemble.
 type Config struct {
 	// ChannelID names the single application channel.
+	//
+	// Deprecated: single-channel shim, superseded by Channels. A Config
+	// with only ChannelID set behaves exactly as before (one channel of
+	// that name); it is ignored when Channels is non-empty.
 	ChannelID string
+	// Channels lists the application channels the network serves. Every
+	// peer hosts all of them; each channel gets its own orderer instance,
+	// per-peer ledger + state + commit pipeline, and gossip stream. Empty
+	// falls back to the single channel named by ChannelID.
+	Channels []ChannelConfig
 	// Org is the organization name (the paper's network is single-org
 	// with four peers).
 	Org string
@@ -118,15 +139,28 @@ func PolicyFor(orgs []string) endorser.Policy {
 	return endorser.AnyOrg(orgs)
 }
 
-// Network is an assembled, running network.
+// channelRuntime bundles one channel's moving parts: its ordering instance,
+// the per-host peer instances committing on it, and its gossip stream.
+// Channels never share any of these, which is why their pipelines never
+// contend.
+type channelRuntime struct {
+	id      string
+	orderer orderer.Service
+	peers   []*peer.Peer
+	gossip  *gossip.Network
+}
+
+// Network is an assembled, running network: N peer hosts, each serving
+// every configured channel, with one orderer instance and one gossip stream
+// per channel.
 type Network struct {
 	cfg        Config
 	cas        []*identity.CA
 	ca         *identity.CA // CA of the first org; used for client enrollment
 	msp        *identity.MSP
-	peers      []*peer.Peer
-	orderer    orderer.Service
-	gossipNet  *gossip.Network
+	hosts      []*peer.Host
+	channels   map[string]*channelRuntime
+	chOrder    []string
 	servers    []*transport.Server
 	remotes    []*transport.Client
 	clock      device.Clock
@@ -136,13 +170,24 @@ type Network struct {
 	netMetrics *metrics.Registry
 }
 
-// NewNetwork assembles and starts a network: it enrolls peer and orderer
-// identities, wires every peer to the ordered block stream, and leaves the
-// network ready for chaincode deployment.
-func NewNetwork(cfg Config) (*Network, error) {
-	if cfg.ChannelID == "" {
-		cfg.ChannelID = "provchannel"
+// channelConfigs resolves the configured channel list, falling back to the
+// deprecated single-channel shim.
+func channelConfigs(cfg Config) []ChannelConfig {
+	if len(cfg.Channels) > 0 {
+		return cfg.Channels
 	}
+	id := cfg.ChannelID
+	if id == "" {
+		id = "provchannel"
+	}
+	return []ChannelConfig{{ID: id}}
+}
+
+// NewNetwork assembles and starts a network: it enrolls peer and orderer
+// identities, builds one orderer instance and one per-host peer instance
+// per channel, wires every instance to its channel's ordered block stream,
+// and leaves the network ready for chaincode deployment.
+func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.Org == "" {
 		cfg.Org = "Org1"
 	}
@@ -151,6 +196,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = device.RealClock{}
+	}
+	channels := channelConfigs(cfg)
+	chIDs := make([]string, len(channels))
+	for i, chc := range channels {
+		chIDs[i] = chc.ID
 	}
 	orgs := cfg.Orgs
 	if len(orgs) == 0 {
@@ -173,28 +223,45 @@ func NewNetwork(cfg Config) (*Network, error) {
 		cas:        cas,
 		ca:         cas[0],
 		msp:        msp,
+		channels:   make(map[string]*channelRuntime, len(channels)),
+		chOrder:    chIDs,
 		clock:      cfg.Clock,
 		policy:     policy,
 		tracer:     trace.NewRecorder(),
 		netMetrics: metrics.NewRegistry(),
 	}
 
+	// One modeled ordering machine serves every channel (the usual Fabric
+	// deployment co-locates the ordering service), but each channel gets
+	// its own ordering instance: independent batch cutters, block chains,
+	// and subscriber streams.
 	ordExec := device.NewExecutor(cfg.OrdererProfile, cfg.Clock, cfg.Seed+1000)
-	switch cfg.Consensus {
-	case ConsensusRaft:
-		raftNodes := cfg.RaftNodes
-		if raftNodes <= 0 {
-			raftNodes = 3
+	for _, chc := range channels {
+		if n.channels[chc.ID] != nil {
+			return nil, fmt.Errorf("fabric: duplicate channel %q", chc.ID)
 		}
-		n.orderer = orderer.NewRaft(raftNodes, cfg.Batch, orderer.DefaultRaftConfig(), ordExec, cfg.Seed)
-	default:
-		n.orderer = orderer.NewSolo(cfg.Batch, ordExec)
-	}
-	// The Service interface is unchanged; both built-in orderers expose
-	// SetTracer as a concrete method, discovered here by assertion so a
-	// third-party Service without tracing still assembles fine.
-	if st, ok := n.orderer.(interface{ SetTracer(*trace.Recorder) }); ok {
-		st.SetTracer(n.tracer)
+		batch := chc.Batch
+		if batch == (orderer.BatchConfig{}) {
+			batch = cfg.Batch
+		}
+		var svc orderer.Service
+		switch cfg.Consensus {
+		case ConsensusRaft:
+			raftNodes := cfg.RaftNodes
+			if raftNodes <= 0 {
+				raftNodes = 3
+			}
+			svc = orderer.NewRaft(raftNodes, batch, orderer.DefaultRaftConfig(), ordExec, cfg.Seed)
+		default:
+			svc = orderer.NewSolo(batch, ordExec)
+		}
+		// The Service interface is unchanged; both built-in orderers expose
+		// SetTracer as a concrete method, discovered here by assertion so a
+		// third-party Service without tracing still assembles fine.
+		if st, ok := svc.(interface{ SetTracer(*trace.Recorder) }); ok {
+			st.SetTracer(n.tracer)
+		}
+		n.channels[chc.ID] = &channelRuntime{id: chc.ID, orderer: svc}
 	}
 
 	for i, prof := range cfg.PeerProfiles {
@@ -206,32 +273,46 @@ func NewNetwork(cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("fabric: enroll %s: %w", name, err)
 		}
 		pcfg := peer.Config{
-			Name:      name,
-			Signer:    signer,
-			MSP:       msp,
-			Executor:  device.NewExecutor(prof, cfg.Clock, cfg.Seed+int64(i)*17),
-			ChannelID: cfg.ChannelID,
+			Name:     name,
+			Signer:   signer,
+			MSP:      msp,
+			Executor: device.NewExecutor(prof, cfg.Clock, cfg.Seed+int64(i)*17),
+			Channels: chIDs,
 		}
-		// Exactly one peer drives the recorder's commit spans and Complete
+		// Exactly one host drives the recorder's commit spans and Complete
 		// calls — every peer commits every block, so tracing all of them
 		// would record duplicate stages and race the trace's completion.
+		// (Transaction IDs are unique across channels, so one recorder can
+		// serve all of host 0's channel instances.)
 		if i == 0 {
 			pcfg.Tracer = n.tracer
 		}
-		p := peer.New(pcfg)
-		p.Start(n.orderer.Subscribe())
-		n.peers = append(n.peers, p)
+		host, err := peer.NewHost(pcfg)
+		if err != nil {
+			n.Stop()
+			return nil, fmt.Errorf("fabric: host %s: %w", name, err)
+		}
+		for _, ch := range chIDs {
+			cr := n.channels[ch]
+			inst := host.Channel(ch)
+			inst.Start(cr.orderer.Subscribe())
+			cr.peers = append(cr.peers, inst)
+		}
+		n.hosts = append(n.hosts, host)
 	}
 	if cfg.Gossip {
-		members := make([]gossip.Member, len(n.peers))
-		for i, p := range n.peers {
-			members[i] = p
+		for _, ch := range chIDs {
+			cr := n.channels[ch]
+			members := make([]gossip.Member, len(cr.peers))
+			for i, p := range cr.peers {
+				members[i] = p
+			}
+			gcfg := gossip.DefaultConfig()
+			gcfg.Seed = cfg.Seed
+			cr.gossip = gossip.New(gcfg, members...)
+			cr.gossip.SetMetrics(n.netMetrics)
+			cr.gossip.SetTracer(n.tracer)
 		}
-		gcfg := gossip.DefaultConfig()
-		gcfg.Seed = cfg.Seed
-		n.gossipNet = gossip.New(gcfg, members...)
-		n.gossipNet.SetMetrics(n.netMetrics)
-		n.gossipNet.SetTracer(n.tracer)
 	}
 	if cfg.PeerListen {
 		caPEMs := make([][]byte, len(cas))
@@ -239,27 +320,49 @@ func NewNetwork(cfg Config) (*Network, error) {
 			caPEMs[i] = ca.CertPEM()
 		}
 		scfg := transport.ServerConfig{
-			ChannelID:  cfg.ChannelID,
+			ChannelID:  chIDs[0],
 			Orgs:       orgs,
 			CACertsPEM: caPEMs,
 			Shape:      cfg.PeerLink,
 			Metrics:    n.netMetrics,
 			Tracer:     n.tracer,
 		}
-		for i, p := range n.peers {
+		for i, host := range n.hosts {
 			addr := "127.0.0.1:0"
 			if i < len(cfg.PeerListenAddrs) {
 				addr = cfg.PeerListenAddrs[i]
 			}
-			srv, err := transport.NewServer(addr, p, scfg)
+			srv, err := transport.NewHostServer(addr, host, scfg)
 			if err != nil {
 				n.Stop()
-				return nil, fmt.Errorf("fabric: expose %s: %w", p.Name(), err)
+				return nil, fmt.Errorf("fabric: expose %s: %w", host.Name(), err)
 			}
 			n.servers = append(n.servers, srv)
 		}
 	}
 	return n, nil
+}
+
+// channel resolves a channel ID ("" = default channel) to its runtime.
+func (n *Network) channel(ch string) (*channelRuntime, error) {
+	if ch == "" {
+		ch = n.chOrder[0]
+	}
+	cr, ok := n.channels[ch]
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown channel %q (serving %v)", ch, n.chOrder)
+	}
+	return cr, nil
+}
+
+// mustChannel is channel for the legacy single-channel accessors, which
+// predate the error path and always name a served channel.
+func (n *Network) mustChannel(ch string) *channelRuntime {
+	cr, err := n.channel(ch)
+	if err != nil {
+		panic(err)
+	}
+	return cr
 }
 
 // PeerAddrs returns the listen addresses of the exposed peers, in peer
@@ -272,15 +375,29 @@ func (n *Network) PeerAddrs() []string {
 	return addrs
 }
 
-// JoinRemote dials a peer served by another process and joins it to this
-// network's gossip membership: local peers pull the remote's blocks and
-// push it theirs over TCP, with shape applied to this side's writes. The
-// network must have been created with Gossip enabled.
+// JoinRemote dials a peer served by another process and joins it to the
+// default channel's gossip membership: local peers pull the remote's blocks
+// and push it theirs over TCP, with shape applied to this side's writes.
+// The network must have been created with Gossip enabled.
 func (n *Network) JoinRemote(addr string, shape network.LinkShape) (*transport.Member, error) {
-	if n.gossipNet == nil {
+	return n.JoinRemoteChannel(addr, "", shape)
+}
+
+// JoinRemoteChannel dials one channel of a (possibly multi-channel) host
+// served by another process and joins it to that channel's gossip
+// membership. The dial fails with transport.ErrUnknownChannel when the
+// remote host does not serve ch; an empty ch targets the remote's default
+// channel and joins the local default channel's gossip stream.
+func (n *Network) JoinRemoteChannel(addr, ch string, shape network.LinkShape) (*transport.Member, error) {
+	cr, err := n.channel(ch)
+	if err != nil {
+		return nil, err
+	}
+	if cr.gossip == nil {
 		return nil, errors.New("fabric: gossip not enabled")
 	}
 	client, err := transport.Dial(addr, transport.ClientConfig{
+		Channel: ch,
 		Shape:   shape,
 		Metrics: n.netMetrics,
 		Tracer:  n.tracer,
@@ -294,20 +411,21 @@ func (n *Network) JoinRemote(addr string, shape network.LinkShape) (*transport.M
 		return nil, fmt.Errorf("fabric: join %s: %w", addr, err)
 	}
 	n.remotes = append(n.remotes, client)
-	n.gossipNet.Add(member)
+	cr.gossip.Add(member)
 	return member, nil
 }
 
-// AddGossipPeer adds a peer that is NOT subscribed to the ordering service:
-// it receives blocks exclusively through gossip anti-entropy, modelling an
-// edge node without connectivity to the orderer. The network must have been
-// created with Gossip enabled. The new peer has the full chaincode set
-// installed.
+// AddGossipPeer adds a default-channel peer that is NOT subscribed to the
+// ordering service: it receives blocks exclusively through gossip
+// anti-entropy, modelling an edge node without connectivity to the orderer.
+// The network must have been created with Gossip enabled. The new peer has
+// the full chaincode set installed.
 func (n *Network) AddGossipPeer(prof device.Profile, ccs map[string]shim.Chaincode) (*peer.Peer, error) {
-	if n.gossipNet == nil {
+	cr := n.mustChannel("")
+	if cr.gossip == nil {
 		return nil, errors.New("fabric: gossip not enabled")
 	}
-	name := fmt.Sprintf("peer%d.%s", len(n.peers), n.ca.Org())
+	name := fmt.Sprintf("peer%d.%s", len(cr.peers), n.ca.Org())
 	signer, err := n.ca.Enroll(name, identity.RolePeer)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: enroll %s: %w", name, err)
@@ -316,21 +434,31 @@ func (n *Network) AddGossipPeer(prof device.Profile, ccs map[string]shim.Chainco
 		Name:      name,
 		Signer:    signer,
 		MSP:       n.msp,
-		Executor:  device.NewExecutor(prof, n.clock, n.cfg.Seed+int64(len(n.peers))*17),
-		ChannelID: n.cfg.ChannelID,
+		Executor:  device.NewExecutor(prof, n.clock, n.cfg.Seed+int64(len(cr.peers))*17),
+		ChannelID: cr.id,
 	})
 	for ccName, cc := range ccs {
 		if err := p.InstallChaincode(ccName, cc, n.policy); err != nil {
 			return nil, err
 		}
 	}
-	n.peers = append(n.peers, p)
-	n.gossipNet.Add(p)
+	cr.peers = append(cr.peers, p)
+	cr.gossip.Add(p)
 	return p, nil
 }
 
-// Gossip returns the gossip network, or nil when disabled.
-func (n *Network) Gossip() *gossip.Network { return n.gossipNet }
+// Gossip returns the default channel's gossip network, or nil when disabled.
+func (n *Network) Gossip() *gossip.Network { return n.mustChannel("").gossip }
+
+// GossipFor returns one channel's gossip network (nil when gossip is
+// disabled) or an error for an unknown channel.
+func (n *Network) GossipFor(ch string) (*gossip.Network, error) {
+	cr, err := n.channel(ch)
+	if err != nil {
+		return nil, err
+	}
+	return cr.gossip, nil
+}
 
 // Tracer returns the network's transaction-lifecycle trace recorder. The
 // gateway, orderer, gossip, transport servers, and peer 0's commit pipeline
@@ -348,11 +476,13 @@ func (n *Network) Metrics() *metrics.Registry { return n.netMetrics }
 // order (the admin endpoint surfaces their last connection errors).
 func (n *Network) Remotes() []*transport.Client { return n.remotes }
 
-// Stop shuts down the ordering service, gossip, transport servers and
-// clients, and all peers.
+// Stop shuts down every channel's ordering service and gossip stream, the
+// transport servers and clients, and all peer hosts.
 func (n *Network) Stop() {
-	if n.gossipNet != nil {
-		n.gossipNet.Stop()
+	for _, ch := range n.chOrder {
+		if cr := n.channels[ch]; cr != nil && cr.gossip != nil {
+			cr.gossip.Stop()
+		}
 	}
 	for _, c := range n.remotes {
 		c.Close()
@@ -360,19 +490,46 @@ func (n *Network) Stop() {
 	for _, s := range n.servers {
 		s.Close()
 	}
-	if n.orderer != nil {
-		n.orderer.Stop()
+	for _, ch := range n.chOrder {
+		if cr := n.channels[ch]; cr != nil && cr.orderer != nil {
+			cr.orderer.Stop()
+		}
 	}
-	for _, p := range n.peers {
-		p.Stop()
+	for _, ch := range n.chOrder {
+		if cr := n.channels[ch]; cr != nil {
+			for _, p := range cr.peers {
+				p.Stop()
+			}
+		}
 	}
 }
 
-// Peers returns the network's peers.
-func (n *Network) Peers() []*peer.Peer { return n.peers }
+// Peers returns the default channel's peer instances.
+func (n *Network) Peers() []*peer.Peer { return n.mustChannel("").peers }
 
-// Orderer returns the ordering service.
-func (n *Network) Orderer() orderer.Service { return n.orderer }
+// ChannelPeers returns one channel's peer instances, in host order.
+func (n *Network) ChannelPeers(ch string) ([]*peer.Peer, error) {
+	cr, err := n.channel(ch)
+	if err != nil {
+		return nil, err
+	}
+	return cr.peers, nil
+}
+
+// Hosts returns the network's peer hosts, each serving every channel.
+func (n *Network) Hosts() []*peer.Host { return n.hosts }
+
+// Orderer returns the default channel's ordering service.
+func (n *Network) Orderer() orderer.Service { return n.mustChannel("").orderer }
+
+// OrdererFor returns one channel's ordering service.
+func (n *Network) OrdererFor(ch string) (orderer.Service, error) {
+	cr, err := n.channel(ch)
+	if err != nil {
+		return nil, err
+	}
+	return cr.orderer, nil
+}
 
 // MSP returns the network's membership service provider.
 func (n *Network) MSP() *identity.MSP { return n.msp }
@@ -384,7 +541,8 @@ func (n *Network) CA() *identity.CA { return n.ca }
 // CAs returns every organization's certificate authority.
 func (n *Network) CAs() []*identity.CA { return n.cas }
 
-// NewGatewayFor enrolls a client identity with a specific org's CA.
+// NewGatewayFor enrolls a client identity with a specific org's CA,
+// bound to the default channel.
 func (n *Network) NewGatewayFor(org, clientID string) (*Gateway, error) {
 	for _, ca := range n.cas {
 		if ca.Org() != org {
@@ -396,41 +554,80 @@ func (n *Network) NewGatewayFor(org, clientID string) (*Gateway, error) {
 			return nil, fmt.Errorf("fabric: enroll client: %w", err)
 		}
 		exec := device.NewExecutor(n.cfg.PeerProfiles[0], n.clock, n.cfg.Seed+int64(n.clients)*131)
-		return n.newGateway(signer, exec)
+		return n.newGateway(signer, exec, n.chOrder[0])
 	}
 	return nil, fmt.Errorf("fabric: unknown org %q", org)
 }
 
-// ChannelID returns the application channel name.
-func (n *Network) ChannelID() string { return n.cfg.ChannelID }
+// Gateway enrolls a client identity and returns a gateway bound to one
+// channel: its submits endorse on, order through, and commit-wait against
+// that channel's pipeline only. An empty ch binds the default channel.
+func (n *Network) Gateway(ch string) (*Gateway, error) {
+	cr, err := n.channel(ch)
+	if err != nil {
+		return nil, err
+	}
+	return n.gatewayOn(cr.id, "client-"+cr.id)
+}
+
+// gatewayOn enrolls clientID on the first org's CA and binds the gateway
+// to channel ch (already resolved).
+func (n *Network) gatewayOn(ch, clientID string) (*Gateway, error) {
+	n.clients++
+	signer, err := n.ca.Enroll(fmt.Sprintf("%s-%d", clientID, n.clients), identity.RoleClient)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: enroll client: %w", err)
+	}
+	exec := device.NewExecutor(n.cfg.PeerProfiles[0], n.clock, n.cfg.Seed+int64(n.clients)*131)
+	return n.newGateway(signer, exec, ch)
+}
+
+// ChannelID returns the default (first) application channel name.
+func (n *Network) ChannelID() string { return n.chOrder[0] }
+
+// Channels returns the served channel IDs in configuration order.
+func (n *Network) Channels() []string { return append([]string(nil), n.chOrder...) }
 
 // Policy returns the channel's endorsement policy.
 func (n *Network) Policy() endorser.Policy { return n.policy }
 
-// DeployChaincode installs the chaincode on every peer and runs its Init
-// through the normal transaction flow so the instantiation is itself on
-// the ledger.
+// DeployChaincode installs the chaincode on every peer of the default
+// channel and runs its Init through the normal transaction flow so the
+// instantiation is itself on the ledger.
 func (n *Network) DeployChaincode(name string, mk func() shim.Chaincode) error {
-	for _, p := range n.peers {
+	return n.DeployChaincodeOn("", name, mk)
+}
+
+// DeployChaincodeOn installs the chaincode on every peer instance of one
+// channel and records its instantiation on that channel's ledger. Installs
+// are channel-scoped: deploying on one channel leaves the others without
+// the chaincode.
+func (n *Network) DeployChaincodeOn(ch, name string, mk func() shim.Chaincode) error {
+	cr, err := n.channel(ch)
+	if err != nil {
+		return err
+	}
+	for _, p := range cr.peers {
 		if err := p.InstallChaincode(name, mk(), n.policy); err != nil {
 			return err
 		}
 	}
-	gw, err := n.NewGateway("deployer-" + name)
+	gw, err := n.gatewayOn(cr.id, "deployer-"+name)
 	if err != nil {
 		return err
 	}
 	if _, err := gw.Submit(name, peer.InitFunction); err != nil {
-		return fmt.Errorf("fabric: instantiate %q: %w", name, err)
+		return fmt.Errorf("fabric: instantiate %q on %q: %w", name, cr.id, err)
 	}
 	return nil
 }
 
 // UpgradeChaincode swaps the implementation of a deployed chaincode on
-// every peer and records the upgrade on the ledger by re-running Init
-// through the ordinary transaction flow.
+// every default-channel peer and records the upgrade on the ledger by
+// re-running Init through the ordinary transaction flow.
 func (n *Network) UpgradeChaincode(name string, mk func() shim.Chaincode) error {
-	for _, p := range n.peers {
+	cr := n.mustChannel("")
+	for _, p := range cr.peers {
 		if err := p.UpgradeChaincode(name, mk(), n.policy); err != nil {
 			return err
 		}
@@ -446,19 +643,13 @@ func (n *Network) UpgradeChaincode(name string, mk func() shim.Chaincode) error 
 }
 
 // NewGateway enrolls a client identity and returns a Gateway bound to this
-// network. The gateway endorses on every peer (satisfying any-org and
-// majority policies alike) and waits for commits on peer 0.
+// network's default channel. The gateway endorses on every peer
+// (satisfying any-org and majority policies alike) and waits for commits
+// on peer 0. Channel-scoped clients use Network.Gateway(ch).
 func (n *Network) NewGateway(clientID string) (*Gateway, error) {
-	n.clients++
-	enrollID := fmt.Sprintf("%s-%d", clientID, n.clients)
-	signer, err := n.ca.Enroll(enrollID, identity.RoleClient)
-	if err != nil {
-		return nil, fmt.Errorf("fabric: enroll client: %w", err)
-	}
 	// The client process runs on the same device class as the peers (in
 	// the paper the benchmark client runs on one of the machines).
-	exec := device.NewExecutor(n.cfg.PeerProfiles[0], n.clock, n.cfg.Seed+int64(n.clients)*131)
-	return n.newGateway(signer, exec)
+	return n.gatewayOn(n.chOrder[0], clientID)
 }
 
 // NewGatewayOn is like NewGateway but binds the client to an existing
@@ -471,12 +662,13 @@ func (n *Network) NewGatewayOn(clientID string, exec *device.Executor) (*Gateway
 	if err != nil {
 		return nil, fmt.Errorf("fabric: enroll client: %w", err)
 	}
-	return n.newGateway(signer, exec)
+	return n.newGateway(signer, exec, n.chOrder[0])
 }
 
-func (n *Network) newGateway(signer *identity.SigningIdentity, exec *device.Executor) (*Gateway, error) {
+func (n *Network) newGateway(signer *identity.SigningIdentity, exec *device.Executor, ch string) (*Gateway, error) {
 	return &Gateway{
 		net:           n,
+		channel:       ch,
 		signer:        signer,
 		exec:          exec,
 		commitTimeout: defaultCommitTimeout(n.clock),

@@ -42,8 +42,11 @@ type Endorser interface {
 // Gateway is the client-side library half of the Fabric SDK: it signs
 // proposals, collects endorsements, submits envelopes to ordering, and
 // waits for commit events — the machinery HyperProv's NodeJS client wraps.
+// A gateway is bound to exactly one channel; ForChannel derives a sibling
+// bound to another channel of the same network.
 type Gateway struct {
 	net           *Network
+	channel       string
 	signer        *identity.SigningIdentity
 	exec          *device.Executor
 	commitTimeout time.Duration
@@ -60,6 +63,26 @@ func (g *Gateway) AddEndorser(e Endorser) { g.remote = append(g.remote, e) }
 
 // Identity returns the gateway's signing identity.
 func (g *Gateway) Identity() *identity.SigningIdentity { return g.signer }
+
+// ChannelID returns the channel this gateway is bound to.
+func (g *Gateway) ChannelID() string { return g.channel }
+
+// ForChannel returns a gateway with the same identity and executor bound
+// to another channel of the same network. Remote endorsers are not carried
+// over — they were dialled for the original channel.
+func (g *Gateway) ForChannel(ch string) (*Gateway, error) {
+	cr, err := g.net.channel(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &Gateway{
+		net:           g.net,
+		channel:       cr.id,
+		signer:        g.signer,
+		exec:          g.exec,
+		commitTimeout: g.commitTimeout,
+	}, nil
+}
 
 // Network returns the network this gateway is bound to.
 func (g *Gateway) Network() *Network { return g.net }
@@ -81,7 +104,7 @@ func (g *Gateway) Submit(chaincode, fn string, args ...[]byte) (*TxResult, error
 	}
 	prop := &endorser.Proposal{
 		TxID:      txID,
-		ChannelID: g.net.ChannelID(),
+		ChannelID: g.channel,
 		Chaincode: chaincode,
 		Function:  fn,
 		Args:      args,
@@ -97,10 +120,10 @@ func (g *Gateway) Submit(chaincode, fn string, args ...[]byte) (*TxResult, error
 	}
 	prop.Signature = sig
 
-	// Endorse on all peers in parallel (the paper's client library sends
-	// to every peer of the single org), plus any attached remote
-	// endorsers.
-	peers := g.net.Peers()
+	// Endorse on this channel's peer instances in parallel (the paper's
+	// client library sends to every peer of the single org), plus any
+	// attached remote endorsers.
+	peers := g.net.mustChannel(g.channel).peers
 	endorsers := make([]Endorser, 0, len(peers)+len(g.remote))
 	for _, p := range peers {
 		endorsers = append(endorsers, p)
@@ -151,7 +174,7 @@ func (g *Gateway) Submit(chaincode, fn string, args ...[]byte) (*TxResult, error
 	// Assemble and sign the envelope.
 	env := blockstore.Envelope{
 		TxID:      txID,
-		ChannelID: g.net.ChannelID(),
+		ChannelID: g.channel,
 		Chaincode: chaincode,
 		Function:  fn,
 		Args:      args,
@@ -186,7 +209,7 @@ func (g *Gateway) Submit(chaincode, fn string, args ...[]byte) (*TxResult, error
 	// The propose span covers the client-side work — proposal signing,
 	// endorsement fan-out, and envelope assembly — ending at broadcast.
 	g.net.Tracer().Observe(txID, trace.StagePropose, "gateway", start, "")
-	if err := g.net.Orderer().Submit(env); err != nil {
+	if err := g.net.mustChannel(g.channel).orderer.Submit(env); err != nil {
 		return nil, fmt.Errorf("fabric: broadcast: %w", err)
 	}
 
@@ -233,10 +256,11 @@ func largestConsistentGroup(resps []*endorser.Response) []*endorser.Response {
 	return best
 }
 
-// Evaluate runs a read-only query against a single peer (round-robin would
-// be a refinement; peer 0 matches the paper's client behaviour).
+// Evaluate runs a read-only query against a single peer of the gateway's
+// channel (round-robin would be a refinement; peer 0 matches the paper's
+// client behaviour).
 func (g *Gateway) Evaluate(chaincode, fn string, args ...[]byte) ([]byte, error) {
-	resp, err := g.net.Peers()[0].Query(chaincode, fn, args, g.signer.Serialize())
+	resp, err := g.net.mustChannel(g.channel).peers[0].Query(chaincode, fn, args, g.signer.Serialize())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,216 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
+	"github.com/hyperprov/hyperprov/internal/shim"
+)
+
+// Cross-channel isolation tests: every channel of a multi-tenant network is
+// a fully independent ledger. Nothing written on one channel — state,
+// history, or the rich-query secondary indexes derived from it — may be
+// observable from another, and a tenant's state fingerprint must not move
+// when a neighbouring tenant commits.
+
+// newTwoChannelNetwork assembles a network whose peers all serve tenant-a
+// and tenant-b, with the provenance chaincode deployed on both.
+func newTwoChannelNetwork(t *testing.T) *Network {
+	t.Helper()
+	cfg := testConfig()
+	cfg.ChannelID = ""
+	cfg.Channels = []ChannelConfig{{ID: "tenant-a"}, {ID: "tenant-b"}}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	for _, ch := range n.Channels() {
+		if err := n.DeployChaincodeOn(ch, provenance.ChaincodeName,
+			func() shim.Chaincode { return provenance.New() }); err != nil {
+			t.Fatalf("deploy on %s: %v", ch, err)
+		}
+	}
+	return n
+}
+
+func channelGateway(t *testing.T, n *Network, ch string) *Gateway {
+	t.Helper()
+	gw, err := n.Gateway(ch)
+	if err != nil {
+		t.Fatalf("Gateway(%s): %v", ch, err)
+	}
+	return gw
+}
+
+func TestChannelStateAndHistoryIsolation(t *testing.T) {
+	n := newTwoChannelNetwork(t)
+	gwA := channelGateway(t, n, "tenant-a")
+	gwB := channelGateway(t, n, "tenant-b")
+
+	// The same key lives on both channels with independent values and
+	// version histories: two writes on tenant-a, one on tenant-b.
+	setRecord(t, gwA, "shared", "sha256:a1")
+	setRecord(t, gwA, "shared", "sha256:a2")
+	setRecord(t, gwA, "only-a", "sha256:only")
+	setRecord(t, gwB, "shared", "sha256:b1")
+
+	readShared := func(gw *Gateway) string {
+		payload, err := gw.Evaluate(provenance.ChaincodeName, provenance.FnGet, []byte("shared"))
+		if err != nil {
+			t.Fatalf("get shared on %s: %v", gw.ChannelID(), err)
+		}
+		var rec provenance.Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Checksum
+	}
+	if got := readShared(gwA); got != "sha256:a2" {
+		t.Errorf("tenant-a shared = %s, want sha256:a2", got)
+	}
+	if got := readShared(gwB); got != "sha256:b1" {
+		t.Errorf("tenant-b shared = %s, want sha256:b1", got)
+	}
+
+	// A key written only on tenant-a does not exist on tenant-b.
+	if _, err := gwB.Evaluate(provenance.ChaincodeName, provenance.FnGet, []byte("only-a")); err == nil {
+		t.Error("tenant-b can read a key written only on tenant-a")
+	}
+
+	// Each channel's history database holds only its own versions.
+	historyLen := func(gw *Gateway) int {
+		payload, err := gw.Evaluate(provenance.ChaincodeName, provenance.FnGetHistory, []byte("shared"))
+		if err != nil {
+			t.Fatalf("getHistory on %s: %v", gw.ChannelID(), err)
+		}
+		var entries []provenance.HistoryRecord
+		if err := json.Unmarshal(payload, &entries); err != nil {
+			t.Fatal(err)
+		}
+		return len(entries)
+	}
+	if got := historyLen(gwA); got != 2 {
+		t.Errorf("tenant-a history depth = %d, want 2", got)
+	}
+	if got := historyLen(gwB); got != 1 {
+		t.Errorf("tenant-b history depth = %d, want 1 (tenant-a's versions bled across)", got)
+	}
+}
+
+func TestChannelRichQueryIndexIsolation(t *testing.T) {
+	n := newTwoChannelNetwork(t)
+	gwA := channelGateway(t, n, "tenant-a")
+	gwB := channelGateway(t, n, "tenant-b")
+
+	for i := 0; i < 3; i++ {
+		setRecord(t, gwA, fmt.Sprintf("a-item-%d", i), fmt.Sprintf("sha256:a-%d", i))
+	}
+	setRecord(t, gwB, "b-item", "sha256:b-0")
+
+	// The checksum secondary index is per channel: tenant-a's checksums do
+	// not resolve on tenant-b, while tenant-b's own do.
+	if _, err := gwB.Evaluate(provenance.ChaincodeName, provenance.FnGetByChecksum,
+		[]byte("sha256:a-1")); err == nil {
+		t.Error("tenant-b resolved a checksum indexed only on tenant-a")
+	}
+	if _, err := gwB.Evaluate(provenance.ChaincodeName, provenance.FnGetByChecksum,
+		[]byte("sha256:b-0")); err != nil {
+		t.Errorf("tenant-b cannot resolve its own checksum: %v", err)
+	}
+
+	// A Mango rich query over all records, served from each channel's
+	// indexed state store, sees only that channel's rows.
+	queryAll := func(gw *Gateway) []provenance.Record {
+		payload, err := gw.Evaluate(provenance.ChaincodeName, provenance.FnRichQuery,
+			[]byte(`{"selector":{"ts":{"$gt":0}}}`))
+		if err != nil {
+			t.Fatalf("richQuery on %s: %v", gw.ChannelID(), err)
+		}
+		var page provenance.QueryPage
+		if err := json.Unmarshal(payload, &page); err != nil {
+			t.Fatal(err)
+		}
+		return page.Records
+	}
+	if recs := queryAll(gwA); len(recs) != 3 {
+		t.Errorf("tenant-a rich query returned %d records, want 3", len(recs))
+	}
+	recs := queryAll(gwB)
+	if len(recs) != 1 {
+		t.Errorf("tenant-b rich query returned %d records, want 1", len(recs))
+	}
+	for _, r := range recs {
+		if r.Key != "b-item" {
+			t.Errorf("tenant-b rich query surfaced foreign record %q", r.Key)
+		}
+	}
+}
+
+func TestChannelFingerprintUnmovedByNeighbour(t *testing.T) {
+	n := newTwoChannelNetwork(t)
+	gwA := channelGateway(t, n, "tenant-a")
+	gwB := channelGateway(t, n, "tenant-b")
+
+	setRecord(t, gwA, "a-base", "sha256:base")
+	peersA, err := n.ChannelPeers("tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the a-base block finish disseminating so the baseline is not
+	// racing ordinary intra-channel propagation.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		heights := map[uint64]int{}
+		for _, p := range peersA {
+			p.Sync()
+			heights[p.Height()]++
+		}
+		if len(heights) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant-a peers did not converge: %v", heights)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	type snap struct {
+		height uint64
+		fp     string
+	}
+	before := make([]snap, len(peersA))
+	for i, p := range peersA {
+		before[i] = snap{p.Height(), p.StateFingerprint()}
+	}
+
+	// A burst of tenant-b commits must leave every tenant-a peer's height,
+	// state fingerprint, and snapshot reads exactly where they were.
+	for i := 0; i < 8; i++ {
+		setRecord(t, gwB, fmt.Sprintf("b-burst-%d", i), fmt.Sprintf("sha256:burst-%d", i))
+	}
+	for i, p := range peersA {
+		p.Sync()
+		if got := p.Height(); got != before[i].height {
+			t.Errorf("%s tenant-a height moved %d -> %d on tenant-b commits",
+				p.Name(), before[i].height, got)
+		}
+		if got := p.StateFingerprint(); got != before[i].fp {
+			t.Errorf("%s tenant-a fingerprint changed on tenant-b commits", p.Name())
+		}
+	}
+	// And the record written before the burst still reads back unchanged.
+	payload, err := gwA.Evaluate(provenance.ChaincodeName, provenance.FnGet, []byte("a-base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec provenance.Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checksum != "sha256:base" {
+		t.Errorf("tenant-a record corrupted by tenant-b burst: %+v", rec)
+	}
+}

@@ -387,19 +387,29 @@ func sanitizeName(name string) string {
 // written as cumulative le-bucketed distributions in seconds, ascending,
 // with only non-empty buckets materialized plus the mandatory +Inf.
 func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
+	return r.WritePrometheusLabeled(w, prefix, nil)
+}
+
+// WritePrometheusLabeled is WritePrometheus with a constant label set
+// attached to every sample — how a multi-channel host exposes one registry
+// per channel on a single scrape (label {channel="..."}) without renaming
+// metrics. Label names are sanitized to the metric charset, values are
+// quoted; a nil or empty map degrades to the unlabeled form.
+func (r *Registry) WritePrometheusLabeled(w io.Writer, prefix string, labels map[string]string) error {
+	lbl := formatLabels(labels)
 	snap := r.Snapshot()
 	for _, name := range sortedKeys(snap) {
 		n := sanitizeName(prefix + name)
-		if _, err := fmt.Fprintf(w, "# HELP %s Total count of %s events.\n# TYPE %s counter\n%s %d\n",
-			n, name, n, n, snap[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s Total count of %s events.\n# TYPE %s counter\n%s%s %d\n",
+			n, name, n, n, lbl.bare, snap[name]); err != nil {
 			return err
 		}
 	}
 	gauges := r.GaugeSnapshot()
 	for _, name := range sortedKeys(gauges) {
 		n := sanitizeName(prefix + name)
-		if _, err := fmt.Fprintf(w, "# HELP %s Current level of %s.\n# TYPE %s gauge\n%s %d\n",
-			n, name, n, n, gauges[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s Current level of %s.\n# TYPE %s gauge\n%s%s %d\n",
+			n, name, n, n, lbl.bare, gauges[name]); err != nil {
 			return err
 		}
 	}
@@ -410,15 +420,36 @@ func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
 	}
 	r.mu.Unlock()
 	for _, name := range sortedKeys(hists) {
-		if err := hists[name].writePrometheus(w, sanitizeName(prefix+name), name); err != nil {
+		if err := hists[name].writePrometheus(w, sanitizeName(prefix+name), name, lbl); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// labelSet pre-renders a constant label set in the two forms the exposition
+// needs: appended to a bare metric name (`{k="v"}`), and merged before an
+// le label inside an existing brace pair (`k="v",`).
+type labelSet struct {
+	bare  string
+	inner string
+}
+
+// formatLabels renders labels sorted by name for stable scrapes.
+func formatLabels(labels map[string]string) labelSet {
+	if len(labels) == 0 {
+		return labelSet{}
+	}
+	parts := make([]string, 0, len(labels))
+	for _, k := range sortedKeys(labels) {
+		parts = append(parts, fmt.Sprintf("%s=%q", sanitizeName(k), labels[k]))
+	}
+	joined := strings.Join(parts, ",")
+	return labelSet{bare: "{" + joined + "}", inner: joined + ","}
+}
+
 // writePrometheus renders one histogram as a Prometheus histogram family.
-func (h *Histogram) writePrometheus(w io.Writer, name, rawName string) error {
+func (h *Histogram) writePrometheus(w io.Writer, name, rawName string, lbl labelSet) error {
 	counts, total := h.snapshotBuckets()
 	if _, err := fmt.Fprintf(w, "# HELP %s Latency distribution of %s in seconds.\n# TYPE %s histogram\n",
 		name, rawName, name); err != nil {
@@ -431,13 +462,13 @@ func (h *Histogram) writePrometheus(w io.Writer, name, rawName string) error {
 		}
 		cum += counts[i]
 		le := float64(bucketMax(i)+1) / 1e9
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(le), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, lbl.inner, formatFloat(le), cum); err != nil {
 			return err
 		}
 	}
 	sum := float64(h.sum.Load()) / 1e9
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-		name, total, name, formatFloat(sum), name, total); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n%s_sum%s %s\n%s_count%s %d\n",
+		name, lbl.inner, total, name, lbl.bare, formatFloat(sum), name, lbl.bare, total); err != nil {
 		return err
 	}
 	return nil

@@ -215,3 +215,42 @@ func TestWritePrometheus(t *testing.T) {
 		t.Errorf("final cumulative count = %d, want 4", lastCum)
 	}
 }
+
+// Labeled exposition: the constant label set must land on every sample —
+// bare samples in {} form, histogram buckets merged before le — without
+// changing metric names, so per-channel registries share one scrape.
+func TestWritePrometheusLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tx_validated").Add(3)
+	r.Gauge("endorse_inflight").Set(1)
+	h := r.Histogram("commit_total")
+	h.Observe(2 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheusLabeled(&sb, "hyperprov_", map[string]string{"channel": "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`hyperprov_tx_validated{channel="alpha"} 3`,
+		`hyperprov_endorse_inflight{channel="alpha"} 1`,
+		`hyperprov_commit_total_bucket{channel="alpha",le="+Inf"} 1`,
+		`hyperprov_commit_total_count{channel="alpha"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("labeled exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Nil labels must degrade to the exact unlabeled form.
+	var plain, viaLabeled strings.Builder
+	if err := r.WritePrometheus(&plain, "p_"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheusLabeled(&viaLabeled, "p_", nil); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != viaLabeled.String() {
+		t.Error("nil-label exposition differs from WritePrometheus")
+	}
+}

@@ -1,0 +1,108 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChannelFrameRoundTrip(t *testing.T) {
+	cases := []struct{ trace, channel string }{
+		{"", ""},
+		{"tx-1", ""},
+		{"", "ch-iot"},
+		{"tx-1", "ch-iot"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := WriteFrameExt(&buf, c.trace, c.channel, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		payload, trace, channel, err := ReadFrameExt(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trace != c.trace || channel != c.channel || string(payload) != "payload" {
+			t.Errorf("case %+v: got trace=%q channel=%q payload=%q", c, trace, channel, payload)
+		}
+	}
+}
+
+// A frame with neither extension must be byte-identical to a plain frame, so
+// single-channel deployments keep their pre-extension wire format.
+func TestChannelFrameEmptyIsPlainFrame(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteFrameExt(&a, "", "", []byte("same")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&b, []byte("same")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("extension-less frame differs from plain frame on the wire")
+	}
+}
+
+// Pre-channel readers (ReadTracedFrame / ReadFrame) must still parse a
+// channeled frame's payload; the channel extension is simply dropped.
+func TestTracedReaderDropsChannel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameExt(&buf, "tx-5", "ch-a", []byte("visible")); err != nil {
+		t.Fatal(err)
+	}
+	payload, trace, err := ReadTracedFrame(&buf)
+	if err != nil || trace != "tx-5" || string(payload) != "visible" {
+		t.Errorf("payload=%q trace=%q err=%v", payload, trace, err)
+	}
+}
+
+func TestChannelFrameOversizedIDDropped(t *testing.T) {
+	var buf bytes.Buffer
+	long := strings.Repeat("c", 300)
+	if err := WriteFrameExt(&buf, "tx", long, []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	payload, trace, channel, err := ReadFrameExt(&buf)
+	if err != nil || trace != "tx" || channel != "" || string(payload) != "body" {
+		t.Errorf("payload=%q trace=%q channel=%q err=%v", payload, trace, channel, err)
+	}
+}
+
+// Truncation inside the channel extension must error, not return garbage.
+func TestChannelFrameTruncatedExtension(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameExt(&buf, "", "chan", []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf.Bytes()...)
+	// Corrupt: claim a longer channel ID than the frame holds.
+	bad[4] = 200
+	if _, _, _, err := ReadFrameExt(bytes.NewReader(bad)); err == nil {
+		t.Error("oversized embedded channel length accepted")
+	}
+}
+
+func TestChannelFrameSingleWrite(t *testing.T) {
+	w := &countingWriter{}
+	if err := WriteFrameExt(w, "txid", "ch", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("channeled frame issued %d writes, want 1", w.writes)
+	}
+}
+
+func TestExtJSONRoundTrip(t *testing.T) {
+	type msg struct {
+		A string `json:"a"`
+	}
+	var buf bytes.Buffer
+	if err := WriteExtJSON(&buf, "tx-9", "ch-ml", msg{A: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	var got msg
+	trace, channel, err := ReadExtJSON(&buf, &got)
+	if err != nil || trace != "tx-9" || channel != "ch-ml" || got.A != "v" {
+		t.Errorf("got=%+v trace=%q channel=%q err=%v", got, trace, channel, err)
+	}
+}

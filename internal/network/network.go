@@ -26,8 +26,20 @@ const MaxFrame = 64 << 20
 // reject such frames (length check fails) rather than misparse them.
 const traceFlag = 1 << 31
 
+// channelFlag marks a frame carrying a channel-ID extension — the
+// multi-channel analog of traceFlag, using the next free bit of the length
+// word (MaxFrame is far below 2^30 too). A frame with both flags lays the
+// extensions out in flag-bit order, trace first:
+// [4-byte len|flags][1-byte trace len][trace][1-byte channel len][channel][body].
+// Channel-less frames never set the bit, so a single-channel deployment's
+// wire bytes are identical to before the extension existed.
+const channelFlag = 1 << 30
+
 // maxTraceID bounds the trace-ID extension (one length byte).
 const maxTraceID = 255
+
+// maxChannelID bounds the channel-ID extension (one length byte).
+const maxChannelID = 255
 
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("network: frame exceeds maximum size")
@@ -45,27 +57,50 @@ func WriteFrame(w io.Writer, payload []byte) error {
 // traceID produces a plain frame identical to WriteFrame's. Trace IDs
 // longer than 255 bytes are dropped (the frame is still sent, untraced).
 func WriteTracedFrame(w io.Writer, traceID string, payload []byte) error {
+	return WriteFrameExt(w, traceID, "", payload)
+}
+
+// WriteFrameExt writes one frame carrying up to two header extensions: the
+// trace ID (traceFlag) and the channel ID (channelFlag) routing the frame to
+// one channel of a multi-channel host. Either may be empty; with both empty
+// the frame is byte-identical to a plain WriteFrame frame, which is what
+// keeps single-channel peers wire-compatible across versions. Extension
+// values longer than 255 bytes are dropped (the frame is still sent without
+// that extension).
+func WriteFrameExt(w io.Writer, traceID, channelID string, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
 	if len(traceID) > maxTraceID {
 		traceID = ""
 	}
-	if traceID == "" {
-		buf := make([]byte, 4+len(payload))
-		binary.BigEndian.PutUint32(buf, uint32(len(payload)))
-		copy(buf[4:], payload)
-		if _, err := w.Write(buf); err != nil {
-			return fmt.Errorf("network: write frame: %w", err)
-		}
-		return nil
+	if len(channelID) > maxChannelID {
+		channelID = ""
 	}
-	ext := 1 + len(traceID)
+	var flags uint32
+	ext := 0
+	if traceID != "" {
+		flags |= traceFlag
+		ext += 1 + len(traceID)
+	}
+	if channelID != "" {
+		flags |= channelFlag
+		ext += 1 + len(channelID)
+	}
 	buf := make([]byte, 4+ext+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(ext+len(payload))|traceFlag)
-	buf[4] = byte(len(traceID))
-	copy(buf[5:], traceID)
-	copy(buf[5+len(traceID):], payload)
+	binary.BigEndian.PutUint32(buf, uint32(ext+len(payload))|flags)
+	at := 4
+	if traceID != "" {
+		buf[at] = byte(len(traceID))
+		copy(buf[at+1:], traceID)
+		at += 1 + len(traceID)
+	}
+	if channelID != "" {
+		buf[at] = byte(len(channelID))
+		copy(buf[at+1:], channelID)
+		at += 1 + len(channelID)
+	}
+	copy(buf[at:], payload)
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("network: write frame: %w", err)
 	}
@@ -80,17 +115,27 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 }
 
 // ReadTracedFrame reads one frame and returns its payload plus the trace ID
-// carried in the header (empty for plain frames).
+// carried in the header (empty for plain frames). Any channel extension is
+// discarded.
 func ReadTracedFrame(r io.Reader) ([]byte, string, error) {
+	payload, traceID, _, err := ReadFrameExt(r)
+	return payload, traceID, err
+}
+
+// ReadFrameExt reads one frame and returns its payload plus the trace and
+// channel IDs carried in the header (each empty when its extension is
+// absent).
+func ReadFrameExt(r io.Reader) ([]byte, string, string, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, "", err // io.EOF passes through for clean shutdown
+		return nil, "", "", err // io.EOF passes through for clean shutdown
 	}
 	word := binary.BigEndian.Uint32(hdr[:])
 	traced := word&traceFlag != 0
-	n := word &^ traceFlag
-	if n > MaxFrame+1+maxTraceID {
-		return nil, "", fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	channeled := word&channelFlag != 0
+	n := word &^ (traceFlag | channelFlag)
+	if n > MaxFrame+2*(1+maxTraceID) {
+		return nil, "", "", fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -100,19 +145,35 @@ func ReadTracedFrame(r io.Reader) ([]byte, string, error) {
 			// signals to callers.
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, "", fmt.Errorf("network: read frame body: %w", err)
+		return nil, "", "", fmt.Errorf("network: read frame body: %w", err)
 	}
-	if !traced {
-		return payload, "", nil
+	var traceID, channelID string
+	if traced {
+		traceID, payload = cutExt(payload)
+		if payload == nil {
+			return nil, "", "", fmt.Errorf("network: read frame body: %w", io.ErrUnexpectedEOF)
+		}
 	}
-	if len(payload) < 1 {
-		return nil, "", fmt.Errorf("network: read frame body: %w", io.ErrUnexpectedEOF)
+	if channeled {
+		channelID, payload = cutExt(payload)
+		if payload == nil {
+			return nil, "", "", fmt.Errorf("network: read frame body: %w", io.ErrUnexpectedEOF)
+		}
 	}
-	idLen := int(payload[0])
-	if len(payload) < 1+idLen {
-		return nil, "", fmt.Errorf("network: read frame body: %w", io.ErrUnexpectedEOF)
+	return payload, traceID, channelID, nil
+}
+
+// cutExt splits one length-prefixed extension off the front of buf,
+// returning (value, rest). A truncated extension returns rest == nil.
+func cutExt(buf []byte) (string, []byte) {
+	if len(buf) < 1 {
+		return "", nil
 	}
-	return payload[1+idLen:], string(payload[1 : 1+idLen]), nil
+	n := int(buf[0])
+	if len(buf) < 1+n {
+		return "", nil
+	}
+	return string(buf[1 : 1+n]), buf[1+n:]
 }
 
 // WriteJSON frames and writes a JSON-encoded message.
@@ -128,6 +189,16 @@ func WriteTracedJSON(w io.Writer, traceID string, v any) error {
 		return fmt.Errorf("network: marshal: %w", err)
 	}
 	return WriteTracedFrame(w, traceID, b)
+}
+
+// WriteExtJSON frames and writes a JSON-encoded message carrying traceID and
+// channelID in the frame header (either may be empty).
+func WriteExtJSON(w io.Writer, traceID, channelID string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("network: marshal: %w", err)
+	}
+	return WriteFrameExt(w, traceID, channelID, b)
 }
 
 // ReadJSON reads one frame and decodes it into v.
@@ -147,6 +218,19 @@ func ReadTracedJSON(r io.Reader, v any) (string, error) {
 		return "", fmt.Errorf("network: unmarshal: %w", err)
 	}
 	return id, nil
+}
+
+// ReadExtJSON reads one frame, decodes it into v, and returns the frame's
+// trace and channel IDs (each empty when its extension is absent).
+func ReadExtJSON(r io.Reader, v any) (string, string, error) {
+	b, traceID, channelID, err := ReadFrameExt(r)
+	if err != nil {
+		return "", "", err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return "", "", fmt.Errorf("network: unmarshal: %w", err)
+	}
+	return traceID, channelID, nil
 }
 
 // ErrCode is a machine-readable error classification carried in response
@@ -169,6 +253,8 @@ const (
 	CodeUnknownChaincode ErrCode = "unknown_chaincode"
 	// CodeSimulationFailed: chaincode simulation returned a non-OK status.
 	CodeSimulationFailed ErrCode = "simulation_failed"
+	// CodeUnknownChannel: the host does not serve the requested channel.
+	CodeUnknownChannel ErrCode = "unknown_channel"
 	// CodeInternal: any other server-side failure.
 	CodeInternal ErrCode = "internal"
 )

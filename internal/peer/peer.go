@@ -63,7 +63,16 @@ type Config struct {
 	// Executor models this peer's hardware; nil means zero modeled cost.
 	Executor *device.Executor
 	// ChannelID names the single channel this peer joins.
+	//
+	// Deprecated: single-channel shim. Hosts built from a Config with only
+	// ChannelID set serve that one channel under the legacy on-disk layout
+	// (blocks.jsonl, checkpoints/). New code should list Channels instead.
 	ChannelID string
+	// Channels lists the channels this host serves, each with its own
+	// ledger (blocks-<ch>.jsonl), state store, history, commit pipeline,
+	// and recovery root (checkpoints/<ch>/). When set it supersedes
+	// ChannelID and switches the data directory to the per-channel layout.
+	Channels []string
 	// CommitWorkers sizes the commit pipeline's pre-validation worker
 	// pool; 0 means one worker per available CPU.
 	CommitWorkers int
@@ -93,6 +102,10 @@ type Config struct {
 	// peer. Wire it on exactly one peer per recorder, or racing completions
 	// will split timelines.
 	Tracer *trace.Recorder
+
+	// layoutChannel is the on-disk layout selector Open threads to each
+	// channel instance (empty = legacy single-channel files).
+	layoutChannel string
 }
 
 // DefaultCheckpointEvery is the default block interval between durable
@@ -169,32 +182,180 @@ type RecoveryInfo struct {
 	ReplayedBlocks int
 }
 
-// Open creates a durable peer rooted at cfg.Dir: the block file is loaded
-// (discarding a crash-torn tail), the newest valid checkpoint restores
-// state, history, and rich-query index definitions, and the block tail is
-// replayed to the exact pre-crash fingerprint. From then on the commit
-// pipeline appends blocks to disk and takes a checkpoint every
-// cfg.CheckpointEvery blocks. Shut down with Close (clean: final
-// checkpoint) — or kill the process; that is the point.
-func Open(cfg Config) (*Peer, error) {
+// Host is a peer process serving N independent channels. Each channel is a
+// full single-channel Peer — its own ledger, sharded state store, history,
+// commit pipeline, and recovery root — sharing only the process-level
+// resources (the modeled Executor, i.e. the machine's cores). This is the
+// SDSN@RT-style single-instance multi-tenant shape: channel pipelines never
+// contend on locks, so aggregate throughput scales with channel count.
+type Host struct {
+	name     string
+	order    []string
+	channels map[string]*Peer
+}
+
+// channelSpec pairs a channel's public ID with its on-disk layout selector
+// (empty layout = legacy single-channel files).
+type channelSpec struct {
+	id     string
+	layout string
+}
+
+// channelSpecs expands a Config into the channels its host serves. A Config
+// listing Channels gets the per-channel layout; a legacy Config with only
+// ChannelID (the deprecated shim) serves that one channel from the legacy
+// layout, so existing data directories open unchanged.
+func channelSpecs(cfg Config) ([]channelSpec, error) {
+	if len(cfg.Channels) == 0 {
+		return []channelSpec{{id: cfg.ChannelID, layout: ""}}, nil
+	}
+	specs := make([]channelSpec, 0, len(cfg.Channels))
+	seen := make(map[string]bool, len(cfg.Channels))
+	for _, ch := range cfg.Channels {
+		if err := validateChannelID(ch); err != nil {
+			return nil, err
+		}
+		if seen[ch] {
+			return nil, fmt.Errorf("peer %s: duplicate channel %q", cfg.Name, ch)
+		}
+		seen[ch] = true
+		specs = append(specs, channelSpec{id: ch, layout: ch})
+	}
+	return specs, nil
+}
+
+// validateChannelID restricts channel IDs to filesystem- and wire-safe
+// names: they become file names (blocks-<ch>.jsonl) and one-byte-length
+// frame extensions.
+func validateChannelID(ch string) error {
+	if ch == "" {
+		return errors.New("peer: empty channel ID")
+	}
+	if len(ch) > 64 {
+		return fmt.Errorf("peer: channel ID %q too long (max 64)", ch)
+	}
+	for _, r := range ch {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("peer: channel ID %q: invalid character %q", ch, r)
+		}
+	}
+	return nil
+}
+
+// NewHost creates a volatile multi-channel host: one in-memory Peer per
+// configured channel. A Config using the deprecated ChannelID shim yields a
+// host with that single channel.
+func NewHost(cfg Config) (*Host, error) {
+	specs, err := channelSpecs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &Host{name: cfg.Name, channels: make(map[string]*Peer, len(specs))}
+	for _, spec := range specs {
+		ccfg := cfg
+		ccfg.ChannelID = spec.id
+		h.add(spec.id, New(ccfg))
+	}
+	return h, nil
+}
+
+// Open creates a durable host rooted at cfg.Dir, recovering every
+// configured channel independently: each channel's block file is loaded
+// (discarding a crash-torn tail), its newest valid checkpoint restores
+// state, history, and rich-query index definitions, and its block tail is
+// replayed to the exact pre-crash fingerprint. From then on each channel's
+// commit pipeline appends blocks to its own ledger file and takes a
+// checkpoint every cfg.CheckpointEvery blocks. Shut down with Close (clean:
+// final checkpoint per channel) — or kill the process; that is the point.
+//
+// The per-channel handle is Open(cfg).Channel(id); a legacy single-channel
+// Config (ChannelID shim) serves its one channel from the pre-multichannel
+// file layout, so existing data directories keep working.
+func Open(cfg Config) (*Host, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("peer %s: Open needs a data directory", cfg.Name)
+	}
+	specs, err := channelSpecs(cfg)
+	if err != nil {
+		return nil, err
 	}
 	sync := blockstore.SyncOnClose
 	if cfg.SyncEachAppend {
 		sync = blockstore.SyncEachAppend
 	}
-	opened, err := recovery.Open(cfg.Dir, recovery.Options{Sync: sync})
-	if err != nil {
-		return nil, fmt.Errorf("peer %s: %w", cfg.Name, err)
+	h := &Host{name: cfg.Name, channels: make(map[string]*Peer, len(specs))}
+	for _, spec := range specs {
+		opened, err := recovery.Open(cfg.Dir, recovery.Options{Sync: sync, Channel: spec.layout})
+		if err != nil {
+			h.Close() // release channels already opened
+			return nil, fmt.Errorf("peer %s channel %q: %w", cfg.Name, spec.id, err)
+		}
+		ccfg := cfg
+		ccfg.ChannelID = spec.id
+		ccfg.layoutChannel = spec.layout
+		p := newPeer(ccfg, opened.State, opened.History, opened.Blocks)
+		p.file = opened.Blocks
+		p.recovered = RecoveryInfo{
+			CheckpointHeight: opened.CheckpointHeight,
+			ReplayedBlocks:   opened.Replayed,
+		}
+		h.add(spec.id, p)
 	}
-	p := newPeer(cfg, opened.State, opened.History, opened.Blocks)
-	p.file = opened.Blocks
-	p.recovered = RecoveryInfo{
-		CheckpointHeight: opened.CheckpointHeight,
-		ReplayedBlocks:   opened.Replayed,
+	return h, nil
+}
+
+func (h *Host) add(id string, p *Peer) {
+	h.order = append(h.order, id)
+	h.channels[id] = p
+}
+
+// Name returns the host's peer name.
+func (h *Host) Name() string { return h.name }
+
+// Channels returns the served channel IDs in configuration order.
+func (h *Host) Channels() []string { return append([]string(nil), h.order...) }
+
+// Channel returns the peer instance serving the given channel, or nil when
+// the host does not serve it.
+func (h *Host) Channel(id string) *Peer { return h.channels[id] }
+
+// Default returns the host's first configured channel — the one a
+// channel-less (pre-multichannel) request is routed to.
+func (h *Host) Default() *Peer {
+	if len(h.order) == 0 {
+		return nil
 	}
-	return p, nil
+	return h.channels[h.order[0]]
+}
+
+// Stop stops every channel's commit pipeline.
+func (h *Host) Stop() {
+	for _, id := range h.order {
+		h.channels[id].Stop()
+	}
+}
+
+// Close shuts every channel down cleanly (final checkpoint each), returning
+// the first error.
+func (h *Host) Close() error {
+	var err error
+	for _, id := range h.order {
+		if cerr := h.channels[id].Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Crash shuts every channel down the unclean way (no flush, no final
+// checkpoint), for crash-recovery tests and demos.
+func (h *Host) Crash() {
+	for _, id := range h.order {
+		h.channels[id].Crash()
+	}
 }
 
 // newPeer assembles a peer over the given ledger resources and starts its
@@ -246,7 +407,7 @@ func newPeer(cfg Config, state statedb.StateDB, history *historydb.DB, blocks bl
 		OnCommitted: p.onBlockCommitted,
 	}
 	if file, ok := blocks.(*blockstore.FileStore); ok {
-		p.ckpt = recovery.NewManager(cfg.Dir, cfg.CheckpointKeep, state, history, file)
+		p.ckpt = recovery.NewManagerChannel(cfg.Dir, cfg.layoutChannel, cfg.CheckpointKeep, state, history, file)
 		ccfg.CheckpointEvery = cfg.CheckpointEvery
 		if ccfg.CheckpointEvery == 0 {
 			ccfg.CheckpointEvery = DefaultCheckpointEvery
@@ -269,6 +430,9 @@ func (p *Peer) policyFor(chaincode string) (endorser.Policy, bool) {
 
 // Name returns the peer's name.
 func (p *Peer) Name() string { return p.name }
+
+// ChannelID returns the channel this peer instance serves.
+func (p *Peer) ChannelID() string { return p.channelID }
 
 // Metrics returns the peer's counter registry.
 func (p *Peer) Metrics() *metrics.Registry { return p.metrics }

@@ -15,15 +15,21 @@ import (
 
 // fixture bundles one peer with a client identity for direct-drive tests.
 type fixture struct {
-	t      *testing.T
-	ca     *identity.CA
-	msp    *identity.MSP
-	peer   *Peer
-	client *identity.SigningIdentity
-	nextTx int
+	t       *testing.T
+	ca      *identity.CA
+	msp     *identity.MSP
+	peer    *Peer
+	client  *identity.SigningIdentity
+	channel string
+	nextTx  int
 }
 
-func newFixture(t *testing.T) *fixture {
+func newFixture(t *testing.T) *fixture { return newFixtureOn(t, "ch") }
+
+// newFixtureOn builds a fixture whose peer and proposals are bound to the
+// given channel, so multi-channel tests can run one reference fixture per
+// channel.
+func newFixtureOn(t *testing.T, channel string) *fixture {
 	t.Helper()
 	ca, err := identity.NewCA("Org1")
 	if err != nil {
@@ -38,12 +44,12 @@ func newFixture(t *testing.T) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := New(Config{Name: "peer0", Signer: signer, MSP: msp, ChannelID: "ch"})
+	p := New(Config{Name: "peer0", Signer: signer, MSP: msp, ChannelID: channel})
 	if err := p.InstallChaincode(provenance.ChaincodeName, provenance.New(),
 		endorser.SignedBy("Org1MSP")); err != nil {
 		t.Fatal(err)
 	}
-	return &fixture{t: t, ca: ca, msp: msp, peer: p, client: client}
+	return &fixture{t: t, ca: ca, msp: msp, peer: p, client: client, channel: channel}
 }
 
 // propose builds and signs a proposal from the fixture's client.
@@ -61,7 +67,7 @@ func (f *fixture) propose(fn string, args ...string) *endorser.Proposal {
 	}
 	p := &endorser.Proposal{
 		TxID:      txID,
-		ChannelID: "ch",
+		ChannelID: f.channel,
 		Chaincode: provenance.ChaincodeName,
 		Function:  fn,
 		Args:      raw,

@@ -54,13 +54,14 @@ func (f *fixture) openDurable(dir string, every uint64) *Peer {
 	if err != nil {
 		f.t.Fatal(err)
 	}
-	p, err := Open(Config{
+	host, err := Open(Config{
 		Name: "durable", Signer: signer, MSP: f.msp, ChannelID: "ch",
 		Dir: dir, CheckpointEvery: every, CheckpointKeep: 2, SyncEachAppend: true,
 	})
 	if err != nil {
 		f.t.Fatalf("Open: %v", err)
 	}
+	p := host.Channel("ch")
 	if err := p.InstallChaincode(provenance.ChaincodeName, provenance.New(),
 		endorser.SignedBy("Org1MSP")); err != nil {
 		f.t.Fatal(err)
@@ -108,7 +109,13 @@ func buildTortureStream(f *fixture, blocks, txs int) []*blockstore.Block {
 // crash that tore the last append.
 func tearTail(t *testing.T, dir string, rng *rand.Rand) {
 	t.Helper()
-	path := recovery.BlockFilePath(dir)
+	tearTailAt(t, recovery.BlockFilePath(dir), rng)
+}
+
+// tearTailAt is tearTail for an explicit block-file path (a channel's
+// blocks-<ch>.jsonl under the per-channel layout).
+func tearTailAt(t *testing.T, path string, rng *rand.Rand) {
+	t.Helper()
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/hyperprov/hyperprov/internal/chaincode/provenance"
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/peer"
+)
+
+// newHost builds a volatile two-channel host with the provenance chaincode
+// installed on every channel.
+func (f *fixture) newHost(name string, channels ...string) *peer.Host {
+	f.t.Helper()
+	signer, err := f.ca.Enroll(name, identity.RolePeer)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	h, err := peer.NewHost(peer.Config{Name: name, Signer: signer, MSP: f.msp, Channels: channels})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	for _, ch := range channels {
+		if err := h.Channel(ch).InstallChaincode(provenance.ChaincodeName, provenance.New(),
+			endorser.SignedBy("Org1MSP")); err != nil {
+			f.t.Fatal(err)
+		}
+	}
+	f.t.Cleanup(h.Stop)
+	return h
+}
+
+// serveHost exposes every channel of the host on one listener.
+func (f *fixture) serveHost(h *peer.Host) *Server {
+	f.t.Helper()
+	srv, err := NewHostServer("127.0.0.1:0", h, f.serverConfig())
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// One listener, two channels: each client's frames must reach its own
+// channel's ledger, and the hello must resolve per channel.
+func TestHostServerRoutesPerChannel(t *testing.T) {
+	f := newFixture(t)
+	h := f.newHost("host0", "alpha", "beta")
+	f.commitTx(h.Channel("alpha"), "a-key")
+	f.commitTx(h.Channel("alpha"), "a-key2")
+	f.commitTx(h.Channel("beta"), "b-key")
+	srv := f.serveHost(h)
+
+	for _, tc := range []struct {
+		channel string
+		height  uint64
+	}{{"alpha", 2}, {"beta", 1}} {
+		c, err := Dial(srv.Addr(), ClientConfig{Channel: tc.channel})
+		if err != nil {
+			t.Fatalf("dial channel %s: %v", tc.channel, err)
+		}
+		defer c.Close()
+		info, err := c.Hello()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.ChannelID != tc.channel {
+			t.Errorf("hello resolved channel %q, want %q", info.ChannelID, tc.channel)
+		}
+		if len(info.Channels) != 2 || info.Channels[0] != "alpha" || info.Channels[1] != "beta" {
+			t.Errorf("hello served channels %v, want [alpha beta]", info.Channels)
+		}
+		if info.Height != tc.height {
+			t.Errorf("channel %s height %d, want %d", tc.channel, info.Height, tc.height)
+		}
+		fp, height, err := c.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if height != tc.height {
+			t.Errorf("channel %s fingerprint height %d, want %d", tc.channel, height, tc.height)
+		}
+		want := h.Channel(tc.channel).StateFingerprint()
+		if fp != want {
+			t.Errorf("channel %s remote fingerprint %s != local %s", tc.channel, fp, want)
+		}
+	}
+}
+
+// A channel-less (pre-multichannel) client must route to the host's first
+// channel, keeping old joiners working against new hosts.
+func TestChannelLessClientRoutesToDefault(t *testing.T) {
+	f := newFixture(t)
+	h := f.newHost("host1", "alpha", "beta")
+	f.commitTx(h.Channel("alpha"), "only-on-alpha")
+	srv := f.serveHost(h)
+
+	c, err := Dial(srv.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ChannelID != "alpha" {
+		t.Errorf("default route resolved %q, want alpha", info.ChannelID)
+	}
+	if info.Height != 1 {
+		t.Errorf("default route height %d, want 1", info.Height)
+	}
+}
+
+// A join targeting a channel the host does not serve must fail fast with
+// the structured sentinel, not hang or return a generic failure.
+func TestUnknownChannelRejected(t *testing.T) {
+	f := newFixture(t)
+	h := f.newHost("host2", "alpha", "beta")
+	srv := f.serveHost(h)
+
+	_, err := Dial(srv.Addr(), ClientConfig{Channel: "gamma"})
+	if err == nil {
+		t.Fatal("dial on unserved channel succeeded")
+	}
+	if !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("error %v does not match ErrUnknownChannel", err)
+	}
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("error %v is not a RemoteError", err)
+	}
+
+	// The rejection must not poison the listener: a correctly scoped client
+	// still gets through.
+	c, err := Dial(srv.Addr(), ClientConfig{Channel: "beta"})
+	if err != nil {
+		t.Fatalf("dial after rejection: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Height(); err != nil {
+		t.Fatalf("height after rejection: %v", err)
+	}
+}

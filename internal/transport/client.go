@@ -21,8 +21,20 @@ import (
 // later (gossip does, every round).
 var ErrBackoff = errors.New("transport: peer unreachable, backing off")
 
+// ErrUnknownChannel is the sentinel a *RemoteError carrying
+// network.CodeUnknownChannel matches via errors.Is: the host rejected the
+// request because it does not serve the client's channel. A joiner should
+// surface the host's served-channel list instead of retrying.
+var ErrUnknownChannel = errors.New("transport: host does not serve the requested channel")
+
 // ClientConfig tunes a transport client.
 type ClientConfig struct {
+	// Channel names the channel every request from this client targets: it
+	// rides in each frame's header extension, and the serving host routes
+	// the frame to that channel's peer instance. Empty sends channel-less
+	// frames (byte-identical to pre-multichannel clients), which a host
+	// routes to its default channel.
+	Channel string
 	// Shape is applied to the client's writes (its uplink); zero means
 	// unshaped.
 	Shape network.LinkShape
@@ -183,6 +195,7 @@ func (c *Client) helloLocked() error {
 	c.hello = HelloInfo{
 		Name:       resp.Name,
 		ChannelID:  resp.ChannelID,
+		Channels:   resp.Channels,
 		Orgs:       resp.Orgs,
 		CACertsPEM: resp.CACertsPEM,
 		Height:     resp.Height,
@@ -248,7 +261,7 @@ func (c *Client) dropConnLocked() {
 // connection. A non-empty traceID rides in the frame header so the serving
 // process joins the sender's trace.
 func (c *Client) exchangeLocked(req *request, traceID string) (*response, error) {
-	if err := network.WriteTracedJSON(c.shaped, traceID, req); err != nil {
+	if err := network.WriteExtJSON(c.shaped, traceID, c.cfg.Channel, req); err != nil {
 		return nil, err
 	}
 	c.count(metrics.TransportFramesSent)
@@ -324,7 +337,7 @@ func (c *Client) BlocksFrom(from uint64) ([]*blockstore.Block, error) {
 	if err := c.ensureConnLocked(); err != nil {
 		return nil, err
 	}
-	if err := network.WriteJSON(c.shaped, &request{Op: opBlocksFrom, From: from}); err != nil {
+	if err := network.WriteExtJSON(c.shaped, "", c.cfg.Channel, &request{Op: opBlocksFrom, From: from}); err != nil {
 		c.dropConnLocked()
 		err = fmt.Errorf("transport: blocksFrom %s: %w", c.addr, err)
 		c.setErrLocked(err)

@@ -40,7 +40,9 @@ var _ Node = (*peer.Peer)(nil)
 
 // ServerConfig parameterizes a serving peer.
 type ServerConfig struct {
-	// ChannelID and Orgs describe the network for the hello handshake.
+	// ChannelID names the single channel a NewServer-built server exposes
+	// (NewHostServer derives its channel set from the host instead). It and
+	// Orgs describe the network for the hello handshake.
 	ChannelID string
 	Orgs      []string
 	// CACertsPEM are the organizations' CA certificates handed to joining
@@ -59,11 +61,16 @@ type ServerConfig struct {
 	Tracer *trace.Recorder
 }
 
-// Server exposes one peer on a TCP listener.
+// Server exposes one host — one or more channel-scoped peer nodes — on a
+// TCP listener. Every frame is routed to the node serving the channel named
+// in its header extension; channel-less frames go to the default (first)
+// channel, which is how pre-multichannel clients keep working.
 type Server struct {
-	node Node
-	cfg  ServerConfig
-	ln   net.Listener
+	nodes     map[string]Node
+	order     []string
+	defaultCh string
+	cfg       ServerConfig
+	ln        net.Listener
 
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -71,17 +78,54 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 }
 
-// NewServer starts a peer transport server on addr ("127.0.0.1:0" for an
-// ephemeral port).
+// NewServer starts a transport server exposing a single channel node on
+// addr ("127.0.0.1:0" for an ephemeral port), the channel named by
+// cfg.ChannelID. Multi-channel hosts use NewHostServer.
 func NewServer(addr string, node Node, cfg ServerConfig) (*Server, error) {
+	return newServer(addr, map[string]Node{cfg.ChannelID: node}, []string{cfg.ChannelID}, cfg)
+}
+
+// NewHostServer starts a transport server exposing every channel of a
+// multi-channel host on one listener. The host's first channel is the
+// default route for channel-less (pre-multichannel) clients.
+func NewHostServer(addr string, host *peer.Host, cfg ServerConfig) (*Server, error) {
+	order := host.Channels()
+	if len(order) == 0 {
+		return nil, errors.New("transport: host serves no channels")
+	}
+	nodes := make(map[string]Node, len(order))
+	for _, ch := range order {
+		nodes[ch] = host.Channel(ch)
+	}
+	return newServer(addr, nodes, order, cfg)
+}
+
+func newServer(addr string, nodes map[string]Node, order []string, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{node: node, cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		nodes:     nodes,
+		order:     order,
+		defaultCh: order[0],
+		cfg:       cfg,
+		ln:        ln,
+		conns:     make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// nodeFor resolves a frame's channel extension to the serving node. An
+// empty channel routes to the host's default channel.
+func (s *Server) nodeFor(channelID string) (Node, string, bool) {
+	if channelID == "" {
+		channelID = s.defaultCh
+	}
+	node, ok := s.nodes[channelID]
+	return node, channelID, ok
 }
 
 // Addr returns the server's listen address.
@@ -152,18 +196,33 @@ func (s *Server) serve(conn net.Conn) {
 	shaped := network.NewShapedConn(rw, s.cfg.Shape)
 	for {
 		var req request
-		traceID, err := network.ReadTracedJSON(rw, &req)
+		traceID, channelID, err := network.ReadExtJSON(rw, &req)
 		if err != nil {
 			return // EOF, oversized frame, or broken connection
 		}
 		s.count(metrics.TransportFramesReceived)
+		node, resolved, ok := s.nodeFor(channelID)
+		if !ok {
+			// Answer with a structured code instead of dropping the
+			// connection: the client maps it to ErrUnknownChannel and can
+			// report which channels the host does serve.
+			reject := &response{
+				Code: network.CodeUnknownChannel,
+				Err:  fmt.Sprintf("channel %q not served (serving %v)", channelID, s.order),
+			}
+			if err := network.WriteJSON(shaped, reject); err != nil {
+				return
+			}
+			s.count(metrics.TransportFramesSent)
+			continue
+		}
 		if req.Op == opBlocksFrom {
-			if err := s.streamBlocks(shaped, req.From); err != nil {
+			if err := s.streamBlocks(shaped, node, req.From); err != nil {
 				return
 			}
 			continue
 		}
-		if err := network.WriteJSON(shaped, s.handle(&req, traceID)); err != nil {
+		if err := network.WriteJSON(shaped, s.handle(node, resolved, &req, traceID)); err != nil {
 			return
 		}
 		s.count(metrics.TransportFramesSent)
@@ -174,8 +233,8 @@ func (s *Server) serve(conn net.Conn) {
 // terminating More=false frame. Streaming per block keeps a long catch-up
 // from buffering the whole tail in one frame and lets the shaper charge
 // each block its own transfer.
-func (s *Server) streamBlocks(w *network.ShapedConn, from uint64) error {
-	for _, b := range s.node.BlocksFrom(from) {
+func (s *Server) streamBlocks(w *network.ShapedConn, node Node, from uint64) error {
+	for _, b := range node.BlocksFrom(from) {
 		start := time.Now()
 		// Stamp the frame with the block's first txID so the pulling process
 		// can associate the stream with in-flight traces.
@@ -188,7 +247,7 @@ func (s *Server) streamBlocks(w *network.ShapedConn, from uint64) error {
 		}
 		s.count(metrics.TransportFramesSent)
 		if s.cfg.Tracer != nil {
-			s.cfg.Tracer.AddBatch(envelopeIDs(b), trace.StageGossipSend, s.node.Name(), start, time.Since(start))
+			s.cfg.Tracer.AddBatch(envelopeIDs(b), trace.StageGossipSend, node.Name(), start, time.Since(start))
 		}
 	}
 	err := network.WriteJSON(w, &response{OK: true, More: false})
@@ -207,39 +266,40 @@ func envelopeIDs(b *blockstore.Block) []string {
 	return ids
 }
 
-func (s *Server) handle(req *request, traceID string) *response {
+func (s *Server) handle(node Node, channelID string, req *request, traceID string) *response {
 	switch req.Op {
 	case opHello:
 		return &response{
 			OK:         true,
-			Name:       s.node.Name(),
-			ChannelID:  s.cfg.ChannelID,
+			Name:       node.Name(),
+			ChannelID:  channelID,
+			Channels:   s.order,
 			Orgs:       s.cfg.Orgs,
 			CACertsPEM: s.cfg.CACertsPEM,
-			Height:     s.node.Height(),
+			Height:     node.Height(),
 		}
 	case opHeight:
-		return &response{OK: true, Height: s.node.Height()}
+		return &response{OK: true, Height: node.Height()}
 	case opDeliver:
 		if req.Block == nil {
 			return &response{Code: network.CodeBadRequest, Err: "deliver without block"}
 		}
 		start := time.Now()
-		s.node.DeliverBlock(req.Block)
+		node.DeliverBlock(req.Block)
 		s.count(metrics.GossipPushDeliveries)
 		if s.cfg.Tracer != nil {
-			s.cfg.Tracer.AddBatch(envelopeIDs(req.Block), trace.StageGossipDeliver, s.node.Name(), start, time.Since(start))
+			s.cfg.Tracer.AddBatch(envelopeIDs(req.Block), trace.StageGossipDeliver, node.Name(), start, time.Since(start))
 		}
 		return &response{OK: true}
 	case opSync:
-		s.node.Sync()
-		return &response{OK: true, Height: s.node.Height()}
+		node.Sync()
+		return &response{OK: true, Height: node.Height()}
 	case opEndorse:
 		if req.Proposal == nil {
 			return &response{Code: network.CodeBadRequest, Err: "endorse without proposal"}
 		}
 		start := time.Now()
-		resp, err := s.node.ProcessProposal(req.Proposal)
+		resp, err := node.ProcessProposal(req.Proposal)
 		if err != nil {
 			return &response{Code: classifyPeerErr(err), Err: err.Error()}
 		}
@@ -248,7 +308,7 @@ func (s *Server) handle(req *request, traceID string) *response {
 		// ship it back so the caller joins it into its own timeline.
 		span := trace.Span{
 			Stage:    trace.StageEndorse,
-			Peer:     s.node.Name(),
+			Peer:     node.Name(),
 			Start:    start,
 			Duration: time.Since(start),
 		}
@@ -263,14 +323,14 @@ func (s *Server) handle(req *request, traceID string) *response {
 		}
 		return &response{OK: true, Endorsement: resp, Span: &span}
 	case opQuery:
-		resp, err := s.node.Query(req.Chaincode, req.Function, req.Args, req.Creator)
+		resp, err := node.Query(req.Chaincode, req.Function, req.Args, req.Creator)
 		if err != nil {
 			return &response{Code: classifyPeerErr(err), Err: err.Error()}
 		}
 		return &response{OK: true, Status: resp.Status, Message: resp.Message, Payload: resp.Payload}
 	case opFingerprint:
-		fp := s.node.StateFingerprint()
-		return &response{OK: true, Fingerprint: fp, Height: s.node.Height()}
+		fp := node.StateFingerprint()
+		return &response{OK: true, Fingerprint: fp, Height: node.Height()}
 	default:
 		return &response{Code: network.CodeBadRequest, Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}

@@ -59,9 +59,12 @@ type response struct {
 
 	// hello fields: who the peer is and the trust material a remote
 	// process needs to validate this network's blocks (CA certificates
-	// only — private keys never cross the wire).
+	// only — private keys never cross the wire). ChannelID is the channel
+	// the handshake resolved to; Channels lists every channel the host
+	// serves, so a joiner can discover the topology.
 	Name       string   `json:"name,omitempty"`
 	ChannelID  string   `json:"channelId,omitempty"`
+	Channels   []string `json:"channels,omitempty"`
 	Orgs       []string `json:"orgs,omitempty"`
 	CACertsPEM [][]byte `json:"caCerts,omitempty"`
 
@@ -96,6 +99,12 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote error [%s]: %s", e.Code, e.Msg)
 }
 
+// Is maps wire error codes onto package sentinels, so callers classify
+// remote failures with errors.Is instead of matching message text.
+func (e *RemoteError) Is(target error) bool {
+	return target == ErrUnknownChannel && e.Code == network.CodeUnknownChannel
+}
+
 // remoteErr converts a failed response into a RemoteError.
 func remoteErr(resp *response) error {
 	code := resp.Code
@@ -110,8 +119,12 @@ func remoteErr(resp *response) error {
 type HelloInfo struct {
 	// Name is the serving peer's name.
 	Name string
-	// ChannelID is the application channel the peer commits on.
+	// ChannelID is the channel this handshake resolved to: the client's
+	// requested channel, or the host's default for channel-less clients.
 	ChannelID string
+	// Channels lists every channel the host serves (nil from pre-multichannel
+	// servers).
+	Channels []string
 	// Orgs lists the consortium's organization names, in policy order
 	// (single org -> any-member endorsement policy, several -> majority).
 	Orgs []string

@@ -9,9 +9,15 @@
 // set — the first nightly run after the gate lands has nothing to compare
 // against.
 //
+// With -old-channels/-new-channels it additionally gates the multi-channel
+// tenancy artifact (BENCH_channels.json): aggregate throughput per
+// channel-count row under the same drop budget, rows matched by channel
+// count.
+//
 // Usage:
 //
 //	go run ./scripts -old prev/BENCH_commit.json -new BENCH_commit.json \
+//	    [-old-channels prev/BENCH_channels.json] [-new-channels BENCH_channels.json] \
 //	    [-max-tps-drop 10] [-max-p99-rise 15] [-allow-missing]
 package main
 
@@ -32,29 +38,59 @@ func main() {
 		"maximum allowed per-block p99 latency rise in percent")
 	allowMissing := flag.Bool("allow-missing", false,
 		"exit 0 when the baseline file does not exist (first run)")
+	oldChannelsPath := flag.String("old-channels", "",
+		"baseline BENCH_channels.json (empty skips the channels gate)")
+	newChannelsPath := flag.String("new-channels", "",
+		"freshly generated BENCH_channels.json (empty skips the channels gate)")
 	flag.Parse()
 
 	if *oldPath == "" {
 		fmt.Fprintln(os.Stderr, "bench_compare: -old is required")
 		os.Exit(2)
 	}
+	var violations []string
+	compared := 0
+
 	oldRes, err := load(*oldPath)
-	if err != nil {
-		if os.IsNotExist(err) && *allowMissing {
-			fmt.Printf("bench_compare: no baseline at %s; accepting %s as the first baseline\n",
-				*oldPath, *newPath)
-			return
+	switch {
+	case err == nil:
+		newRes, err := load(*newPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench_compare:", err)
+			os.Exit(2)
 		}
-		fmt.Fprintln(os.Stderr, "bench_compare:", err)
-		os.Exit(2)
-	}
-	newRes, err := load(*newPath)
-	if err != nil {
+		v, c := compare(oldRes, newRes, *maxTpsDrop, *maxP99Rise)
+		violations = append(violations, v...)
+		compared += c
+	case os.IsNotExist(err) && *allowMissing:
+		fmt.Printf("bench_compare: no baseline at %s; accepting %s as the first baseline\n",
+			*oldPath, *newPath)
+	default:
 		fmt.Fprintln(os.Stderr, "bench_compare:", err)
 		os.Exit(2)
 	}
 
-	violations, compared := compare(oldRes, newRes, *maxTpsDrop, *maxP99Rise)
+	if *oldChannelsPath != "" && *newChannelsPath != "" {
+		oldCh, err := loadChannels(*oldChannelsPath)
+		switch {
+		case err == nil:
+			newCh, err := loadChannels(*newChannelsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench_compare:", err)
+				os.Exit(2)
+			}
+			v, c := compareChannels(oldCh, newCh, *maxTpsDrop)
+			violations = append(violations, v...)
+			compared += c
+		case os.IsNotExist(err) && *allowMissing:
+			fmt.Printf("bench_compare: no channels baseline at %s; accepting %s as the first baseline\n",
+				*oldChannelsPath, *newChannelsPath)
+		default:
+			fmt.Fprintln(os.Stderr, "bench_compare:", err)
+			os.Exit(2)
+		}
+	}
+
 	fmt.Printf("bench_compare: %d row(s) compared, %d violation(s) "+
 		"(budgets: tps drop <= %.1f%%, p99 rise <= %.1f%%)\n",
 		compared, len(violations), *maxTpsDrop, *maxP99Rise)
@@ -72,6 +108,41 @@ func load(path string) (bench.CommitBenchResult, error) {
 		return bench.CommitBenchResult{}, err
 	}
 	return bench.ParseCommitBenchResult(raw)
+}
+
+func loadChannels(path string) (bench.ChannelBenchResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return bench.ChannelBenchResult{}, err
+	}
+	return bench.ParseChannelBenchResult(raw)
+}
+
+// compareChannels gates the multi-channel tenancy artifact: aggregate
+// modeled throughput per channel-count row must not drop beyond the
+// budget. Rows are matched by channel count; rows present on only one
+// side (a resized count list) are skipped.
+func compareChannels(oldRes, newRes bench.ChannelBenchResult, maxTpsDrop float64) ([]string, int) {
+	baseline := make(map[int]bench.ChannelBenchRow, len(oldRes.Rows))
+	for _, row := range oldRes.Rows {
+		baseline[row.Channels] = row
+	}
+	var violations []string
+	compared := 0
+	for _, row := range newRes.Rows {
+		base, ok := baseline[row.Channels]
+		if !ok || base.AggregateTps <= 0 {
+			continue
+		}
+		compared++
+		pct := (base.AggregateTps - row.AggregateTps) / base.AggregateTps * 100
+		if pct > maxTpsDrop {
+			violations = append(violations, fmt.Sprintf(
+				"channels=%d: aggregate tx/s dropped %.1f%% (%.1f -> %.1f, budget %.1f%%)",
+				row.Channels, pct, base.AggregateTps, row.AggregateTps, maxTpsDrop))
+		}
+	}
+	return violations, compared
 }
 
 // compare returns one violation string per breached budget plus the number

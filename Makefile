@@ -1,5 +1,13 @@
 # Development and CI entry points. CI jobs invoke exactly these targets, so
 # local runs and the matrix exercise identical commands.
+#
+# Static analysis: `make lint` builds tools/analyzers (a separate module,
+# keeping the main go.mod dependency-free) into bin/hyperprov-vet and runs
+# it through `go vet -vettool` — six repo-specific analyzers enforcing the
+# invariants past PRs established (atomic durable writes, structured error
+# codes, no deprecated shims, lock/blocking discipline, constant metric
+# names, deterministic commit-path time). See README "Static analysis &
+# enforced invariants" for the table and the suppression directives.
 
 GO ?= go
 
@@ -7,9 +15,15 @@ GO ?= go
 # raise it when coverage grows). Current total at the time of setting: 85.9%.
 COVER_FLOOR ?= 84.0
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-commit \
-	bench-commit-sweep bench-check bench-recovery bench-state \
-	bench-channels cover crash-test cross smoke
+# Per-target budget for `make fuzz` (PR smoke); nightly CI runs longer.
+FUZZTIME ?= 30s
+
+# The domain-specific vet tool and the module it lives in.
+VETTOOL := tools/analyzers/bin/hyperprov-vet
+
+.PHONY: all fmt fmt-check vet vettool analyze lint build test race bench \
+	bench-commit bench-commit-sweep bench-check bench-recovery bench-state \
+	bench-channels cover crash-test cross smoke fuzz test-analyzers
 
 all: build test
 
@@ -25,23 +39,50 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# staticcheck is optional locally (the container may lack network to install
-# it); CI installs it and fails the lint job on findings.
-lint: vet
+# Build the hyperprov-vet multichecker from its own module.
+vettool:
+	cd tools/analyzers && $(GO) build -o bin/hyperprov-vet ./cmd/hyperprov-vet
+
+# Run the six repo-specific analyzers over the whole tree via `go vet`.
+analyze: vettool
+	$(GO) vet -vettool=$(CURDIR)/$(VETTOOL) ./...
+
+# Unit-test the analyzers themselves (golden fixtures + the not-muted
+# self-test).
+test-analyzers:
+	cd tools/analyzers && $(GO) test ./...
+
+# staticcheck and govulncheck are optional locally (the container may lack
+# network to install them); CI installs them and fails the lint job on
+# findings.
+lint: vet analyze
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipped (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
+	$(MAKE) test-analyzers
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# Native fuzz targets, $(FUZZTIME) each: the frame reader under hostile
+# bytes (header flag bits included) and the checkpoint codec under damaged
+# media. Each run first executes the committed seed corpus.
+fuzz:
+	$(GO) test -fuzz=FuzzReadFrameExt -fuzztime=$(FUZZTIME) -run '^$$' ./internal/network/
+	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=$(FUZZTIME) -run '^$$' ./internal/recovery/
 
 bench:
 	$(GO) test -bench . -benchtime=500ms -run '^$$' ./...
@@ -99,7 +140,7 @@ cross:
 
 # Total coverage with an enforced floor; writes cover.out and cover.html.
 cover:
-	$(GO) test -coverprofile=cover.out -coverpkg=./internal/... ./...
+	$(GO) test -shuffle=on -coverprofile=cover.out -coverpkg=./internal/... ./...
 	$(GO) tool cover -html=cover.out -o cover.html
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \

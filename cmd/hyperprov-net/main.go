@@ -367,7 +367,11 @@ func runJoin(o options) error {
 	if err != nil {
 		return err
 	}
-	p := peer.New(peer.Config{Name: o.name, Signer: signer, MSP: msp, ChannelID: info.ChannelID, Tracer: tracer})
+	host, err := peer.NewHost(peer.Config{Name: o.name, Signer: signer, MSP: msp, Channels: []string{info.ChannelID}, Tracer: tracer})
+	if err != nil {
+		return err
+	}
+	p := host.Channel(info.ChannelID)
 	defer p.Stop()
 	// Same derivation the serving network used, so both sides validate
 	// endorsements against the identical policy.

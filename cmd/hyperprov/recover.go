@@ -46,7 +46,7 @@ func (h *recoverHarness) open(dir string) (*peer.Peer, error) {
 		Name:            "peer0.org1",
 		Signer:          signer,
 		MSP:             h.msp,
-		ChannelID:       "hyperprov",
+		Channels:        []string{"hyperprov"},
 		Dir:             dir,
 		CheckpointEvery: 4,
 		SyncEachAppend:  true,

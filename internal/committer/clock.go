@@ -1,0 +1,23 @@
+package committer
+
+import "time"
+
+// The committer's validation and MVCC decisions must be a pure function of
+// the block stream: NewSerial is the replay oracle the parallel pipeline's
+// equivalence tests (and crash recovery's replay path) are checked against,
+// so a wall-clock read anywhere in the decision path would silently break
+// determinism. The two functions below are the package's single sanctioned
+// wall-clock seam — stage stopwatches feeding metrics histograms and trace
+// spans only. Nothing derived from them may influence a validation outcome.
+// The walltime analyzer (tools/analyzers) flags every other wall-clock read
+// in this package.
+
+// stageStart begins a stage stopwatch.
+func stageStart() time.Time {
+	return time.Now() //hyperprov:allow walltime metrics/trace stopwatch seam
+}
+
+// stageElapsed reads a stage stopwatch started by stageStart.
+func stageElapsed(start time.Time) time.Duration {
+	return time.Since(start) //hyperprov:allow walltime metrics/trace stopwatch seam
+}

@@ -189,11 +189,11 @@ func mvccFinalizeParallel(cfg Config, t *task, workers int) {
 	b := t.b
 	n := len(b.Envelopes)
 
-	start := time.Now()
+	start := stageStart()
 	g := buildConflictGraph(t.preval)
 	waves := g.waves()
 	if cfg.Metrics != nil {
-		cfg.Metrics.Histogram(metrics.CommitMVCCGraphBuild).Observe(time.Since(start))
+		cfg.Metrics.Histogram(metrics.CommitMVCCGraphBuild).Observe(stageElapsed(start))
 	}
 
 	// blockWrites is written only at wave barriers and read concurrently

@@ -3,7 +3,6 @@ package committer
 import (
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/metrics"
@@ -94,7 +93,10 @@ func (p *Pipeline) Submit(ordered *blockstore.Block) bool {
 	if p.cfg.OnAccepted != nil {
 		p.cfg.OnAccepted(ordered)
 	}
-	// The send stays under submitMu so admission order equals queue order.
+	// The send stays under submitMu so admission order equals queue order;
+	// backpressure from a full stage queue is bounded by pipelineDepth and
+	// is exactly the admission throttle the pipeline wants.
+	//hyperprov:allow locksafe ordered admission requires the send under submitMu
 	p.prevalCh <- newTask(ordered)
 	return true
 }
@@ -104,10 +106,10 @@ func (p *Pipeline) prevalStage() {
 	defer p.wg.Done()
 	defer close(p.mvccCh)
 	for t := range p.prevalCh {
-		start := time.Now()
+		start := stageStart()
 		t.preval = prevalidate(p.cfg.Verifier, t.b, p.workers)
 		observe(p.cfg.Metrics, metrics.CommitStagePreval, start)
-		p.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitPreval, p.cfg.Name, start, time.Since(start))
+		p.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitPreval, p.cfg.Name, start, stageElapsed(start))
 		p.mvccCh <- t
 	}
 }
@@ -119,7 +121,7 @@ func (p *Pipeline) mvccStage() {
 	defer p.wg.Done()
 	defer close(p.persistCh)
 	for t := range p.mvccCh {
-		start := time.Now()
+		start := stageStart()
 		finalize(p.cfg, t, p.mvccWorkers)
 		err := applyState(p.cfg.State, t)
 		if err == nil {
@@ -128,7 +130,7 @@ func (p *Pipeline) mvccStage() {
 			captureState(p.cfg, t)
 		}
 		observe(p.cfg.Metrics, metrics.CommitStageMVCC, start)
-		p.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitMVCC, p.cfg.Name, start, time.Since(start))
+		p.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitMVCC, p.cfg.Name, start, stageElapsed(start))
 		if err != nil {
 			// Replayed block against restored state: drop, but still move
 			// the watermark so Sync cannot wedge.
@@ -144,7 +146,7 @@ func (p *Pipeline) mvccStage() {
 func (p *Pipeline) persistStage() {
 	defer p.wg.Done()
 	for t := range p.persistCh {
-		start := time.Now()
+		start := stageStart()
 		persist(p.cfg, t, start)
 		observe(p.cfg.Metrics, metrics.CommitStagePersist, start)
 		p.advance(t.b.Header.Number)

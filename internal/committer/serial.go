@@ -2,7 +2,6 @@ package committer
 
 import (
 	"sync"
-	"time"
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
 	"github.com/hyperprov/hyperprov/internal/metrics"
@@ -44,26 +43,26 @@ func (s *Serial) Submit(ordered *blockstore.Block) bool {
 	}
 	t := newTask(ordered)
 
-	start := time.Now()
+	start := stageStart()
 	t.preval = prevalidate(s.cfg.Verifier, t.b, 1)
 	observe(s.cfg.Metrics, metrics.CommitStagePreval, start)
-	s.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitPreval, s.cfg.Name, start, time.Since(start))
+	s.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitPreval, s.cfg.Name, start, stageElapsed(start))
 
-	start = time.Now()
+	start = stageStart()
 	mvccFinalize(s.cfg.State, s.cfg.Exec, t)
 	err := applyState(s.cfg.State, t)
 	if err == nil {
 		captureState(s.cfg, t)
 	}
 	observe(s.cfg.Metrics, metrics.CommitStageMVCC, start)
-	s.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitMVCC, s.cfg.Name, start, time.Since(start))
+	s.cfg.Tracer.AddBatch(t.txIDs(), trace.StageCommitMVCC, s.cfg.Name, start, stageElapsed(start))
 	if err != nil {
 		// Replayed block against restored state: already reflected, drop
 		// (the height is consumed, exactly as the pipeline does).
 		return false
 	}
 
-	start = time.Now()
+	start = stageStart()
 	persist(s.cfg, t, start)
 	observe(s.cfg.Metrics, metrics.CommitStagePersist, start)
 	if t.capture != nil {

@@ -430,13 +430,17 @@ func (n *Network) AddGossipPeer(prof device.Profile, ccs map[string]shim.Chainco
 	if err != nil {
 		return nil, fmt.Errorf("fabric: enroll %s: %w", name, err)
 	}
-	p := peer.New(peer.Config{
-		Name:      name,
-		Signer:    signer,
-		MSP:       n.msp,
-		Executor:  device.NewExecutor(prof, n.clock, n.cfg.Seed+int64(len(cr.peers))*17),
-		ChannelID: cr.id,
+	host, err := peer.NewHost(peer.Config{
+		Name:     name,
+		Signer:   signer,
+		MSP:      n.msp,
+		Executor: device.NewExecutor(prof, n.clock, n.cfg.Seed+int64(len(cr.peers))*17),
+		Channels: []string{cr.id},
 	})
+	if err != nil {
+		return nil, fmt.Errorf("fabric: host %s: %w", name, err)
+	}
+	p := host.Channel(cr.id)
 	for ccName, cc := range ccs {
 		if err := p.InstallChaincode(ccName, cc, n.policy); err != nil {
 			return nil, err

@@ -133,10 +133,21 @@ type DirStore struct {
 
 var _ Store = (*DirStore)(nil)
 
-// NewDirStore creates (if needed) and uses dir as the object root.
+// putTmpPattern names in-flight Put temp files; they are invisible to Get
+// (objects are addressed by their hex hash) and swept on open.
+const putTmpPattern = ".put-*.tmp"
+
+// NewDirStore creates (if needed) and uses dir as the object root. Temp
+// files left behind by a Put cut short by a crash are swept: they were
+// never renamed into place, so no reference can point at them.
 func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("offchain: create root: %w", err)
+	}
+	if stale, err := filepath.Glob(filepath.Join(dir, putTmpPattern)); err == nil {
+		for _, path := range stale {
+			os.Remove(path)
+		}
 	}
 	return &DirStore{root: dir}, nil
 }
@@ -147,13 +158,49 @@ func (d *DirStore) path(key string) string {
 	return filepath.Join(d.root, name)
 }
 
-// Put writes data to a content-addressed file.
+// Put writes data to a content-addressed file. The write is atomic with
+// the same discipline as the recovery checkpoints (temp file + fsync +
+// rename + directory fsync): the content hash is the key clients record
+// on-chain, so a crash mid-store must never leave a truncated blob behind
+// a valid hash — either the complete object is durably in place or
+// nothing is.
 func (d *DirStore) Put(data []byte) (string, error) {
 	key := Checksum(data)
-	if err := os.WriteFile(d.path(key), data, 0o644); err != nil {
+	final := d.path(key)
+	tmp, err := os.CreateTemp(d.root, putTmpPattern)
+	if err != nil {
+		return "", fmt.Errorf("offchain: temp object: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
 		return "", fmt.Errorf("offchain: write object: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return "", fmt.Errorf("offchain: sync object: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("offchain: close object: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("offchain: publish object: %w", err)
+	}
+	syncDir(d.root)
 	return "file://" + key, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed object survives power loss.
+// Best-effort, matching internal/recovery: some filesystems refuse
+// directory fsync.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
 }
 
 // Get reads and verifies a content-addressed file.

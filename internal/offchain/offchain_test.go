@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -175,5 +176,91 @@ func TestChecksumCollisionResistanceSample(t *testing.T) {
 			t.Fatalf("collision at %d", i)
 		}
 		seen[cs] = true
+	}
+}
+
+// A crash mid-Put must never leave a truncated blob reachable behind a
+// valid content hash: the torn write lives in a .put-*.tmp file that Get
+// cannot address and the next NewDirStore sweeps away.
+func TestDirStoreCrashTornPut(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("sensor payload destined for off-chain storage")
+	ref := "file://" + Checksum(data)
+
+	// Simulate the crash: the temp file exists with a torn prefix of the
+	// payload, the rename never happened.
+	torn, err := os.CreateTemp(dir, putTmpPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := torn.Write(data[:len(data)/2]); err != nil {
+		t.Fatal(err)
+	}
+	torn.Close()
+
+	// The torn blob is unreachable through the store.
+	if _, err := s.Get(ref); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after torn Put = %v, want ErrNotFound", err)
+	}
+
+	// Reopening the directory sweeps the stale temp file.
+	if _, err := NewDirStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, putTmpPattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale temp files survived reopen: %v", stale)
+	}
+
+	// A successful Put leaves exactly the final object, no temp residue.
+	gotRef, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRef != ref {
+		t.Fatalf("Put ref = %q, want %q", gotRef, ref)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir after Put has %d entries, want 1 (the object)", len(entries))
+	}
+	got, err := s.Get(ref)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get after Put = %v, %v", got, err)
+	}
+}
+
+// A torn final file (e.g. a non-atomic writer or disk fault) is detected by
+// the checksum on Get rather than served as valid data.
+func TestDirStoreTornFinalDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("complete object body")
+	ref, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.TrimPrefix(ref, "file://")
+	if err := os.WriteFile(s.path(key)+".torn", data[:5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.path(key)+".torn", s.path(key)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ref); !errors.Is(err, ErrChecksumMismatch) {
+		t.Fatalf("Get torn final = %v, want ErrChecksumMismatch", err)
 	}
 }

@@ -391,6 +391,12 @@ func (s *Store) ApplyUpdates(batch *UpdateBatch, height Version) error {
 			}()
 		}
 		work()
+		// The join stays under applyMu on purpose: the apply IS the
+		// exclusive-writer critical section, the pool is private to this
+		// call, and the calling goroutine drained the queue itself before
+		// waiting, so the wait is bounded by the slowest shard, not by any
+		// foreign lock holder.
+		//hyperprov:allow locksafe private worker pool joined inside the exclusive apply section
 		wg.Wait()
 	} else {
 		for _, i := range nonEmpty {

@@ -179,8 +179,11 @@ func (s *Server) acceptLoop() {
 }
 
 // count bumps a server-side transport counter when metrics are configured.
+// Every call site passes one of the metrics.Transport* constants, so the
+// counter family set stays fixed.
 func (s *Server) count(name string) {
 	if s.cfg.Metrics != nil {
+		//hyperprov:allow metricnames constant Transport* names forwarded by call sites
 		s.cfg.Metrics.Counter(name).Inc()
 	}
 }

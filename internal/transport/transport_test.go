@@ -1,3 +1,5 @@
+//hyperprov:compat exercises the legacy single-channel peer.Config.ChannelID path on purpose
+
 package transport
 
 import (

@@ -1,0 +1,124 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis API surface that hyperprov-vet needs. The
+// repo builds hermetically (no module downloads), so the real x/tools
+// module cannot be a dependency; this package mirrors the Analyzer/Pass/
+// Diagnostic shapes closely enough that the analyzers would port to the
+// upstream API by changing one import path.
+//
+// Deliberate divergences from x/tools: no Facts (none of the hyperprov
+// analyzers need cross-package state), no Requires/ResultOf dependency
+// graph, and no suggested fixes. Diagnostics carry only a position and a
+// message.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's short identifier, used in the driver's flag
+	// set, in diagnostics, and in //hyperprov:allow suppression comments.
+	// It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph help text; its first line is the summary.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one typed package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Validate checks the analyzer list for driver use: non-empty unique names.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a == nil || a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %s has no Run function", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// Package bundles one typed package the way drivers hand it to analyzers.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers read populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run applies each analyzer to pkg and returns the diagnostics sorted by
+// position, each tagged with the analyzer that produced it.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d Diagnostic) {
+			findings = append(findings, Finding{Analyzer: a, Diagnostic: d})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		return findings[i].Pos < findings[j].Pos
+	})
+	return findings, nil
+}
+
+// Finding is one diagnostic plus the analyzer that reported it.
+type Finding struct {
+	Analyzer *Analyzer
+	Diagnostic
+}

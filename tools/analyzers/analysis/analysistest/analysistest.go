@@ -1,0 +1,274 @@
+// Package analysistest runs analyzers over golden-file packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture sources
+// under testdata/src/<pkgpath> annotate the lines where diagnostics are
+// expected with trailing comments of the form
+//
+//	// want "regexp"
+//
+// and the harness fails the test on any diagnostic without a matching
+// expectation or expectation without a matching diagnostic. Like the rest
+// of tools/analyzers it is dependency-free: fixtures typecheck against the
+// standard library via the source importer, and fixture-local imports
+// resolve to sibling packages under the same testdata/src root.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/hyperprov/hyperprov/tools/analyzers/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run loads each fixture package (a directory under testdata/src named by
+// its import path), applies the analyzer, and checks the diagnostics
+// against the // want annotations in the fixture sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(testdata)
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, pkg, findings)
+	}
+}
+
+// Load typechecks one fixture package for callers that inspect diagnostics
+// directly (e.g. the suite self-test).
+func Load(testdata, pkgPath string) (*analysis.Package, error) {
+	return newLoader(testdata).load(pkgPath)
+}
+
+// expectation is one // want annotation.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// check matches findings against the fixture's want annotations.
+func check(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	expects, err := wantExpectations(pkg)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	for _, f := range findings {
+		posn := pkg.Fset.Position(f.Pos)
+		ok := false
+		for _, e := range expects {
+			if e.matched || e.file != posn.Filename || e.line != posn.Line {
+				continue
+			}
+			if e.rx.MatchString(f.Message) {
+				e.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// wantExpectations scans fixture comments for // want annotations.
+func wantExpectations(pkg *analysis.Package) ([]*expectation, error) {
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWant(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", posn, err)
+				}
+				for _, p := range patterns {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", posn, p, err)
+					}
+					expects = append(expects, &expectation{
+						file: posn.Filename, line: posn.Line, rx: rx, raw: p,
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(expects, func(i, j int) bool {
+		if expects[i].file != expects[j].file {
+			return expects[i].file < expects[j].file
+		}
+		return expects[i].line < expects[j].line
+	})
+	return expects, nil
+}
+
+// parseWant splits a want annotation body into its quoted regexp strings
+// (double-quoted or backquoted, space-separated).
+func parseWant(body string) ([]string, error) {
+	var patterns []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in want annotation")
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want string %s: %v", rest[:end+1], err)
+			}
+			patterns = append(patterns, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in want annotation")
+			}
+			patterns = append(patterns, rest[1:1+end])
+			rest = strings.TrimSpace(rest[2+end:])
+		default:
+			return nil, fmt.Errorf("want annotation must hold quoted regexps, got %q", rest)
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("empty want annotation")
+	}
+	return patterns, nil
+}
+
+// loader typechecks fixture packages, resolving fixture-local imports to
+// sibling testdata packages and everything else to the standard library.
+type loader struct {
+	root   string // testdata/src
+	fset   *token.FileSet
+	cache  map[string]*loaded
+	stdlib types.Importer
+}
+
+type loaded struct {
+	pkg *analysis.Package
+	err error
+}
+
+func newLoader(testdata string) *loader {
+	return &loader{
+		root:   filepath.Join(testdata, "src"),
+		fset:   token.NewFileSet(),
+		cache:  make(map[string]*loaded),
+		stdlib: importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+}
+
+// Import implements types.Importer over the fixture tree with a stdlib
+// fallback, so fixtures can import both fake sibling packages and real
+// standard-library packages.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(ld.root, filepath.FromSlash(path))) {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return ld.stdlib.Import(path)
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+// load parses and typechecks the fixture package at pkgPath.
+func (ld *loader) load(pkgPath string) (*analysis.Package, error) {
+	if got, ok := ld.cache[pkgPath]; ok {
+		return got.pkg, got.err
+	}
+	// Mark in-progress to turn import cycles into load failures rather
+	// than infinite recursion.
+	ld.cache[pkgPath] = &loaded{err: fmt.Errorf("import cycle through %s", pkgPath)}
+	pkg, err := ld.loadUncached(pkgPath)
+	ld.cache[pkgPath] = &loaded{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (ld *loader) loadUncached(pkgPath string) (*analysis.Package, error) {
+	dir := filepath.Join(ld.root, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	cfg := types.Config{Importer: ld}
+	tpkg, err := cfg.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", pkgPath, err)
+	}
+	return &analysis.Package{Fset: ld.fset, Files: files, Pkg: tpkg, TypesInfo: info}, nil
+}

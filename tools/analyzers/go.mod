@@ -1,0 +1,3 @@
+module github.com/hyperprov/hyperprov/tools/analyzers
+
+go 1.24

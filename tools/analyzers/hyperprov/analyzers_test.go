@@ -1,0 +1,38 @@
+package hyperprov_test
+
+import (
+	"testing"
+
+	"github.com/hyperprov/hyperprov/tools/analyzers/analysis/analysistest"
+	"github.com/hyperprov/hyperprov/tools/analyzers/hyperprov"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hyperprov.AtomicWrite,
+		"atomicwrite/offchain", "atomicwrite/other")
+}
+
+func TestErrCodes(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hyperprov.ErrCodes,
+		"errcodes/a")
+}
+
+func TestNoDeprecated(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hyperprov.NoDeprecated,
+		"nodeprecated/use", "nodeprecated/core", "nodeprecated/peer", "nodeprecated/fabric")
+}
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hyperprov.LockSafe,
+		"locksafe/committer", "locksafe/other")
+}
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hyperprov.MetricNames,
+		"metricnames/app", "metricnames/metrics")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hyperprov.WallTime,
+		"walltime/committer", "walltime/other")
+}

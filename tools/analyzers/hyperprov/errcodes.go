@@ -1,0 +1,109 @@
+package hyperprov
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/hyperprov/hyperprov/tools/analyzers/analysis"
+)
+
+// ErrCodes bans error-string matching in non-test code — the exact bug
+// class PR 4 fixed in RemoteStore, where a client matched on a server's
+// message text and broke the moment the wording changed. Cross-process
+// boundaries carry a structured network.ErrCode; in-process callers use
+// errors.Is/errors.As against sentinel errors. The analyzer flags
+// strings.Contains/HasPrefix/HasSuffix/EqualFold/Index over err.Error()
+// (or fmt.Sprint of an error) and ==/!= comparisons of err.Error() with
+// another string.
+var ErrCodes = &analysis.Analyzer{
+	Name: "errcodes",
+	Doc: "flag error-string matching (strings.Contains(err.Error(), ...), " +
+		"err.Error() == ...) in non-test code; classify errors with " +
+		"errors.Is/errors.As or network.ErrCode",
+	Run: runErrCodes,
+}
+
+var errCodesMatchers = []string{"Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index"}
+
+func runErrCodes(pass *analysis.Pass) error {
+	allow := newAllowIndex(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue // tests may assert on message text
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				for _, name := range errCodesMatchers {
+					if !isPkgFunc(fn, "strings", name) {
+						continue
+					}
+					for _, arg := range n.Args {
+						if isErrorString(pass.TypesInfo, arg) {
+							if !allow.allowed(pass.Analyzer.Name, n.Pos()) {
+								pass.Reportf(n.Pos(),
+									"matching on an error's message with strings.%s; "+
+										"use errors.Is/errors.As against a sentinel, or a structured network.ErrCode",
+									name)
+							}
+							break
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isErrorString(pass.TypesInfo, n.X) || isErrorString(pass.TypesInfo, n.Y) {
+					if !allow.allowed(pass.Analyzer.Name, n.Pos()) {
+						pass.Reportf(n.Pos(),
+							"comparing an error's message text with %s; "+
+								"use errors.Is/errors.As against a sentinel, or a structured network.ErrCode",
+							n.Op)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorString reports whether e renders an error as a string for
+// matching: a call to the Error() method of an error value, or
+// fmt.Sprint/Sprintf over at least one error-typed argument.
+func isErrorString(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Name() == "Error" {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok && isErrorType(tv.Type) {
+					return true
+				}
+			}
+		}
+	}
+	if isPkgFunc(fn, "fmt", "Sprint") || isPkgFunc(fn, "fmt", "Sprintf") {
+		for _, arg := range call.Args {
+			if tv, ok := info.Types[arg]; ok && isErrorType(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

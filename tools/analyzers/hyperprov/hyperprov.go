@@ -1,0 +1,32 @@
+// Package hyperprov holds the repo's domain-specific analyzers. Each one
+// machine-checks an invariant that an earlier PR established and that
+// review alone kept re-litigating:
+//
+//	atomicwrite   durable files are published temp+fsync+rename+dir-fsync (PR 3)
+//	errcodes      cross-process errors are classified structurally, never by
+//	              error-string matching (PR 4's RemoteStore bug class)
+//	nodeprecated  the single-channel shims stay quarantined to compat tests (PR 8)
+//	locksafe      striped locks are never held across blocking operations (PR 5/7)
+//	metricnames   metric families are compile-time constant snake_case names (PR 6/8)
+//	walltime      the commit/MVCC decision path stays deterministic: wall-clock
+//	              reads only through the metrics seam (PR 7)
+//
+// Suppression: a `//hyperprov:allow <name> <reason>` comment on the flagged
+// line (or alone on the line above) silences one line; a
+// `//hyperprov:compat <reason>` comment designates a _test.go file as a
+// compatibility test exempt from nodeprecated.
+package hyperprov
+
+import "github.com/hyperprov/hyperprov/tools/analyzers/analysis"
+
+// All returns every hyperprov analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		AtomicWrite,
+		ErrCodes,
+		NoDeprecated,
+		LockSafe,
+		MetricNames,
+		WallTime,
+	}
+}

@@ -1,0 +1,94 @@
+package hyperprov
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/hyperprov/hyperprov/tools/analyzers/analysis"
+)
+
+// NoDeprecated quarantines the single-channel compatibility shims PR 8
+// superseded: core.NewClient (and its core.Config argument), and the
+// ChannelID fields of peer.Config and fabric.Config. The shims stay — old
+// data directories must keep opening — but new code must not grow onto
+// them. The declaring package itself is exempt (it implements the shim),
+// and _test.go files carrying a //hyperprov:compat designation are exempt
+// (they exist to prove the shim still works).
+var NoDeprecated = &analysis.Analyzer{
+	Name: "nodeprecated",
+	Doc: "flag use of deprecated single-channel shims (core.NewClient, " +
+		"peer.Config.ChannelID, fabric.Config.ChannelID) outside the " +
+		"declaring package and designated compat tests",
+	Run: runNoDeprecated,
+}
+
+// deprecatedFuncs lists banned package-level functions as (pkgSeg, name).
+var deprecatedFuncs = [][2]string{
+	{"core", "NewClient"},
+}
+
+// deprecatedFields lists banned struct fields as (pkgSeg, type, field).
+var deprecatedFields = [][3]string{
+	{"peer", "Config", "ChannelID"},
+	{"fabric", "Config", "ChannelID"},
+}
+
+func runNoDeprecated(pass *analysis.Pass) error {
+	selfSegs := pkgSegments(pass.Pkg.Path())
+	self := selfSegs[len(selfSegs)-1]
+	allow := newAllowIndex(pass)
+	report := func(pos ast.Node, what string) {
+		if !allow.allowed(pass.Analyzer.Name, pos.Pos()) {
+			pass.Reportf(pos.Pos(), "%s is a deprecated single-channel shim; use the Channels form", what)
+		}
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) && isCompatFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				for _, df := range deprecatedFuncs {
+					if df[0] != self && isPkgFunc(fn, df[0], df[1]) {
+						report(n, df[0]+"."+df[1])
+					}
+				}
+			case *ast.CompositeLit:
+				tv, ok := pass.TypesInfo.Types[n]
+				if !ok {
+					return true
+				}
+				for _, df := range deprecatedFields {
+					if df[0] == self || !isNamed(tv.Type, df[0], df[1]) {
+						continue
+					}
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := kv.Key.(*ast.Ident); ok && key.Name == df[2] {
+							report(kv, df[0]+"."+df[1]+"."+df[2])
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				// Field access (read or write) outside a composite literal.
+				if sel := pass.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					for _, df := range deprecatedFields {
+						if df[0] == self || n.Sel.Name != df[2] {
+							continue
+						}
+						if isNamed(sel.Recv(), df[0], df[1]) {
+							report(n, df[0]+"."+df[1]+"."+df[2])
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

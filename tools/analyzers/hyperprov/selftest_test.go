@@ -1,0 +1,58 @@
+package hyperprov_test
+
+import (
+	"testing"
+
+	"github.com/hyperprov/hyperprov/tools/analyzers/analysis"
+	"github.com/hyperprov/hyperprov/tools/analyzers/analysis/analysistest"
+	"github.com/hyperprov/hyperprov/tools/analyzers/hyperprov"
+)
+
+// violationFixture maps each analyzer to a fixture package seeded with
+// known violations of its invariant.
+var violationFixture = map[string]string{
+	"atomicwrite":  "atomicwrite/offchain",
+	"errcodes":     "errcodes/a",
+	"nodeprecated": "nodeprecated/use",
+	"locksafe":     "locksafe/committer",
+	"metricnames":  "metricnames/app",
+	"walltime":     "walltime/committer",
+}
+
+// TestSuiteNotMuted is the analog of the bench-regression guard in
+// bench_compare_test.go: if an analyzer is accidentally muted — a scoping
+// rule that no longer matches, a suppression index gone greedy, a Run
+// function short-circuited — its injected-violation fixture yields zero
+// diagnostics and this test fails CI, independent of the // want
+// annotations (which a muted analyzer would trivially "satisfy" by
+// reporting nothing... except that analysistest.Run also fails on
+// unmatched expectations; this guard protects against both being edited
+// away together).
+func TestSuiteNotMuted(t *testing.T) {
+	all := hyperprov.All()
+	if len(all) != len(violationFixture) {
+		t.Fatalf("suite has %d analyzers, self-test knows %d: update violationFixture",
+			len(all), len(violationFixture))
+	}
+	for _, a := range all {
+		fixture, ok := violationFixture[a.Name]
+		if !ok {
+			t.Errorf("analyzer %s has no violation fixture: every analyzer needs one", a.Name)
+			continue
+		}
+		pkg, err := analysistest.Load(analysistest.TestData(), fixture)
+		if err != nil {
+			t.Errorf("%s: load %s: %v", a.Name, fixture, err)
+			continue
+		}
+		findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: run over %s: %v", a.Name, fixture, err)
+			continue
+		}
+		if len(findings) == 0 {
+			t.Errorf("analyzer %s reported zero diagnostics over violation fixture %s: "+
+				"the analyzer is muted", a.Name, fixture)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package offchain is an in-scope fixture: its import path ends in a
+// durable-file package segment, so direct writes are flagged.
+package offchain
+
+import "os"
+
+func bad(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want "os.WriteFile bypasses the temp\\+rename\\+dir-fsync discipline"
+		return err
+	}
+	f, err := os.Create(path) // want "os.Create bypasses the temp\\+rename\\+dir-fsync discipline"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func good(dir string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".obj-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), dir+"/obj"); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	f, err := os.OpenFile(dir+"/append.log", os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func sanctioned(path string, data []byte) error {
+	//hyperprov:allow atomicwrite fixture exercises the suppression path
+	return os.WriteFile(path, data, 0o644)
+}

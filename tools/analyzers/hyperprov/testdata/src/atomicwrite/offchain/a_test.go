@@ -1,0 +1,8 @@
+package offchain
+
+import "os"
+
+// Test files may write torn fixtures on purpose; the analyzer skips them.
+func writeTornFixture(path string) error {
+	return os.WriteFile(path, []byte("torn"), 0o644)
+}

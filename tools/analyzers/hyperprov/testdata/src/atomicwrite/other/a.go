@@ -1,0 +1,8 @@
+// Package other is out of scope: direct writes are legal here.
+package other
+
+import "os"
+
+func fine(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

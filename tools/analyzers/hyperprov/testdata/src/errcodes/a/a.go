@@ -1,0 +1,37 @@
+// Package a exercises the errcodes analyzer: error-string matching is
+// flagged everywhere outside test files.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errSentinel = errors.New("a: sentinel")
+
+func bad(err error) bool {
+	if strings.Contains(err.Error(), "not found") { // want "matching on an error's message with strings.Contains"
+		return true
+	}
+	if strings.HasPrefix(fmt.Sprintf("op: %v", err), "op: timeout") { // want "matching on an error's message with strings.HasPrefix"
+		return true
+	}
+	if err.Error() == "boom" { // want "comparing an error's message text with =="
+		return true
+	}
+	return err.Error() != "calm" // want "comparing an error's message text with !="
+}
+
+func good(err error) bool {
+	if errors.Is(err, errSentinel) {
+		return true
+	}
+	// Matching over ordinary strings is not error matching.
+	return strings.Contains("haystack", "needle")
+}
+
+func sanctioned(err error) bool {
+	//hyperprov:allow errcodes fixture exercises the suppression path
+	return strings.Contains(err.Error(), "legacy wire text")
+}

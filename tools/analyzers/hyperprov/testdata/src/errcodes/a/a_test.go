@@ -1,0 +1,8 @@
+package a
+
+import "strings"
+
+// Tests may assert on message text; the analyzer skips _test.go files.
+func assertMessage(err error) bool {
+	return strings.Contains(err.Error(), "exact wording")
+}

@@ -1,0 +1,22 @@
+// Package core declares the deprecated NewClient shim; the declaring
+// package itself is exempt from the nodeprecated analyzer.
+package core
+
+// Client is a stand-in for the legacy single-channel client.
+type Client struct {
+	channel string
+}
+
+// NewClient is the deprecated single-channel constructor.
+func NewClient(channel string) *Client {
+	return newClient(channel)
+}
+
+func newClient(channel string) *Client {
+	return &Client{channel: channel}
+}
+
+// self proves the declaring package may keep calling its own shim.
+func self() *Client {
+	return NewClient("legacy")
+}

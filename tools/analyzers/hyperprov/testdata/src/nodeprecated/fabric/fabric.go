@@ -1,0 +1,10 @@
+// Package fabric declares a Config with the deprecated ChannelID shim.
+package fabric
+
+// Config configures a fixture network.
+type Config struct {
+	// ChannelID is the deprecated single-channel shim.
+	ChannelID string
+	// Channels is the multi-channel replacement.
+	Channels []string
+}

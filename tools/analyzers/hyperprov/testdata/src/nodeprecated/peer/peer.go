@@ -1,0 +1,20 @@
+// Package peer declares the Config whose ChannelID field is a deprecated
+// single-channel shim; Channels is the replacement.
+package peer
+
+// Config configures a fixture peer.
+type Config struct {
+	Name string
+	// ChannelID is the deprecated single-channel shim.
+	ChannelID string
+	// Channels is the multi-channel replacement.
+	Channels []string
+}
+
+// New consumes the config; the declaring package reads the shim legally.
+func New(cfg Config) string {
+	if len(cfg.Channels) > 0 {
+		return cfg.Channels[0]
+	}
+	return cfg.ChannelID
+}

@@ -1,0 +1,14 @@
+//hyperprov:compat designated compatibility test: proves the shims still work
+
+package use
+
+import (
+	"nodeprecated/core"
+	"nodeprecated/peer"
+)
+
+// A designated compat test may exercise the deprecated shims freely.
+func compatPath() string {
+	_ = core.NewClient("legacy")
+	return peer.New(peer.Config{ChannelID: "ch"})
+}

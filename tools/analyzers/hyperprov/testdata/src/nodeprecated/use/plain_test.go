@@ -1,0 +1,8 @@
+package use
+
+import "nodeprecated/peer"
+
+// An ordinary test file without the compat designation is still flagged.
+func plainTestPath() string {
+	return peer.New(peer.Config{ChannelID: "ch"}) // want "peer.Config.ChannelID is a deprecated single-channel shim"
+}

@@ -1,0 +1,30 @@
+// Package use is an outside caller: every shim use is flagged.
+package use
+
+import (
+	"nodeprecated/core"
+	"nodeprecated/fabric"
+	"nodeprecated/peer"
+)
+
+func bad() {
+	_ = core.NewClient("legacy") // want "core.NewClient is a deprecated single-channel shim"
+	cfg := peer.Config{
+		Name:      "peer0",
+		ChannelID: "ch", // want "peer.Config.ChannelID is a deprecated single-channel shim"
+	}
+	cfg.ChannelID = "ch2"              // want "peer.Config.ChannelID is a deprecated single-channel shim"
+	_ = fabric.Config{ChannelID: "ch"} // want "fabric.Config.ChannelID is a deprecated single-channel shim"
+	_ = peer.New(cfg)
+}
+
+func good() {
+	cfg := peer.Config{Name: "peer0", Channels: []string{"ch"}}
+	_ = fabric.Config{Channels: []string{"ch"}}
+	_ = peer.New(cfg)
+}
+
+func sanctioned() {
+	//hyperprov:allow nodeprecated fixture exercises the suppression path
+	_ = core.NewClient("legacy")
+}

@@ -1,0 +1,22 @@
+// Package committer is an in-scope fixture for the walltime analyzer:
+// the deterministic commit path must not read the wall clock.
+package committer
+
+import "time"
+
+func bad(deadline time.Time) time.Duration {
+	start := time.Now()      // want "time.Now in the deterministic commit/MVCC path"
+	_ = time.Until(deadline) // want "time.Until in the deterministic commit/MVCC path"
+	return time.Since(start) // want "time.Since in the deterministic commit/MVCC path"
+}
+
+func good() time.Duration {
+	// Constructing durations and times without reading the clock is fine.
+	t := time.Unix(0, 0)
+	return t.Sub(time.Unix(0, 0)) + time.Millisecond
+}
+
+func seam() time.Time {
+	//hyperprov:allow walltime fixture mirrors the metrics stopwatch seam
+	return time.Now()
+}

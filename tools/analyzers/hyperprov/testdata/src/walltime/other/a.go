@@ -1,0 +1,8 @@
+// Package other is out of scope: wall-clock reads are legal here.
+package other
+
+import "time"
+
+func fine() time.Time {
+	return time.Now()
+}

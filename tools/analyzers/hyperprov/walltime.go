@@ -1,0 +1,53 @@
+package hyperprov
+
+import (
+	"go/ast"
+
+	"github.com/hyperprov/hyperprov/tools/analyzers/analysis"
+)
+
+// WallTime keeps the commit/MVCC decision path deterministic, so
+// committer.NewSerial stays a valid replay oracle for the parallel
+// pipeline (PR 7's equivalence tests depend on it): in committer and
+// rwset, nothing may read the wall clock — validation outcomes must be a
+// pure function of the block stream. The only sanctioned reads are the
+// stage-stopwatch seam feeding metrics and tracing (committer's clock.go),
+// which carries the //hyperprov:allow walltime directive.
+var WallTime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "flag time.Now/time.Since/time.Until in the deterministic " +
+		"commit/MVCC packages (committer, rwset) outside the metrics seam",
+	Run: runWallTime,
+}
+
+func runWallTime(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), "committer", "rwset") {
+		return nil
+	}
+	allow := newAllowIndex(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue // tests may time themselves
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			for _, name := range []string{"Now", "Since", "Until"} {
+				if isPkgFunc(fn, "time", name) {
+					if allow.allowed(pass.Analyzer.Name, call.Pos()) {
+						return true
+					}
+					pass.Reportf(call.Pos(),
+						"time.%s in the deterministic commit/MVCC path; validation decisions "+
+							"must not read the wall clock — route stopwatch reads through the "+
+							"metrics seam (committer's stageStart/stageElapsed)", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

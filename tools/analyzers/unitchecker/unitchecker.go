@@ -1,0 +1,258 @@
+// Package unitchecker implements the `go vet -vettool` driver protocol on
+// top of the local analysis package — a stdlib-only re-implementation of
+// golang.org/x/tools/go/analysis/unitchecker (which the hermetic build
+// cannot depend on).
+//
+// The go command invokes the tool three ways:
+//
+//   - `tool -V=full`: print an identifying version line (the go command
+//     hashes it into its action cache key);
+//   - `tool -flags`: print the tool's flag set as JSON (the go command uses
+//     it to partition the vet command line);
+//   - `tool <dir>/vet.cfg`: analyze one package unit described by the JSON
+//     config file, print diagnostics to stderr, and exit 0 (clean), 1
+//     (driver failure), or 2 (diagnostics reported).
+//
+// Facts are not supported: hyperprov's analyzers are all intra-package, so
+// the fact file the go command expects (VetxOutput) is always written
+// empty, and dependency units (VetxOnly) return immediately.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/hyperprov/hyperprov/tools/analyzers/analysis"
+)
+
+// Config mirrors the JSON the go command writes to vet.cfg for each
+// package unit. Field names and meanings follow cmd/go/internal/work.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vet tool built from a set of analyzers.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	// One boolean flag per analyzer, mirroring upstream vet tools, so
+	// `go vet -vettool=... -errcodes ./...` can narrow the run.
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = flag.Bool(a.Name, false, "enable only: "+doc)
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	// If any analyzer was explicitly selected, run just those.
+	var selected []*analysis.Analyzer
+	anySelected := false
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			anySelected = true
+			selected = append(selected, a)
+		}
+	}
+	if !anySelected {
+		selected = analyzers
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoking %s directly is unsupported; use "go vet -vettool=%s"`, progname, progname)
+	}
+	run(args[0], selected)
+}
+
+// versionFlag implements -V=full: the go command hashes the output into
+// its cache key, so it must identify this binary's exact contents.
+type versionFlag struct{}
+
+func (versionFlag) String() string { return "" }
+func (versionFlag) Get() any       { return nil }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s", s)
+	}
+	progname, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		os.Args[0], string(h.Sum(nil)[:16]))
+	os.Exit(0)
+	return nil
+}
+
+// printFlags renders the flag set the way `go vet` expects from `-flags`.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(&flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// run analyzes the unit described by cfgFile and exits the process.
+func run(cfgFile string, analyzers []*analysis.Analyzer) {
+	raw, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(raw, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// The fact file must exist for the go command's cache even though the
+	// analyzers produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Dependency units exist only to produce facts; nothing to do.
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	pkg, tcErr := typecheck(cfg, fset)
+	if tcErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the errors; vet stays quiet.
+			os.Exit(0)
+		}
+		log.Fatal(tcErr)
+	}
+
+	findings, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		posn := fset.Position(f.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s\n", posn, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// typecheck parses and type-checks the unit's Go files using the export
+// data the go command prepared for each import.
+func typecheck(cfg *Config, fset *token.FileSet) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is already canonical (post-ImportMap).
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped // vendoring, test variants
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	var tcErr error
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if tcErr == nil {
+				tcErr = err
+			}
+		},
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if tcErr != nil {
+		return nil, tcErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -78,11 +78,13 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 # Native fuzz targets, $(FUZZTIME) each: the frame reader under hostile
-# bytes (header flag bits included) and the checkpoint codec under damaged
-# media. Each run first executes the committed seed corpus.
+# bytes (header flag bits included), the checkpoint codec under damaged
+# media, and the block/envelope codec under the bytes gossip frames and v2
+# ledger files deliver. Each run first executes the committed seed corpus.
 fuzz:
 	$(GO) test -fuzz=FuzzReadFrameExt -fuzztime=$(FUZZTIME) -run '^$$' ./internal/network/
 	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=$(FUZZTIME) -run '^$$' ./internal/recovery/
+	$(GO) test -fuzz=FuzzDecodeBlockCodec -fuzztime=$(FUZZTIME) -run '^$$' ./internal/blockstore/
 
 bench:
 	$(GO) test -bench . -benchtime=500ms -run '^$$' ./...
@@ -117,6 +119,13 @@ bench-state:
 # (quiet-channel p99 under a hot neighbour on a static core partition).
 bench-channels:
 	$(GO) run ./cmd/hyperprov-bench -experiment channels -channels-out BENCH_channels.json
+
+# Binary-codec experiment: envelope encode/decode vs the legacy JSON wire,
+# end-to-end commit with a cold vs warm signature cache, and TCP block
+# catch-up. The regression gate holds this artifact to its absolute floors
+# (decode >= 5x JSON, warm commit >= 1.3x cold, zero allocs/frame).
+bench-codec:
+	$(GO) run ./cmd/hyperprov-bench -experiment codec -codec-out BENCH_codec.json
 
 # Crash-recovery torture tests, repeated: the randomized kill points cover
 # different interleavings on every -count iteration.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|mvcc-sweep|recovery|state|channels|all [-quick] [-out file] [-sweep-out file] [-recovery-out file] [-state-out file] [-channels-out file]
+//	hyperprov-bench -experiment fig1|fig2|fig3|batch|onchain|raft|query|commit|mvcc-sweep|recovery|state|channels|codec|all [-quick] [-out file] [-sweep-out file] [-recovery-out file] [-state-out file] [-channels-out file] [-codec-out file]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, mvcc-sweep, recovery, state, channels, or all")
+		"which experiment to run: fig1, fig2, fig3, batch, onchain, raft, query, commit, mvcc-sweep, recovery, state, channels, codec, or all")
 	quick := flag.Bool("quick", false, "use reduced sweep sizes and windows")
 	out := flag.String("out", "BENCH_commit.json",
 		"path the commit experiment writes its JSON result to (empty disables)")
@@ -30,16 +30,18 @@ func main() {
 		"path the state experiment writes its JSON result to (empty disables)")
 	channelsOut := flag.String("channels-out", "BENCH_channels.json",
 		"path the channels experiment writes its JSON result to (empty disables)")
+	codecOut := flag.String("codec-out", "BENCH_codec.json",
+		"path the codec experiment writes its JSON result to (empty disables)")
 	overheadGuard := flag.Float64("overhead-guard", 0,
 		"in the commit experiment: also measure observability (metrics+tracing) overhead and fail when it exceeds this percent (0 disables)")
 	flag.Parse()
-	if err := run(*experiment, *quick, *out, *sweepOut, *recoveryOut, *stateOut, *channelsOut, *overheadGuard); err != nil {
+	if err := run(*experiment, *quick, *out, *sweepOut, *recoveryOut, *stateOut, *channelsOut, *codecOut, *overheadGuard); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, quick bool, out, sweepOut, recoveryOut, stateOut, channelsOut string, overheadGuard float64) error {
+func run(experiment string, quick bool, out, sweepOut, recoveryOut, stateOut, channelsOut, codecOut string, overheadGuard float64) error {
 	sweep := bench.DefaultSweep()
 	energyCfg := bench.DefaultEnergy()
 	if quick {
@@ -195,6 +197,22 @@ func run(experiment string, quick bool, out, sweepOut, recoveryOut, stateOut, ch
 				}
 				fmt.Println("wrote", channelsOut)
 			}
+		case "codec":
+			cfg := bench.DefaultCodecBench()
+			if quick {
+				cfg = bench.QuickCodecBench()
+			}
+			res, err := bench.RunCodecBench(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Format())
+			if codecOut != "" {
+				if err := res.WriteJSON(codecOut); err != nil {
+					return err
+				}
+				fmt.Println("wrote", codecOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -202,7 +220,7 @@ func run(experiment string, quick bool, out, sweepOut, recoveryOut, stateOut, ch
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit", "mvcc-sweep", "recovery", "state", "channels"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "batch", "onchain", "raft", "query", "commit", "mvcc-sweep", "recovery", "state", "channels", "codec"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+)
+
+// runMigrateLedger converts every block file under a peer data directory to
+// the v2 binary record format, in place. Each file is verified, rewritten to
+// a temp file, fsynced, and renamed over the original, so a crash at any
+// point leaves either the old ledger or the new one — never a mix. Files
+// already in v2 (or empty) are left untouched and reported as skipped.
+func runMigrateLedger(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("migrate-ledger: -dir is required")
+	}
+	paths, err := findBlockFiles(dir)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("migrate-ledger: no block files under %s", dir)
+	}
+	var converted, skipped int
+	for _, path := range paths {
+		migrated, err := blockstore.MigrateFileToV2(path)
+		if err != nil {
+			return fmt.Errorf("migrate-ledger: %s: %w", path, err)
+		}
+		if migrated {
+			converted++
+			fmt.Printf("migrated %s -> v2\n", path)
+		} else {
+			skipped++
+			fmt.Printf("skipped  %s (already v2 or empty)\n", path)
+		}
+	}
+	fmt.Printf("done: %d migrated, %d already current\n", converted, skipped)
+	return nil
+}
+
+// findBlockFiles returns every ledger file in the peer data directory: the
+// legacy single-channel blocks.jsonl plus per-channel blocks-<ch>.jsonl.
+func findBlockFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("migrate-ledger: read %s: %w", dir, err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if name == "blocks.jsonl" ||
+			(filepath.Ext(name) == ".jsonl" && len(name) > len("blocks-.jsonl") && name[:len("blocks-")] == "blocks-") {
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hyperprov/hyperprov/internal/device"
+)
+
+// TestCodecBenchSmoke runs a tiny configuration end to end: both codec rows
+// must carry sane numbers, the binary codec must beat JSON decode, the warm
+// signature-cache run must actually hit the cache, the frame writer must be
+// allocation-free, and the TCP catch-up must deliver the whole chain.
+func TestCodecBenchSmoke(t *testing.T) {
+	cfg := CodecBenchConfig{
+		Envelopes:   16,
+		MicroPasses: 4,
+		Blocks:      3,
+		BlockSize:   8,
+		WritesPerTx: 2,
+		Workers:     4,
+		MVCCWorkers: 4,
+		CatchupTxs:  6,
+		Profile:     device.XeonE51603,
+		Scale:       0.02,
+		Seed:        1,
+	}
+	res, err := RunCodecBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Micro) != 2 || res.Micro[0].Codec != "json" || res.Micro[1].Codec != "binary" {
+		t.Fatalf("micro rows = %+v", res.Micro)
+	}
+	for _, m := range res.Micro {
+		if m.EncodeMBps <= 0 || m.DecodeMBps <= 0 || m.WireBytes <= 0 {
+			t.Errorf("row %+v has non-positive rates", m)
+		}
+	}
+	// The 5x floor is the nightly gate's job (tiny smoke corpora are noisy);
+	// here binary merely has to beat JSON at all.
+	if res.DecodeSpeedup <= 1 {
+		t.Errorf("binary decode speedup = %.2f, want > 1", res.DecodeSpeedup)
+	}
+	// raceEnabled: sync.Pool drops Puts under -race, so allocation-free
+	// steady state only holds on plain builds (where the bench gate runs).
+	if res.FrameAllocsPerOp < 0 || (!raceEnabled && res.FrameAllocsPerOp > 0.1) {
+		t.Errorf("frame allocs/op = %.3f, want 0", res.FrameAllocsPerOp)
+	}
+	if res.CommitColdTps <= 0 || res.CommitWarmTps <= 0 || res.WarmSpeedup <= 0 {
+		t.Errorf("commit rates = cold %.1f warm %.1f (%.2fx)",
+			res.CommitColdTps, res.CommitWarmTps, res.WarmSpeedup)
+	}
+	// The measured warm pass re-verifies every signature through the cache:
+	// 2 signatures per tx (client + endorsement).
+	if wantHits := uint64(2 * cfg.Blocks * cfg.BlockSize); res.VerifyCache.Hits < wantHits {
+		t.Errorf("verify cache hits = %d, want >= %d", res.VerifyCache.Hits, wantHits)
+	}
+	if res.CatchupBlocks <= 0 || res.CatchupBlocksPerSec <= 0 || res.CatchupMBps <= 0 {
+		t.Errorf("catch-up = %d blocks, %.1f blocks/s, %.2f MB/s",
+			res.CatchupBlocks, res.CatchupBlocksPerSec, res.CatchupMBps)
+	}
+
+	if !strings.Contains(res.Format(), "binary/JSON speedup") {
+		t.Error("Format missing the speedup line")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_codec.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseCodecBenchResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.DecodeSpeedup != res.DecodeSpeedup || len(parsed.Micro) != 2 {
+		t.Errorf("round-trip mismatch: %+v", parsed)
+	}
+	if _, err := ParseCodecBenchResult([]byte("{}")); err == nil {
+		t.Error("ParseCodecBenchResult accepted an empty artifact")
+	}
+}

@@ -184,8 +184,11 @@ func (r CommitBenchResult) WriteJSON(path string) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-// commitFixture holds the identities a signed block stream needs.
+// commitFixture holds the identities a signed block stream needs. The CA is
+// kept so experiments can mint additional MSPs (each MSP carries its own
+// signature-verification cache — the codec experiment measures cold vs warm).
 type commitFixture struct {
+	ca       *identity.CA
 	msp      *identity.MSP
 	client   *identity.SigningIdentity
 	endorser *identity.SigningIdentity
@@ -206,6 +209,7 @@ func newCommitFixture() (*commitFixture, error) {
 		return nil, err
 	}
 	return &commitFixture{
+		ca:       ca,
 		msp:      identity.NewMSP(ca),
 		client:   client,
 		endorser: peerID,

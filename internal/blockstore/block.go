@@ -11,6 +11,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"github.com/hyperprov/hyperprov/internal/codec"
 )
 
 // ValidationCode records the per-transaction outcome decided at commit time.
@@ -51,6 +53,11 @@ type Endorsement struct {
 
 // Envelope is a client-signed transaction as submitted to ordering: the
 // proposal, the simulated read/write set, and the collected endorsements.
+//
+// An envelope is immutable once encoded or decoded: bin caches the
+// canonical binary encoding (produced exactly once per envelope per block)
+// and every downstream consumer — signing preimage, data hash, gossip
+// frame, ledger append — reuses those bytes instead of re-encoding.
 type Envelope struct {
 	TxID         string        `json:"txId"`
 	ChannelID    string        `json:"channelId"`
@@ -64,33 +71,98 @@ type Envelope struct {
 	Events       []byte        `json:"events,omitempty"` // marshaled chaincode events
 	Endorsements []Endorsement `json:"endorsements,omitempty"`
 	Signature    []byte        `json:"signature"` // client signature over SignedBytes
+
+	// bin is the cached canonical encoding (appendEnvelope layout); sigOff
+	// is the length of its signing-preimage prefix. Populated only by code
+	// that exclusively owns the envelope (NewBlock, decode, legacy ingest),
+	// never lazily on shared envelopes — that keeps concurrent readers
+	// race-free.
+	bin    []byte
+	sigOff int
 }
 
 // SignedBytes returns the deterministic byte string the client signs and
-// validators verify. The signature field itself is excluded.
+// validators verify: the canonical binary encoding of every field except
+// the signature. When the envelope carries its cached encoding the prefix
+// is returned directly; otherwise the preimage is encoded fresh without
+// mutating the envelope.
 func (e *Envelope) SignedBytes() []byte {
-	cp := *e
-	cp.Signature = nil
-	b, _ := json.Marshal(&cp)
-	return b
-}
-
-// Marshal encodes the envelope for transport and block inclusion.
-func (e *Envelope) Marshal() ([]byte, error) {
-	b, err := json.Marshal(e)
-	if err != nil {
-		return nil, fmt.Errorf("blockstore: marshal envelope: %w", err)
+	if e.bin != nil {
+		return e.bin[:e.sigOff:e.sigOff]
 	}
-	return b, nil
+	return appendEnvelopeCore(nil, e)
 }
 
-// UnmarshalEnvelope decodes an envelope produced by Marshal.
+// Marshal returns the envelope's canonical binary encoding for transport
+// and block inclusion, reusing the cached bytes when present. Callers must
+// not mutate the returned slice.
+func (e *Envelope) Marshal() ([]byte, error) {
+	if e.bin != nil {
+		return e.bin, nil
+	}
+	return appendEnvelope(nil, e), nil
+}
+
+// Seal caches the envelope's canonical encoding on the envelope and
+// returns its size in bytes. The caller must exclusively own the envelope
+// and must not mutate its fields afterwards; downstream consumers (block
+// data hashing, ledger append, gossip frames) reuse the sealed bytes
+// instead of re-encoding. Sealing an already-sealed envelope is a no-op.
+func (e *Envelope) Seal() int {
+	e.ensureBin()
+	return len(e.bin)
+}
+
+// EncodedLen returns the length of the envelope's cached canonical encoding
+// and true, or (0, false) when the envelope was never sealed or decoded. It
+// never encodes and never mutates, so unlike Seal it is safe to call on an
+// envelope shared between goroutines.
+func (e *Envelope) EncodedLen() (int, bool) {
+	if e.bin == nil {
+		return 0, false
+	}
+	return len(e.bin), true
+}
+
+// ensureBin caches e's canonical encoding. Callers must exclusively own
+// the envelope and must not mutate its fields afterwards.
+func (e *Envelope) ensureBin() {
+	if e.bin != nil {
+		return
+	}
+	core := appendEnvelopeCore(nil, e)
+	e.sigOff = len(core)
+	e.bin = codec.AppendBytes(core, e.Signature)
+}
+
+// UnmarshalEnvelope decodes an envelope produced by Marshal. Legacy JSON
+// envelopes (PR ≤ 9 wire/ledger format) are recognized by their '{' first
+// byte and ingested transparently: timestamps are normalized to the
+// codec's UTC wall-clock form and the canonical binary encoding is cached
+// eagerly, so a legacy envelope behaves identically from then on.
 func UnmarshalEnvelope(b []byte) (*Envelope, error) {
-	var e Envelope
-	if err := json.Unmarshal(b, &e); err != nil {
-		return nil, fmt.Errorf("blockstore: unmarshal envelope: %w", err)
+	if len(b) > 0 && b[0] == '{' {
+		var e Envelope
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("blockstore: unmarshal envelope: %w", err)
+		}
+		e.normalizeLegacy()
+		return &e, nil
+	}
+	e, err := decodeEnvelope(b)
+	if err != nil {
+		return nil, err
 	}
 	return &e, nil
+}
+
+// normalizeLegacy maps a JSON-decoded envelope onto the exact value its
+// binary encoding round-trips to and caches that encoding. Only legacy
+// ingest paths (JSON ledger open, JSON envelope decode) call it, always on
+// freshly-decoded envelopes they own.
+func (e *Envelope) normalizeLegacy() {
+	e.Timestamp = codec.NormalizeTime(e.Timestamp)
+	e.ensureBin()
 }
 
 // Header is a block header; headers form the hash chain.
@@ -100,11 +172,16 @@ type Header struct {
 	DataHash     []byte `json:"dataHash"`
 }
 
-// Hash returns the SHA-256 hash of the header, which the next block's
-// PreviousHash must equal.
+// Hash returns the SHA-256 hash of the header's canonical binary preimage,
+// which the next block's PreviousHash must equal.
 func (h *Header) Hash() []byte {
-	b, _ := json.Marshal(h)
-	sum := sha256.Sum256(b)
+	var arr [96]byte
+	buf := append(arr[:0], headerMagic...)
+	buf = append(buf, codecVersion)
+	buf = codec.AppendUvarint(buf, h.Number)
+	buf = codec.AppendBytes(buf, h.PreviousHash)
+	buf = codec.AppendBytes(buf, h.DataHash)
+	sum := sha256.Sum256(buf)
 	return sum[:]
 }
 
@@ -118,29 +195,37 @@ type Block struct {
 }
 
 // ComputeDataHash hashes the block's transaction data: a SHA-256 over the
-// concatenated per-envelope hashes (a flat Merkle summary).
+// concatenated per-envelope hashes (a flat Merkle summary). Each envelope
+// hash covers its canonical binary encoding, re-encoded from the struct
+// fields into pooled scratch — deliberately ignoring any cached encoding,
+// so the integrity audit (VerifyData/VerifyChain) detects in-memory
+// tampering with a decoded block's fields.
 func ComputeDataHash(envs []Envelope) ([]byte, error) {
 	h := sha256.New()
+	scratch := codec.GetBuffer()
 	for i := range envs {
-		eb, err := envs[i].Marshal()
-		if err != nil {
-			return nil, err
-		}
-		sum := sha256.Sum256(eb)
+		scratch.B = appendEnvelope(scratch.B[:0], &envs[i])
+		sum := sha256.Sum256(scratch.B)
 		h.Write(sum[:])
 	}
+	scratch.Release()
 	return h.Sum(nil), nil
 }
 
 // NewBlock assembles a block with the correct data hash, chained onto
-// prevHash.
+// prevHash. It takes ownership of envs: each envelope's canonical encoding
+// is computed here, exactly once, and the same bytes feed the data hash
+// now and the gossip/ledger paths later — callers must not mutate the
+// envelopes afterwards.
 func NewBlock(number uint64, prevHash []byte, envs []Envelope) (*Block, error) {
-	dh, err := ComputeDataHash(envs)
-	if err != nil {
-		return nil, err
+	h := sha256.New()
+	for i := range envs {
+		envs[i].ensureBin()
+		sum := sha256.Sum256(envs[i].bin)
+		h.Write(sum[:])
 	}
 	return &Block{
-		Header:    Header{Number: number, PreviousHash: prevHash, DataHash: dh},
+		Header:    Header{Number: number, PreviousHash: prevHash, DataHash: h.Sum(nil)},
 		Envelopes: envs,
 	}, nil
 }
@@ -158,10 +243,16 @@ func (b *Block) VerifyData() error {
 }
 
 // Clone returns a deep copy of the block (envelopes share no mutable state
-// with the original); peers clone before annotating validation flags.
+// with the original); peers clone before annotating validation flags. The
+// copy travels through the canonical binary encoding, so cloned envelopes
+// come back with their encodings cached — the commit pipeline's persist
+// and gossip stages reuse those bytes directly.
 func (b *Block) Clone() *Block {
-	raw, _ := json.Marshal(b)
-	var cp Block
-	_ = json.Unmarshal(raw, &cp)
-	return &cp
+	cp, err := UnmarshalBlock(MarshalBlock(b))
+	if err != nil {
+		// Encoding a well-formed in-memory block and decoding it back
+		// cannot fail; reaching this is memory corruption, not input error.
+		panic(fmt.Sprintf("blockstore: clone round-trip: %v", err))
+	}
+	return cp
 }

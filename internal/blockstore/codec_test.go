@@ -1,0 +1,191 @@
+package blockstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/codec"
+)
+
+func fullEnvelope(txID string) Envelope {
+	return Envelope{
+		TxID:      txID,
+		ChannelID: "provchannel",
+		Chaincode: "hyperprov",
+		Function:  "set",
+		Args:      [][]byte{[]byte("key"), []byte("value")},
+		Creator:   []byte("creator-identity"),
+		Timestamp: time.Unix(1700000123, 456789).UTC(),
+		RWSet:     []byte("rwset-bytes"),
+		Response:  []byte("response-bytes"),
+		Events:    []byte("event-bytes"),
+		Endorsements: []Endorsement{
+			{Endorser: []byte("peer0-id"), Signature: []byte("peer0-sig")},
+			{Endorser: []byte("peer1-id"), Signature: []byte("peer1-sig")},
+		},
+		Signature: []byte("client-sig"),
+	}
+}
+
+// TestBlockCodecRoundTrip pins the canonical encoding end to end: every
+// field survives, decoded envelopes carry their wire bytes as the cached
+// canonical encoding, and re-encoding is byte-identical.
+func TestBlockCodecRoundTrip(t *testing.T) {
+	envs := []Envelope{fullEnvelope("tx-a"), fullEnvelope("tx-b")}
+	b, err := NewBlock(7, []byte("prev-hash"), envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.TxValidation = []ValidationCode{TxValid, TxMVCCConflict}
+
+	raw := MarshalBlock(b)
+	got, err := UnmarshalBlock(raw)
+	if err != nil {
+		t.Fatalf("UnmarshalBlock: %v", err)
+	}
+	if got.Header.Number != 7 || string(got.Header.PreviousHash) != "prev-hash" {
+		t.Fatalf("header mismatch: %+v", got.Header)
+	}
+	if !bytes.Equal(got.Header.DataHash, b.Header.DataHash) {
+		t.Fatal("data hash mismatch")
+	}
+	if len(got.Envelopes) != 2 || len(got.TxValidation) != 2 || got.TxValidation[1] != TxMVCCConflict {
+		t.Fatalf("contents mismatch: %d envs, %v", len(got.Envelopes), got.TxValidation)
+	}
+	e := &got.Envelopes[0]
+	want := &envs[0]
+	if e.TxID != want.TxID || e.ChannelID != want.ChannelID || e.Chaincode != want.Chaincode ||
+		e.Function != want.Function || !e.Timestamp.Equal(want.Timestamp) {
+		t.Fatalf("envelope scalar mismatch: %+v", e)
+	}
+	if len(e.Args) != 2 || !bytes.Equal(e.Args[1], []byte("value")) ||
+		!bytes.Equal(e.RWSet, want.RWSet) || !bytes.Equal(e.Signature, want.Signature) {
+		t.Fatalf("envelope bytes mismatch: %+v", e)
+	}
+	if len(e.Endorsements) != 2 || !bytes.Equal(e.Endorsements[1].Signature, []byte("peer1-sig")) {
+		t.Fatalf("endorsements mismatch: %+v", e.Endorsements)
+	}
+	// Decoded blocks must pass the integrity audit (the audit re-encodes
+	// from fields, so this also proves decode→encode is canonical).
+	if err := got.VerifyData(); err != nil {
+		t.Fatalf("VerifyData on decoded block: %v", err)
+	}
+	if !bytes.Equal(MarshalBlock(got), raw) {
+		t.Fatal("re-encoding a decoded block is not byte-identical")
+	}
+}
+
+// TestSignedBytesPrefixProperty pins that a sealed envelope's cached
+// signing preimage equals the fresh encoding of the same fields — the
+// property that lets validators verify against bin[:sigOff] directly.
+func TestSignedBytesPrefixProperty(t *testing.T) {
+	e := fullEnvelope("tx-p")
+	fresh := e.SignedBytes() // no cache yet: fresh core encode
+	e.Seal()
+	if !bytes.Equal(e.SignedBytes(), fresh) {
+		t.Fatal("sealed SignedBytes differs from fresh encoding")
+	}
+	raw, _ := e.Marshal()
+	dec, err := UnmarshalEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.SignedBytes(), fresh) {
+		t.Fatal("decoded SignedBytes differs from fresh encoding")
+	}
+}
+
+// TestLegacyJSONEnvelopeIngest verifies the '{' sniff path: a JSON
+// envelope decodes, is normalized, and from then on behaves canonically.
+func TestLegacyJSONEnvelopeIngest(t *testing.T) {
+	e := fullEnvelope("tx-legacy")
+	legacy, err := json.Marshal(&e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalEnvelope(legacy)
+	if err != nil {
+		t.Fatalf("legacy ingest: %v", err)
+	}
+	if got.TxID != e.TxID || !got.Timestamp.Equal(e.Timestamp) {
+		t.Fatalf("legacy fields mismatch: %+v", got)
+	}
+	// The ingested envelope's Marshal must be the canonical binary form,
+	// not an echo of the JSON input.
+	raw, _ := got.Marshal()
+	if len(raw) == 0 || raw[0] == '{' {
+		t.Fatal("legacy ingest did not re-encode to binary")
+	}
+	rt, err := UnmarshalEnvelope(raw)
+	if err != nil || rt.TxID != e.TxID {
+		t.Fatalf("binary round-trip after ingest: %v", err)
+	}
+}
+
+// TestBlockCodecStructuredErrors verifies damaged inputs fail with the
+// codec sentinels, never panics or unstructured errors.
+func TestBlockCodecStructuredErrors(t *testing.T) {
+	b, err := NewBlock(0, nil, []Envelope{fullEnvelope("tx")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := MarshalBlock(b)
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := UnmarshalBlock(flipped); !errors.Is(err, codec.ErrChecksum) && !errors.Is(err, codec.ErrMalformed) && !errors.Is(err, codec.ErrTruncated) {
+		t.Fatalf("flipped byte: unstructured error %v", err)
+	}
+	if _, err := UnmarshalBlock(good[:len(good)/2]); !errors.Is(err, codec.ErrChecksum) && !errors.Is(err, codec.ErrTruncated) {
+		t.Fatalf("truncated: unstructured error %v", err)
+	}
+	if _, err := UnmarshalBlock([]byte{}); !errors.Is(err, codec.ErrTruncated) {
+		t.Fatalf("empty: %v", err)
+	}
+	trailing := append(append([]byte(nil), good...), 0)
+	if _, err := UnmarshalBlock(trailing); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Unsupported version must be rejected (CRC recomputed so only the
+	// version check can fire).
+	verBumped := append([]byte(nil), good[:len(good)-4]...)
+	verBumped[4] = 99
+	verBumped = codec.AppendChecksum(verBumped, 0)
+	if _, err := UnmarshalBlock(verBumped); !errors.Is(err, codec.ErrMalformed) {
+		t.Fatalf("version 99: want ErrMalformed, got %v", err)
+	}
+}
+
+// TestHeaderHashStability pins that header hashing is content-addressed
+// and signature-independent of field mutation.
+func TestHeaderHashStability(t *testing.T) {
+	h := Header{Number: 3, PreviousHash: []byte("prev"), DataHash: []byte("data")}
+	h2 := Header{Number: 3, PreviousHash: []byte("prev"), DataHash: []byte("data")}
+	if !bytes.Equal(h.Hash(), h2.Hash()) {
+		t.Fatal("identical headers hash differently")
+	}
+	h2.Number = 4
+	if bytes.Equal(h.Hash(), h2.Hash()) {
+		t.Fatal("different headers hash identically")
+	}
+}
+
+// TestMarshalBlockDoesNotMutate verifies encoding a shared block performs
+// no caching side effects (the race-safety contract for concurrent
+// persist/gossip encoders).
+func TestMarshalBlockDoesNotMutate(t *testing.T) {
+	e := fullEnvelope("tx-shared")
+	b := &Block{Header: Header{Number: 1}, Envelopes: []Envelope{e}}
+	// Envelope was never sealed: MarshalBlock must encode to scratch.
+	raw1 := MarshalBlock(b)
+	if b.Envelopes[0].bin != nil {
+		t.Fatal("MarshalBlock cached an encoding on a shared envelope")
+	}
+	raw2 := MarshalBlock(b)
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("MarshalBlock is not deterministic")
+	}
+}

@@ -57,7 +57,7 @@ func TestFileStorePersistsAcrossReopen(t *testing.T) {
 
 func TestFileStoreDiscardsTruncatedTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "chain.jsonl")
-	s, err := OpenFileStore(path)
+	s, err := OpenFileStoreLegacy(path, SyncOnClose)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestFileStoreDiscardsTruncatedTail(t *testing.T) {
 
 func TestFileStoreRejectsTamperedFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "chain.jsonl")
-	s, err := OpenFileStore(path)
+	s, err := OpenFileStoreLegacy(path, SyncOnClose)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestFileStoreRejectsTamperedFile(t *testing.T) {
 
 func TestFileStoreMidFileGarbageIsCorruption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "chain.jsonl")
-	s, err := OpenFileStore(path)
+	s, err := OpenFileStoreLegacy(path, SyncOnClose)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestFileStoreMidFileGarbageIsCorruption(t *testing.T) {
 
 func TestFileStoreBlankLineIsCorruption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "chain.jsonl")
-	s, err := OpenFileStore(path)
+	s, err := OpenFileStoreLegacy(path, SyncOnClose)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestFileStoreSequenceStillEnforced(t *testing.T) {
 
 func TestFileStoreTornNewlineKeepsDurableBlock(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "chain.jsonl")
-	s, err := OpenFileStoreWithPolicy(path, SyncEachAppend)
+	s, err := OpenFileStoreLegacy(path, SyncEachAppend)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,231 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRoundTripPrimitives drives every append helper through Dec and back.
+func TestRoundTripPrimitives(t *testing.T) {
+	ts := time.Unix(1700000123, 456789).UTC()
+	var buf []byte
+	buf = AppendUvarint(buf, 0)
+	buf = AppendUvarint(buf, 1<<40)
+	buf = AppendVarint(buf, -12345)
+	buf = AppendBytes(buf, []byte("payload"))
+	buf = AppendBytes(buf, nil)
+	buf = AppendString(buf, "hello")
+	buf = AppendString(buf, "")
+	buf = AppendBool(buf, true)
+	buf = AppendBool(buf, false)
+	buf = AppendTime(buf, ts)
+	buf = AppendTime(buf, time.Time{})
+
+	d := NewDec(buf)
+	if got := d.Uvarint(); got != 0 {
+		t.Fatalf("uvarint: got %d", got)
+	}
+	if got := d.Uvarint(); got != 1<<40 {
+		t.Fatalf("uvarint: got %d", got)
+	}
+	if got := d.Varint(); got != -12345 {
+		t.Fatalf("varint: got %d", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("bytes: got %q", got)
+	}
+	if got := d.Bytes(); got != nil {
+		t.Fatalf("empty bytes should decode nil, got %v", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Fatalf("string: got %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("empty string: got %q", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bool round-trip failed")
+	}
+	if got := d.Time(); !got.Equal(ts) {
+		t.Fatalf("time: got %v want %v", got, ts)
+	}
+	if got := d.Time(); !got.IsZero() {
+		t.Fatalf("zero time: got %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+}
+
+// TestDecSticky verifies the first error poisons all later reads.
+func TestDecSticky(t *testing.T) {
+	d := NewDec([]byte{0x05, 'a'}) // length 5 but only one byte follows
+	if got := d.Bytes(); got != nil {
+		t.Fatalf("truncated bytes returned %v", got)
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", d.Err())
+	}
+	// All subsequent reads are no-ops returning zero values.
+	if d.Uvarint() != 0 || d.Byte() != 0 || d.Bool() || d.String() != "" {
+		t.Fatal("poisoned cursor returned non-zero values")
+	}
+	if !errors.Is(d.Finish(), ErrTruncated) {
+		t.Fatalf("finish should surface first error, got %v", d.Finish())
+	}
+}
+
+// TestDecTrailing verifies Finish rejects leftover bytes.
+func TestDecTrailing(t *testing.T) {
+	d := NewDec([]byte{0x01, 0xFF})
+	if d.Byte() != 0x01 {
+		t.Fatal("byte read failed")
+	}
+	if err := d.Finish(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed for trailing bytes, got %v", err)
+	}
+}
+
+// TestMagic covers good, short, and wrong-magic inputs.
+func TestMagic(t *testing.T) {
+	magic := []byte("HPXX")
+	good := append(append([]byte(nil), magic...), 2)
+	d := NewDec(good)
+	if ver := d.Magic(magic); ver != 2 || d.Err() != nil {
+		t.Fatalf("magic: ver=%d err=%v", ver, d.Err())
+	}
+
+	d = NewDec(magic) // no version byte
+	d.Magic(magic)
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("short magic: want ErrTruncated, got %v", d.Err())
+	}
+
+	d = NewDec([]byte("HPYY\x01"))
+	d.Magic(magic)
+	if !errors.Is(d.Err(), ErrMalformed) {
+		t.Fatalf("wrong magic: want ErrMalformed, got %v", d.Err())
+	}
+}
+
+// TestCountBound verifies hostile counts fail before allocation.
+func TestCountBound(t *testing.T) {
+	var buf []byte
+	buf = AppendUvarint(buf, 1<<40) // absurd count, no elements follow
+	d := NewDec(buf)
+	if n := d.Count(); n != 0 {
+		t.Fatalf("hostile count returned %d", n)
+	}
+	if !errors.Is(d.Err(), ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", d.Err())
+	}
+}
+
+// TestBoolCanonical rejects non-0/1 bool bytes.
+func TestBoolCanonical(t *testing.T) {
+	d := NewDec([]byte{0x02})
+	d.Bool()
+	if !errors.Is(d.Err(), ErrMalformed) {
+		t.Fatalf("want ErrMalformed for bool byte 2, got %v", d.Err())
+	}
+}
+
+// TestTimeBadNanos rejects nanosecond fields >= 1e9.
+func TestTimeBadNanos(t *testing.T) {
+	var buf []byte
+	buf = append(buf, 1)
+	buf = AppendVarint(buf, 1700000000)
+	buf = AppendUvarint(buf, uint64(time.Second)) // out of range
+	d := NewDec(buf)
+	d.Time()
+	if !errors.Is(d.Err(), ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", d.Err())
+	}
+}
+
+// TestChecksum covers append/verify plus tamper detection.
+func TestChecksum(t *testing.T) {
+	body := []byte("record body")
+	framed := AppendChecksum(append([]byte(nil), body...), 0)
+	got, err := VerifyChecksum(framed)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("verify: %q, %v", got, err)
+	}
+	framed[3] ^= 0x10
+	if _, err := VerifyChecksum(framed); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("tamper: want ErrChecksum, got %v", err)
+	}
+	if _, err := VerifyChecksum([]byte{1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short: want ErrTruncated, got %v", err)
+	}
+}
+
+// TestBufferPoolReuse verifies the steady-state encode path stops
+// allocating once the pool is warm.
+func TestBufferPoolReuse(t *testing.T) {
+	// Warm the pool with a buffer big enough for the test record.
+	warm := GetBuffer()
+	warm.Grow(1024)
+	warm.Release()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		buf := GetBuffer()
+		buf.B = AppendString(buf.B, "steady-state record")
+		buf.B = AppendUvarint(buf.B, 42)
+		buf.Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("pooled encode allocated %.1f times per run", allocs)
+	}
+}
+
+// TestBufferGrow verifies Grow preserves contents and extends capacity.
+func TestBufferGrow(t *testing.T) {
+	b := &Buffer{B: []byte("abc")}
+	b.Grow(1 << 16)
+	if string(b.B) != "abc" {
+		t.Fatalf("grow lost contents: %q", b.B)
+	}
+	if cap(b.B)-len(b.B) < 1<<16 {
+		t.Fatalf("grow did not extend capacity: %d", cap(b.B))
+	}
+}
+
+// TestBytesShared verifies aliasing reads share the input's backing array.
+func TestBytesShared(t *testing.T) {
+	buf := AppendBytes(nil, []byte("shared"))
+	d := NewDec(buf)
+	p := d.BytesShared()
+	if string(p) != "shared" {
+		t.Fatalf("got %q", p)
+	}
+	buf[1] = 'S' // first payload byte (after 1-byte length)
+	if string(p) != "Shared" {
+		t.Fatal("BytesShared did not alias the input")
+	}
+}
+
+// TestNormalizeTime pins the legacy-ingest normalization contract.
+func TestNormalizeTime(t *testing.T) {
+	loc := time.FixedZone("X", 3600)
+	in := time.Date(2024, 5, 1, 12, 0, 0, 999, loc)
+	norm := NormalizeTime(in)
+	if norm.Location() != time.UTC {
+		t.Fatalf("not UTC: %v", norm)
+	}
+	if !norm.Equal(in) {
+		t.Fatalf("normalization changed the instant: %v vs %v", norm, in)
+	}
+	if !NormalizeTime(time.Time{}).IsZero() {
+		t.Fatal("zero time must stay zero")
+	}
+	// Round-trip through the codec must be byte-stable.
+	first := AppendTime(nil, norm)
+	d := NewDec(first)
+	again := AppendTime(nil, d.Time())
+	if !bytes.Equal(first, again) {
+		t.Fatal("normalized time not byte-stable across round-trip")
+	}
+}

@@ -1,0 +1,44 @@
+package committer
+
+import (
+	"testing"
+
+	"github.com/hyperprov/hyperprov/internal/blockstore"
+)
+
+// TestPrevalidateWarmCacheSkipsSignatureWork pins the redelivery fast path:
+// prevalidating the same envelope twice (gossip redelivery, gateway-checked
+// then commit-checked) does every ECDSA verification exactly once. The
+// modeled Exec.Verify charge rides the same onMiss hook, so "no new misses"
+// is also "no new hardware charge".
+func TestPrevalidateWarmCacheSkipsSignatureWork(t *testing.T) {
+	f := newTxFactory(t)
+	v := f.verifier()
+	env := f.envelope(f.txID(), writeSet("k"), nil)
+
+	if res := v.Prevalidate(&env); res.Code != blockstore.TxValid {
+		t.Fatalf("first prevalidate: %v", res.Code)
+	}
+	cold := f.msp.VerifyCache().Stats()
+	if cold.Misses < 2 { // creator signature + one endorsement
+		t.Fatalf("cold pass recorded %d misses, want >= 2", cold.Misses)
+	}
+
+	if res := v.Prevalidate(&env); res.Code != blockstore.TxValid {
+		t.Fatalf("warm prevalidate: %v", res.Code)
+	}
+	warm := f.msp.VerifyCache().Stats()
+	if warm.Misses != cold.Misses {
+		t.Fatalf("warm pass performed %d new verifications, want 0", warm.Misses-cold.Misses)
+	}
+	if warm.Hits < cold.Hits+2 {
+		t.Fatalf("warm pass hit %d times, want >= 2", warm.Hits-cold.Hits)
+	}
+
+	// A tampered copy must still fail: the cache keys on exact bytes.
+	bad := f.envelope(f.txID(), writeSet("k2"), nil)
+	bad.Function = "tampered-after-signing"
+	if res := v.Prevalidate(&bad); res.Code != blockstore.TxBadSignature {
+		t.Fatalf("tampered envelope: %v, want TxBadSignature", res.Code)
+	}
+}

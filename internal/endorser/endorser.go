@@ -10,11 +10,11 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
 
+	"github.com/hyperprov/hyperprov/internal/codec"
 	"github.com/hyperprov/hyperprov/internal/identity"
 )
 
@@ -23,6 +23,18 @@ var (
 	ErrPolicyNotSatisfied = errors.New("endorser: endorsement policy not satisfied")
 	ErrResponseMismatch   = errors.New("endorser: endorsing peers returned divergent results")
 )
+
+// Signing-preimage magics: proposals and responses sign over canonical
+// binary preimages (internal/codec layout), domain-separated by magic so a
+// signature over one structure can never validate as the other.
+var (
+	proposalMagic = []byte("HPPR")
+	responseMagic = []byte("HPRS")
+)
+
+// preimageVersion is the version byte embedded in both preimages; bumping
+// it invalidates old signatures by construction.
+const preimageVersion = 1
 
 // Proposal is a client's signed request to simulate a chaincode invocation.
 type Proposal struct {
@@ -36,12 +48,22 @@ type Proposal struct {
 	Signature []byte    `json:"signature"`
 }
 
-// SignedBytes returns the bytes covered by the proposal signature.
+// SignedBytes returns the bytes covered by the proposal signature: the
+// canonical binary preimage of every field except the signature itself.
 func (p *Proposal) SignedBytes() []byte {
-	cp := *p
-	cp.Signature = nil
-	b, _ := json.Marshal(&cp)
-	return b
+	buf := make([]byte, 0, 256)
+	buf = append(buf, proposalMagic...)
+	buf = append(buf, preimageVersion)
+	buf = codec.AppendString(buf, p.TxID)
+	buf = codec.AppendString(buf, p.ChannelID)
+	buf = codec.AppendString(buf, p.Chaincode)
+	buf = codec.AppendString(buf, p.Function)
+	buf = codec.AppendUvarint(buf, uint64(len(p.Args)))
+	for _, a := range p.Args {
+		buf = codec.AppendBytes(buf, a)
+	}
+	buf = codec.AppendBytes(buf, p.Creator)
+	return codec.AppendTime(buf, p.Timestamp)
 }
 
 // NewTxID derives a transaction id from the creator identity and a random
@@ -69,25 +91,39 @@ type Response struct {
 	Signature []byte `json:"signature"`
 }
 
-// SignedBytes returns the bytes the endorsing peer signs: everything except
-// the signature and the endorser-specific identity, so that all correct
+// SignedBytes returns the bytes the endorsing peer signs: the canonical
+// binary preimage of everything except the signature, so that all correct
 // endorsers of the same simulation sign identical bytes apart from their
 // own identity binding (identity is included to prevent transplanting).
 func (r *Response) SignedBytes() []byte {
-	cp := *r
-	cp.Signature = nil
-	b, _ := json.Marshal(&cp)
-	return b
+	buf := make([]byte, 0, 256+len(r.Payload)+len(r.RWSet))
+	buf = append(buf, responseMagic...)
+	buf = append(buf, preimageVersion)
+	buf = codec.AppendString(buf, r.TxID)
+	buf = codec.AppendVarint(buf, int64(r.Status))
+	buf = codec.AppendString(buf, r.Message)
+	buf = codec.AppendBytes(buf, r.Payload)
+	buf = codec.AppendBytes(buf, r.RWSet)
+	buf = codec.AppendBytes(buf, r.Events)
+	return codec.AppendBytes(buf, r.Endorser)
 }
 
 // Verify checks the endorsement signature against the peer identity
 // resolved through the MSP. It returns the resolved identity.
+//
+// Verification goes through the MSP's shared signature cache: a triple the
+// process already verified (the gateway checked it, commit re-checks it;
+// gossip redelivers a block) is accepted without redoing the ECDSA work.
 func (r *Response) Verify(msp *identity.MSP) (*identity.Identity, error) {
+	return r.verifyCached(msp, nil)
+}
+
+func (r *Response) verifyCached(msp *identity.MSP, onMiss func()) (*identity.Identity, error) {
 	id, err := msp.Deserialize(r.Endorser)
 	if err != nil {
 		return nil, fmt.Errorf("endorser: resolve endorser: %w", err)
 	}
-	if err := id.Verify(r.SignedBytes(), r.Signature); err != nil {
+	if err := id.VerifyCached(msp.VerifyCache(), r.SignedBytes(), r.Signature, onMiss); err != nil {
 		return nil, fmt.Errorf("endorser: endorsement signature: %w", err)
 	}
 	return id, nil
@@ -193,13 +229,22 @@ func (r *Response) Digest() string {
 // read-locking, so the committing peer's pre-validation stage may call it
 // for many transactions concurrently.
 func VerifyEndorsements(msp *identity.MSP, responses []*Response) ([]string, error) {
+	return VerifyEndorsementsFunc(msp, responses, nil)
+}
+
+// VerifyEndorsementsFunc is VerifyEndorsements with a per-miss hook: onMiss
+// runs once for each signature that was NOT already in the MSP's
+// verification cache, immediately before the real ECDSA check. Callers use
+// it to charge modeled verification hardware only for work that actually
+// happens — a warm cache validates an entire block without a single charge.
+func VerifyEndorsementsFunc(msp *identity.MSP, responses []*Response, onMiss func()) ([]string, error) {
 	if len(responses) == 0 {
 		return nil, fmt.Errorf("%w: no endorsements", ErrPolicyNotSatisfied)
 	}
 	orgs := make([]string, 0, len(responses))
 	var digest string
 	for i, r := range responses {
-		id, err := r.Verify(msp)
+		id, err := r.verifyCached(msp, onMiss)
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +263,13 @@ func VerifyEndorsements(msp *identity.MSP, responses []*Response) ([]string, err
 // policy over the endorsing orgs. Like VerifyEndorsements it is safe to
 // call concurrently from validation workers.
 func CheckEndorsements(policy Policy, msp *identity.MSP, responses []*Response) error {
-	orgs, err := VerifyEndorsements(msp, responses)
+	return CheckEndorsementsFunc(policy, msp, responses, nil)
+}
+
+// CheckEndorsementsFunc is CheckEndorsements with the per-miss charge hook
+// of VerifyEndorsementsFunc.
+func CheckEndorsementsFunc(policy Policy, msp *identity.MSP, responses []*Response, onMiss func()) error {
+	orgs, err := VerifyEndorsementsFunc(msp, responses, onMiss)
 	if err != nil {
 		return err
 	}

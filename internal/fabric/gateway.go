@@ -11,6 +11,7 @@ import (
 	"github.com/hyperprov/hyperprov/internal/device"
 	"github.com/hyperprov/hyperprov/internal/endorser"
 	"github.com/hyperprov/hyperprov/internal/identity"
+	"github.com/hyperprov/hyperprov/internal/metrics"
 	"github.com/hyperprov/hyperprov/internal/shim"
 	"github.com/hyperprov/hyperprov/internal/trace"
 )
@@ -53,6 +54,11 @@ type Gateway struct {
 	// remote are extra endorsers beyond the network's local peers
 	// (typically transport clients for peers in other OS processes).
 	remote []Endorser
+
+	// ewma holds the per-endorser latency estimates behind the
+	// endorse_peer_latency gauges (lazily initialized; guarded by ewmaMu).
+	ewmaMu sync.Mutex
+	ewma   map[string]time.Duration
 }
 
 // AddEndorser attaches an additional endorser (a remote peer handle) that
@@ -133,42 +139,67 @@ func (g *Gateway) Submit(chaincode, fn string, args ...[]byte) (*TxResult, error
 		resp *endorser.Response
 		err  error
 	}
-	results := make([]result, len(endorsers))
-	var wg sync.WaitGroup
+	// Buffered to the fan-out width so stragglers can finish and exit after
+	// Submit has already moved on — nothing blocks on an abandoned send.
+	resCh := make(chan result, len(endorsers))
 	for i, e := range endorsers {
-		wg.Add(1)
 		go func(i int, e Endorser) {
-			defer wg.Done()
+			t0 := time.Now()
 			resp, err := e.ProcessProposal(prop)
-			results[i] = result{resp: resp, err: err}
+			if err == nil {
+				g.observeEndorseLatency(endorserName(e, i), time.Since(t0))
+			}
+			resCh <- result{resp: resp, err: err}
 		}(i, e)
 	}
-	wg.Wait()
 
+	// Collect endorsements as they arrive and return as soon as a
+	// consistent, policy-satisfying majority exists instead of waiting for
+	// the slowest endorser: one strangled peer must not set the floor of
+	// every transaction's latency. Majority (not just policy) is required
+	// for the early exit because peers that are catching up may simulate
+	// against stale state — accepting the single fastest answer would let a
+	// stale read set through to a certain MVCC invalidation. When no
+	// majority forms, the exhaustive path below keeps the pre-early-return
+	// behaviour: largest consistent group, policy-checked. Late arrivals
+	// drain into the buffered channel and are ignored. Signature checks go
+	// through the MSP's verification cache; the modeled client-side verify
+	// cost is charged per actual ECDSA check (onMiss).
+	var onMiss func()
+	if g.exec != nil {
+		onMiss = func() { g.exec.Verify() }
+	}
+	policy, msp := g.net.Policy(), g.net.MSP()
+	quorum := len(endorsers)/2 + 1
 	var resps []*endorser.Response
 	var errs []error
-	for _, r := range results {
+	accepted := false
+	for got := 0; got < len(endorsers); {
+		r := <-resCh
+		got++
 		if r.err != nil {
 			errs = append(errs, r.err)
 			continue
 		}
 		resps = append(resps, r.resp)
-	}
-	if len(resps) == 0 {
-		return nil, fmt.Errorf("%w: %v", ErrEndorsement, errors.Join(errs...))
-	}
-	// Client-side policy + consistency check before paying for ordering.
-	// Peers that are catching up may simulate against stale state and
-	// return divergent read sets; keep the largest consistent group that
-	// still satisfies the endorsement policy (as the Fabric SDK does).
-	if g.exec != nil {
-		for range resps {
-			g.exec.Verify()
+		if got == len(endorsers) {
+			break // everyone answered: take the exhaustive path
+		}
+		group := largestConsistentGroup(resps)
+		if len(group) >= quorum && endorser.CheckEndorsementsFunc(policy, msp, group, onMiss) == nil {
+			resps = group
+			accepted = true
+			break
 		}
 	}
-	resps = largestConsistentGroup(resps)
-	if err := endorser.CheckEndorsements(g.net.Policy(), g.net.MSP(), resps); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEndorsement, err)
+	if !accepted {
+		if len(resps) == 0 {
+			return nil, fmt.Errorf("%w: %v", ErrEndorsement, errors.Join(errs...))
+		}
+		resps = largestConsistentGroup(resps)
+		if err := endorser.CheckEndorsementsFunc(policy, msp, resps, onMiss); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrEndorsement, err)
+		}
 	}
 
 	// Assemble and sign the envelope.
@@ -229,6 +260,40 @@ func (g *Gateway) Submit(chaincode, fn string, args ...[]byte) (*TxResult, error
 	case <-time.After(g.commitTimeout):
 		return nil, fmt.Errorf("%w: tx %s after %v", ErrCommitTimeout, txID, g.commitTimeout)
 	}
+}
+
+// endorserName labels an endorser for the per-endorser latency gauges:
+// local peers by name, transport clients by remote address, anything else
+// by fan-out position.
+func endorserName(e Endorser, i int) string {
+	switch v := e.(type) {
+	case interface{ Name() string }:
+		return v.Name()
+	case interface{ Addr() string }:
+		return v.Addr()
+	default:
+		return fmt.Sprintf("endorser%d", i)
+	}
+}
+
+// observeEndorseLatency folds one proposal round-trip into the endorser's
+// EWMA (alpha 1/4) and publishes it as an endorse_peer_latency gauge in
+// nanoseconds. Operators read the family to spot the straggler the quorum
+// early-return is hiding from transaction latency.
+func (g *Gateway) observeEndorseLatency(name string, d time.Duration) {
+	g.ewmaMu.Lock()
+	prev, ok := g.ewma[name]
+	if !ok {
+		if g.ewma == nil {
+			g.ewma = make(map[string]time.Duration)
+		}
+		prev = d
+	}
+	v := prev + (d-prev)/4
+	g.ewma[name] = v
+	g.ewmaMu.Unlock()
+	//hyperprov:allow metricnames suffix is the channel's bounded endorser set, not request input
+	g.net.Metrics().Gauge(metrics.EndorsePeerLatency + "_" + name).Set(int64(v))
 }
 
 // largestConsistentGroup partitions endorsements by their simulated-result

@@ -1,0 +1,77 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hyperprov/hyperprov/internal/endorser"
+	"github.com/hyperprov/hyperprov/internal/metrics"
+)
+
+// slowEndorser delays proposals before delegating to a real peer, modelling
+// the strangled straggler the quorum early-return exists for. called is
+// closed once the (ignored) endorsement finally completes so the test can
+// drain it before tearing the network down.
+type slowEndorser struct {
+	inner  Endorser
+	delay  time.Duration
+	called chan struct{}
+}
+
+func (s *slowEndorser) Name() string { return "slowpoke" }
+
+func (s *slowEndorser) ProcessProposal(prop *endorser.Proposal) (*endorser.Response, error) {
+	time.Sleep(s.delay)
+	resp, err := s.inner.ProcessProposal(prop)
+	close(s.called)
+	return resp, err
+}
+
+// TestSubmitReturnsBeforeSlowEndorser pins the quorum early-return: with a
+// majority of fast endorsers agreeing, Submit must not wait for a deliberately
+// slow straggler, and the per-endorser latency gauges must expose who the
+// straggler was.
+func TestSubmitReturnsBeforeSlowEndorser(t *testing.T) {
+	n := newTestNetwork(t, testConfig())
+	gw, err := n.NewGateway("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowEndorser{
+		inner:  n.Peers()[0],
+		delay:  1500 * time.Millisecond,
+		called: make(chan struct{}),
+	}
+	gw.AddEndorser(slow) // 4 fast peers + 1 slow = quorum of 3 fast ones
+
+	start := time.Now()
+	setRecord(t, gw, "fast-lane", "sha256:quick")
+	elapsed := time.Since(start)
+	if elapsed >= slow.delay {
+		t.Fatalf("Submit took %v, waited for the %v straggler", elapsed, slow.delay)
+	}
+
+	// The straggler finishes in the background; its gauge then records the
+	// latency the early-return kept off the transaction's critical path.
+	select {
+	case <-slow.called:
+	case <-time.After(10 * time.Second):
+		t.Fatal("straggler endorsement never completed")
+	}
+	waitFor(t, func() bool {
+		return n.Metrics().Gauge(metrics.EndorsePeerLatency+"_slowpoke").Value() >= int64(slow.delay)
+	})
+
+	// Fast endorsers got gauges too, named after their peers.
+	gauges := n.Metrics().GaugeSnapshot()
+	fast := 0
+	for name, v := range gauges {
+		if strings.HasPrefix(name, metrics.EndorsePeerLatency+"_peer") && v > 0 {
+			fast++
+		}
+	}
+	if fast < 3 {
+		t.Errorf("per-peer latency gauges = %d, want >= quorum (3); gauges: %v", fast, gauges)
+	}
+}

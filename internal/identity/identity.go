@@ -320,18 +320,28 @@ func (id *Identity) Subject() string {
 // MSP verifies serialized identities against the set of known org CAs. It is
 // shared by peers, orderers, and clients.
 type MSP struct {
-	mu  sync.RWMutex
-	cas map[string]*CA // org -> CA
+	mu     sync.RWMutex
+	cas    map[string]*CA // org -> CA
+	verify *VerifyCache
 }
 
-// NewMSP creates an MSP trusting the given CAs.
+// NewMSP creates an MSP trusting the given CAs. Every MSP carries a shared
+// signature-verification cache (see VerifyCache) so all components resolving
+// identities through it — gateway checks, commit validation, gossip
+// redelivery — pool their verification work.
 func NewMSP(cas ...*CA) *MSP {
-	m := &MSP{cas: make(map[string]*CA, len(cas))}
+	m := &MSP{
+		cas:    make(map[string]*CA, len(cas)),
+		verify: NewVerifyCache(0),
+	}
 	for _, ca := range cas {
 		m.cas[ca.org] = ca
 	}
 	return m
 }
+
+// VerifyCache returns the MSP's shared signature-verification cache.
+func (m *MSP) VerifyCache() *VerifyCache { return m.verify }
 
 // AddCA registers an additional trusted org CA.
 func (m *MSP) AddCA(ca *CA) {

@@ -1,0 +1,139 @@
+package identity
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// DefaultVerifyCacheCap is the entry bound used when a VerifyCache is built
+// with a non-positive capacity. At 32 key bytes plus list overhead per entry
+// the default costs about 2 MiB per process — small next to the ECDSA
+// verifications it saves.
+const DefaultVerifyCacheCap = 16384
+
+// VerifyCache is a bounded LRU of signature verifications that already
+// succeeded. Fabric-style pipelines verify the same (message, signature,
+// certificate) triple repeatedly — the committing peer re-checks what the
+// gateway already checked, and gossip redelivery re-checks whole blocks — so
+// remembering successful verifications converts steady-state re-validation
+// into a hash lookup.
+//
+// Only successes are cached. A cached entry proves the exact triple verified
+// once, which is as good as verifying it again: ECDSA verification is
+// deterministic in (key, digest, signature). Failures are never cached, so
+// an attacker cannot poison the cache; at worst a miss costs one real
+// verification, exactly the pre-cache behaviour.
+//
+// The zero value is not usable; build with NewVerifyCache. All methods are
+// safe for concurrent use.
+type VerifyCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[[sha256.Size]byte]*list.Element
+	order   *list.List // front = most recently used; values are key arrays
+	hits    uint64
+	misses  uint64
+}
+
+// VerifyCacheStats is a snapshot of cache effectiveness counters.
+type VerifyCacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// NewVerifyCache builds a cache bounded to capacity entries (the default
+// when capacity is not positive).
+func NewVerifyCache(capacity int) *VerifyCache {
+	if capacity <= 0 {
+		capacity = DefaultVerifyCacheCap
+	}
+	return &VerifyCache{
+		cap:     capacity,
+		entries: make(map[[sha256.Size]byte]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// verifyKey binds certificate, message, and signature into one cache key.
+// Each field is length-prefixed before hashing so no two distinct triples
+// can collide by sliding bytes across field boundaries.
+func verifyKey(certDER, msg, sig []byte) [sha256.Size]byte {
+	h := sha256.New()
+	var n [8]byte
+	for _, field := range [][]byte{certDER, msg, sig} {
+		binary.BigEndian.PutUint64(n[:], uint64(len(field)))
+		h.Write(n[:])
+		h.Write(field)
+	}
+	var k [sha256.Size]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// lookup reports whether k is cached, refreshing its recency on hit.
+func (c *VerifyCache) lookup(k [sha256.Size]byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return true
+}
+
+// insert records a successful verification, evicting the least recently
+// used entry when full.
+func (c *VerifyCache) insert(k [sha256.Size]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(k)
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.([sha256.Size]byte))
+	}
+}
+
+// Stats returns a snapshot of the hit/miss counters and current size.
+func (c *VerifyCache) Stats() VerifyCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return VerifyCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len()}
+}
+
+// VerifyCached checks sig over msg like Verify, consulting the cache first.
+// On a hit it returns immediately — skipping both the ECDSA verification
+// and onMiss. On a miss it invokes onMiss (if non-nil) before verifying;
+// callers use the hook to charge modeled verification hardware only for
+// work that actually happens. A nil cache degrades to plain Verify with the
+// onMiss charge, so call sites need no branching.
+func (id *Identity) VerifyCached(cache *VerifyCache, msg, sig []byte, onMiss func()) error {
+	if cache == nil {
+		if onMiss != nil {
+			onMiss()
+		}
+		return id.Verify(msg, sig)
+	}
+	k := verifyKey(id.certDER, msg, sig)
+	if cache.lookup(k) {
+		return nil
+	}
+	if onMiss != nil {
+		onMiss()
+	}
+	if err := id.Verify(msg, sig); err != nil {
+		return err
+	}
+	cache.insert(k)
+	return nil
+}

@@ -521,6 +521,12 @@ const (
 	// EndorseInflight is the number of endorsement requests currently being
 	// simulated — the endorsement queue depth.
 	EndorseInflight = "endorse_inflight"
+	// EndorsePeerLatency is the prefix of the gateway's per-endorser latency
+	// gauges (endorse_peer_latency_<endorser>): an EWMA of that endorser's
+	// proposal round-trip in nanoseconds. The family is bounded by the
+	// channel's endorser set. A persistently high reading identifies the
+	// straggler the quorum early-return is routing around.
+	EndorsePeerLatency = "endorse_peer_latency"
 )
 
 // Well-known histogram names: per-block latency of each commit-pipeline

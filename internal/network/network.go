@@ -13,6 +13,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"github.com/hyperprov/hyperprov/internal/codec"
 )
 
 // MaxFrame bounds a single framed message (64 MiB covers the largest
@@ -87,7 +89,13 @@ func WriteFrameExt(w io.Writer, traceID, channelID string, payload []byte) error
 		flags |= channelFlag
 		ext += 1 + len(channelID)
 	}
-	buf := make([]byte, 4+ext+len(payload))
+	// Assemble the frame in a pooled buffer: the steady-state gossip and
+	// transport write path sends thousands of frames per second, and a
+	// per-frame allocation sized header+payload is pure GC pressure. The
+	// single Write call below is still load-bearing (see WriteFrame).
+	fb := codec.GetBuffer()
+	fb.Grow(4 + ext + len(payload))
+	buf := fb.B[:4+ext+len(payload)]
 	binary.BigEndian.PutUint32(buf, uint32(ext+len(payload))|flags)
 	at := 4
 	if traceID != "" {
@@ -101,7 +109,9 @@ func WriteFrameExt(w io.Writer, traceID, channelID string, payload []byte) error
 		at += 1 + len(channelID)
 	}
 	copy(buf[at:], payload)
-	if _, err := w.Write(buf); err != nil {
+	_, err := w.Write(buf)
+	fb.Release()
+	if err != nil {
 		return fmt.Errorf("network: write frame: %w", err)
 	}
 	return nil

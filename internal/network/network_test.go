@@ -258,3 +258,40 @@ func TestReadFrameAtExactLimit(t *testing.T) {
 		t.Fatalf("roundtrip: %d bytes, err %v", len(got), err)
 	}
 }
+
+// TestWriteFrameExtZeroAlloc pins the pooled write path: once the buffer
+// pool is warm, framing a payload — with or without header extensions —
+// allocates nothing. This is the steady-state guarantee the gossip and
+// transport hot paths rely on.
+func TestWriteFrameExtZeroAlloc(t *testing.T) {
+	payload := make([]byte, 4096)
+	// Warm the pool so the measurement sees steady state, not first use.
+	if err := WriteFrameExt(io.Discard, "trace-1", "ch", payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := WriteFrameExt(io.Discard, "trace-1", "ch", payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("WriteFrameExt allocates %.1f objects per frame, want 0", allocs)
+	}
+}
+
+// BenchmarkWriteFrameExt is the -benchmem pin for the pooled frame writer:
+// steady-state frame writes on the commit/gossip hot path must report
+// 0 allocs/op (`go test -bench WriteFrameExt -benchmem ./internal/network/`).
+func BenchmarkWriteFrameExt(b *testing.B) {
+	payload := make([]byte, 4096)
+	if err := WriteFrameExt(io.Discard, "trace-bench", "ch", payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFrameExt(io.Discard, "trace-bench", "ch", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

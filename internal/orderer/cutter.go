@@ -6,7 +6,6 @@
 package orderer
 
 import (
-	"fmt"
 	"time"
 
 	"github.com/hyperprov/hyperprov/internal/blockstore"
@@ -62,17 +61,16 @@ func newBlockCutter(cfg BatchConfig) *blockCutter {
 
 // ordered adds env and returns zero or more cut batches. pending reports
 // whether the caller should (re)arm the batch timer: it is true when a
-// batch remains pending. An envelope that cannot be serialized is rejected
-// with an error and never enters a batch: it previously counted as zero
-// bytes, letting an unserializable oversized envelope bypass the
-// PreferredMaxBytes cut-alone path — and it could never be included in a
-// block anyway, since block data hashing must marshal every envelope.
+// batch remains pending. Sealing the envelope here serves double duty: the
+// encoded size drives the PreferredMaxBytes accounting, and the cached
+// canonical bytes ride with the envelope into the cut batch, so block
+// assembly, data hashing, gossip, and the ledger append all reuse this one
+// encoding (encode once per envelope per block). The binary codec is total
+// — unlike the JSON era there is no unserializable envelope to reject —
+// but the error return stays so a future partial codec keeps the
+// drop-don't-poison contract at the call sites.
 func (bc *blockCutter) ordered(env blockstore.Envelope) (batches [][]blockstore.Envelope, pending bool, err error) {
-	raw, err := env.Marshal()
-	if err != nil {
-		return nil, len(bc.pending) > 0, fmt.Errorf("orderer: reject unserializable envelope %q: %w", env.TxID, err)
-	}
-	size := len(raw)
+	size := env.Seal()
 
 	// An oversized message cuts any pending batch first, then goes alone.
 	if size > bc.cfg.PreferredMaxBytes {

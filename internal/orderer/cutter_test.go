@@ -129,40 +129,38 @@ func TestQuickCutterConservation(t *testing.T) {
 	}
 }
 
-// An envelope whose serialization fails must be rejected outright — it can
-// never be hashed into a block's data hash. Before the fix it was counted
-// as zero bytes, so an unserializable oversized envelope bypassed the
-// PreferredMaxBytes cut-alone path and poisoned whatever batch it joined.
-func TestCutterRejectsUnserializableEnvelope(t *testing.T) {
+// The binary codec is total: envelopes the JSON era could not serialize
+// (timestamps outside year [0,9999] broke json.Marshal) now encode, batch,
+// and hash like any other — the cutter must accept them rather than keep a
+// rejection path keyed to a failure mode that no longer exists. The
+// envelope sealed by the cutter must also round-trip through the codec so
+// the batch it joins can be hashed into a block.
+func TestCutterAcceptsExtremeTimestamps(t *testing.T) {
 	bc := newBlockCutter(BatchConfig{MaxMessageCount: 2, PreferredMaxBytes: 1024, BatchTimeout: time.Hour})
 	if _, pending, _ := bc.ordered(env("ok1", 10)); !pending {
 		t.Fatal("first envelope should be pending")
 	}
-	bad := env("bad", 10)
-	// json.Marshal fails for times outside year [0,9999].
-	bad.Timestamp = time.Date(10001, 1, 1, 0, 0, 0, 0, time.UTC)
-	if _, err := bad.Marshal(); err == nil {
-		t.Fatal("fixture envelope unexpectedly serializable")
-	}
-	batches, pending, err := bc.ordered(bad)
-	if err == nil {
-		t.Fatal("unserializable envelope accepted")
-	}
-	if len(batches) != 0 {
-		t.Fatalf("rejection cut %d batches", len(batches))
-	}
-	if !pending {
-		t.Fatal("pending batch lost on rejection")
-	}
-	// The pending batch is intact: the next good envelope completes it.
-	batches, _, err = bc.ordered(env("ok2", 10))
+	far := env("far-future", 10)
+	far.Timestamp = time.Date(10001, 1, 1, 0, 0, 0, 0, time.UTC)
+	raw, err := far.Marshal()
 	if err != nil {
-		t.Fatalf("good envelope rejected: %v", err)
+		t.Fatalf("binary codec rejected extreme timestamp: %v", err)
+	}
+	rt, err := blockstore.UnmarshalEnvelope(raw)
+	if err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
+	if !rt.Timestamp.Equal(far.Timestamp) {
+		t.Fatalf("timestamp mangled: %v != %v", rt.Timestamp, far.Timestamp)
+	}
+	batches, _, err := bc.ordered(far)
+	if err != nil {
+		t.Fatalf("cutter rejected extreme-timestamp envelope: %v", err)
 	}
 	if len(batches) != 1 || len(batches[0]) != 2 {
-		t.Fatalf("batches = %+v, want one batch of ok1+ok2", batches)
+		t.Fatalf("batches = %+v, want one batch of ok1+far-future", batches)
 	}
-	if batches[0][0].TxID != "ok1" || batches[0][1].TxID != "ok2" {
+	if batches[0][0].TxID != "ok1" || batches[0][1].TxID != "far-future" {
 		t.Errorf("batch contents = %s,%s", batches[0][0].TxID, batches[0][1].TxID)
 	}
 }

@@ -555,10 +555,14 @@ func (p *Peer) ProcessProposal(prop *endorser.Proposal) (resp *endorser.Response
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: proposal creator: %w", p.name, err)
 	}
+	// The gateway fans one signed proposal out to every endorsing peer; in
+	// an in-process network they share the MSP's signature cache, so only
+	// the first peer pays the ECDSA verification (and its modeled charge).
+	var onMiss func()
 	if p.exec != nil {
-		p.exec.Verify()
+		onMiss = func() { p.exec.Verify() }
 	}
-	if err := clientID.Verify(prop.SignedBytes(), prop.Signature); err != nil {
+	if err := clientID.VerifyCached(p.msp.VerifyCache(), prop.SignedBytes(), prop.Signature, onMiss); err != nil {
 		return nil, fmt.Errorf("peer %s: proposal signature: %w", p.name, err)
 	}
 	icc, err := p.chaincode(prop.Chaincode)
@@ -789,10 +793,16 @@ func (p *Peer) Sync() { p.committer.Sync() }
 // to which queries are guaranteed to read committed-only data.
 func (p *Peer) Watermark() uint64 { return p.committer.Watermark() }
 
-// blockWireSize approximates a block's dissemination transfer size.
+// blockWireSize is a block's dissemination transfer size: exact for
+// envelopes carrying their canonical encoding (everything that went through
+// the cutter or arrived off the wire), estimated for bare test fixtures.
 func blockWireSize(b *blockstore.Block) int {
 	n := 256
 	for i := range b.Envelopes {
+		if sz, ok := b.Envelopes[i].EncodedLen(); ok {
+			n += sz
+			continue
+		}
 		n += 768 + len(b.Envelopes[i].RWSet) + len(b.Envelopes[i].Response)
 		for _, a := range b.Envelopes[i].Args {
 			n += len(a)

@@ -54,23 +54,26 @@ type ReadWriteSet struct {
 	QueryReads []QueryRead `json:"queryReads,omitempty"`
 }
 
-// Marshal encodes the rwset deterministically (reads/writes sorted by key).
+// Marshal encodes the rwset into its canonical binary form, deterministic
+// by construction (reads/writes sorted by key, length-prefixed fields).
+// Every endorser of one simulation therefore produces identical bytes.
 func (rws *ReadWriteSet) Marshal() ([]byte, error) {
 	rws.normalize()
-	b, err := json.Marshal(rws)
-	if err != nil {
-		return nil, fmt.Errorf("rwset: marshal: %w", err)
-	}
-	return b, nil
+	return appendRWSet(nil, rws), nil
 }
 
-// Unmarshal decodes an rwset produced by Marshal.
+// Unmarshal decodes an rwset produced by Marshal. Legacy JSON rwsets —
+// embedded in envelopes persisted by PR ≤ 9 ledgers — are recognized by
+// their '{' first byte and decode transparently.
 func Unmarshal(b []byte) (*ReadWriteSet, error) {
-	var rws ReadWriteSet
-	if err := json.Unmarshal(b, &rws); err != nil {
-		return nil, fmt.Errorf("rwset: unmarshal: %w", err)
+	if len(b) > 0 && b[0] == '{' {
+		var rws ReadWriteSet
+		if err := json.Unmarshal(b, &rws); err != nil {
+			return nil, fmt.Errorf("rwset: unmarshal: %w", err)
+		}
+		return &rws, nil
 	}
-	return &rws, nil
+	return decodeRWSet(b)
 }
 
 func (rws *ReadWriteSet) normalize() {

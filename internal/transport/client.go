@@ -276,14 +276,13 @@ func (c *Client) exchangeLocked(req *request, traceID string) (*response, error)
 	return &resp, nil
 }
 
-// traceIDFor picks the trace ID a request should carry: the proposal's or
-// pushed block's transaction ID, rooting the remote hop in the same trace.
+// traceIDFor picks the trace ID a request should carry: the proposal's
+// transaction ID, rooting the remote hop in the same trace. Block pushes
+// compute their trace ID before encoding (see Deliver) — the binary block
+// payload is opaque here.
 func traceIDFor(req *request) string {
-	switch {
-	case req.Proposal != nil:
+	if req.Proposal != nil {
 		return req.Proposal.TxID
-	case req.Block != nil && len(req.Block.Envelopes) > 0:
-		return req.Block.Envelopes[0].TxID
 	}
 	return ""
 }
@@ -291,6 +290,12 @@ func traceIDFor(req *request) string {
 // roundTrip sends one request and reads one response, redialling once when
 // an established connection turns out to be dead.
 func (c *Client) roundTrip(req *request) (*response, error) {
+	return c.roundTripTraced(req, traceIDFor(req))
+}
+
+// roundTripTraced is roundTrip with an explicit trace ID for callers whose
+// payload no longer exposes one (binary block pushes).
+func (c *Client) roundTripTraced(req *request, traceID string) (*response, error) {
 	start := time.Now()
 	defer func() {
 		if c.cfg.Metrics != nil {
@@ -301,7 +306,6 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 			c.cfg.Metrics.Histogram(metrics.TransportRPC + "_" + req.Op).Observe(time.Since(start))
 		}
 	}()
-	traceID := traceIDFor(req)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for attempt := 0; ; attempt++ {
@@ -367,15 +371,33 @@ func (c *Client) BlocksFrom(from uint64) ([]*blockstore.Block, error) {
 		if !resp.More {
 			return blocks, nil
 		}
-		if resp.Block != nil {
+		switch {
+		case len(resp.BlockBin) > 0:
+			b, err := blockstore.UnmarshalBlock(resp.BlockBin)
+			if err != nil {
+				// An undecodable block means the stream is unusable past this
+				// point; the in-order prefix is still safe to commit.
+				c.dropConnLocked()
+				err = fmt.Errorf("transport: blocksFrom stream %s: %w", c.addr, err)
+				c.setErrLocked(err)
+				return blocks, err
+			}
+			blocks = append(blocks, b)
+		case resp.Block != nil:
 			blocks = append(blocks, resp.Block)
 		}
 	}
 }
 
-// Deliver pushes one block to the remote peer's commit pipeline.
+// Deliver pushes one block to the remote peer's commit pipeline, encoded in
+// the canonical binary form (the receiving pipeline reuses those exact
+// bytes for hashing and persistence).
 func (c *Client) Deliver(b *blockstore.Block) error {
-	resp, err := c.roundTrip(&request{Op: opDeliver, Block: b})
+	var traceID string
+	if len(b.Envelopes) > 0 {
+		traceID = b.Envelopes[0].TxID
+	}
+	resp, err := c.roundTripTraced(&request{Op: opDeliver, BlockBin: blockstore.MarshalBlock(b)}, traceID)
 	if err != nil {
 		return err
 	}

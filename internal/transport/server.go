@@ -245,7 +245,7 @@ func (s *Server) streamBlocks(w *network.ShapedConn, node Node, from uint64) err
 		if len(b.Envelopes) > 0 {
 			traceID = b.Envelopes[0].TxID
 		}
-		if err := network.WriteTracedJSON(w, traceID, &response{OK: true, More: true, Block: b}); err != nil {
+		if err := network.WriteTracedJSON(w, traceID, &response{OK: true, More: true, BlockBin: blockstore.MarshalBlock(b)}); err != nil {
 			return err
 		}
 		s.count(metrics.TransportFramesSent)
@@ -284,14 +284,22 @@ func (s *Server) handle(node Node, channelID string, req *request, traceID strin
 	case opHeight:
 		return &response{OK: true, Height: node.Height()}
 	case opDeliver:
-		if req.Block == nil {
+		b := req.Block
+		if len(req.BlockBin) > 0 {
+			var err error
+			b, err = blockstore.UnmarshalBlock(req.BlockBin)
+			if err != nil {
+				return &response{Code: network.CodeBadRequest, Err: fmt.Sprintf("deliver with undecodable block: %v", err)}
+			}
+		}
+		if b == nil {
 			return &response{Code: network.CodeBadRequest, Err: "deliver without block"}
 		}
 		start := time.Now()
-		node.DeliverBlock(req.Block)
+		node.DeliverBlock(b)
 		s.count(metrics.GossipPushDeliveries)
 		if s.cfg.Tracer != nil {
-			s.cfg.Tracer.AddBatch(envelopeIDs(req.Block), trace.StageGossipDeliver, node.Name(), start, time.Since(start))
+			s.cfg.Tracer.AddBatch(envelopeIDs(b), trace.StageGossipDeliver, node.Name(), start, time.Since(start))
 		}
 		return &response{OK: true}
 	case opSync:

@@ -14,10 +14,18 @@
 // channel-count row under the same drop budget, rows matched by channel
 // count.
 //
+// With -new-codec it gates the codec artifact (BENCH_codec.json). The codec
+// gate holds absolute floors with no baseline needed — binary envelope
+// decode >= 5x JSON, warm-signature-cache commit >= 1.3x cold, and a
+// zero-allocation steady-state frame writer — plus, when -old-codec names a
+// baseline, relative drop budgets on binary decode, warm commit, and TCP
+// catch-up throughput.
+//
 // Usage:
 //
 //	go run ./scripts -old prev/BENCH_commit.json -new BENCH_commit.json \
 //	    [-old-channels prev/BENCH_channels.json] [-new-channels BENCH_channels.json] \
+//	    [-old-codec prev/BENCH_codec.json] [-new-codec BENCH_codec.json] \
 //	    [-max-tps-drop 10] [-max-p99-rise 15] [-allow-missing]
 package main
 
@@ -42,6 +50,10 @@ func main() {
 		"baseline BENCH_channels.json (empty skips the channels gate)")
 	newChannelsPath := flag.String("new-channels", "",
 		"freshly generated BENCH_channels.json (empty skips the channels gate)")
+	oldCodecPath := flag.String("old-codec", "",
+		"baseline BENCH_codec.json (empty skips the relative codec checks; absolute floors still run with -new-codec)")
+	newCodecPath := flag.String("new-codec", "",
+		"freshly generated BENCH_codec.json (empty skips the codec gate)")
 	flag.Parse()
 
 	if *oldPath == "" {
@@ -91,6 +103,31 @@ func main() {
 		}
 	}
 
+	if *newCodecPath != "" {
+		newCodec, err := loadCodec(*newCodecPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench_compare:", err)
+			os.Exit(2)
+		}
+		violations = append(violations, codecFloors(newCodec)...)
+		compared++
+		if *oldCodecPath != "" {
+			oldCodec, err := loadCodec(*oldCodecPath)
+			switch {
+			case err == nil:
+				v, c := compareCodec(oldCodec, newCodec, *maxTpsDrop)
+				violations = append(violations, v...)
+				compared += c
+			case os.IsNotExist(err) && *allowMissing:
+				fmt.Printf("bench_compare: no codec baseline at %s; accepting %s as the first baseline\n",
+					*oldCodecPath, *newCodecPath)
+			default:
+				fmt.Fprintln(os.Stderr, "bench_compare:", err)
+				os.Exit(2)
+			}
+		}
+	}
+
 	fmt.Printf("bench_compare: %d row(s) compared, %d violation(s) "+
 		"(budgets: tps drop <= %.1f%%, p99 rise <= %.1f%%)\n",
 		compared, len(violations), *maxTpsDrop, *maxP99Rise)
@@ -108,6 +145,70 @@ func load(path string) (bench.CommitBenchResult, error) {
 		return bench.CommitBenchResult{}, err
 	}
 	return bench.ParseCommitBenchResult(raw)
+}
+
+func loadCodec(path string) (bench.CodecBenchResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return bench.CodecBenchResult{}, err
+	}
+	return bench.ParseCodecBenchResult(raw)
+}
+
+// codecFloors holds the codec artifact's absolute invariants — the
+// headline claims of the binary-codec work, enforced on every run without
+// needing a baseline: binary envelope decode >= 5x JSON, warm signature
+// cache >= 1.3x cold end-to-end commit, and an allocation-free steady-state
+// frame writer (a small tolerance absorbs stray runtime allocations that a
+// background GC can charge to the measured loop).
+func codecFloors(r bench.CodecBenchResult) []string {
+	var violations []string
+	if r.DecodeSpeedup < 5 {
+		violations = append(violations, fmt.Sprintf(
+			"codec: binary/JSON decode speedup %.2fx below the 5x floor", r.DecodeSpeedup))
+	}
+	if r.WarmSpeedup < 1.3 {
+		violations = append(violations, fmt.Sprintf(
+			"codec: warm-signature-cache commit speedup %.2fx below the 1.3x floor", r.WarmSpeedup))
+	}
+	if r.FrameAllocsPerOp < 0 || r.FrameAllocsPerOp > 0.1 {
+		violations = append(violations, fmt.Sprintf(
+			"codec: steady-state frame writer allocates %.2f/frame, want 0", r.FrameAllocsPerOp))
+	}
+	return violations
+}
+
+// compareCodec gates the codec artifact's throughput columns against the
+// previous run under the shared drop budget.
+func compareCodec(oldRes, newRes bench.CodecBenchResult, maxTpsDrop float64) ([]string, int) {
+	var violations []string
+	compared := 0
+	check := func(col string, baseVal, newVal float64) {
+		if baseVal <= 0 {
+			return
+		}
+		compared++
+		pct := (baseVal - newVal) / baseVal * 100
+		if pct > maxTpsDrop {
+			violations = append(violations, fmt.Sprintf(
+				"codec: %s dropped %.1f%% (%.1f -> %.1f, budget %.1f%%)",
+				col, pct, baseVal, newVal, maxTpsDrop))
+		}
+	}
+	for _, m := range newRes.Micro {
+		if m.Codec != "binary" {
+			continue
+		}
+		for _, b := range oldRes.Micro {
+			if b.Codec == "binary" {
+				check("binary decode MB/s", b.DecodeMBps, m.DecodeMBps)
+				check("binary encode MB/s", b.EncodeMBps, m.EncodeMBps)
+			}
+		}
+	}
+	check("warm-cache commit tx/s", oldRes.CommitWarmTps, newRes.CommitWarmTps)
+	check("TCP catch-up blocks/s", oldRes.CatchupBlocksPerSec, newRes.CatchupBlocksPerSec)
+	return violations, compared
 }
 
 func loadChannels(path string) (bench.ChannelBenchResult, error) {

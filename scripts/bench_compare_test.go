@@ -100,3 +100,62 @@ func TestCompareSkipsZeroBaselines(t *testing.T) {
 		t.Fatalf("violations = %v, want none", violations)
 	}
 }
+
+func codecResult(decodeSpeedup, warmSpeedup, frameAllocs float64) bench.CodecBenchResult {
+	return bench.CodecBenchResult{
+		Name: "test",
+		Micro: []bench.CodecMicroRow{
+			{Codec: "json", DecodeMBps: 100, EncodeMBps: 200},
+			{Codec: "binary", DecodeMBps: 1000, EncodeMBps: 800},
+		},
+		DecodeSpeedup:       decodeSpeedup,
+		WarmSpeedup:         warmSpeedup,
+		FrameAllocsPerOp:    frameAllocs,
+		CommitWarmTps:       5000,
+		CatchupBlocksPerSec: 9000,
+	}
+}
+
+// TestCodecFloors checks the codec artifact's absolute invariants: the
+// headline ratios pass at their floors and each violation is named when
+// breached.
+func TestCodecFloors(t *testing.T) {
+	if v := codecFloors(codecResult(5.0, 1.3, 0)); len(v) != 0 {
+		t.Fatalf("floors tripped on a passing artifact: %v", v)
+	}
+	cases := []struct {
+		name string
+		res  bench.CodecBenchResult
+		want string
+	}{
+		{"decode below 5x", codecResult(4.2, 2.0, 0), "decode speedup"},
+		{"warm cache below 1.3x", codecResult(10, 1.1, 0), "warm-signature-cache"},
+		{"frame writer allocates", codecResult(10, 2.0, 1.5), "frame writer allocates"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := codecFloors(tc.res)
+			if len(v) != 1 || !strings.Contains(v[0], tc.want) {
+				t.Fatalf("violations = %v, want one mentioning %q", v, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompareCodec checks the relative codec gate: small fluctuations pass,
+// a throughput collapse in any gated column trips it.
+func TestCompareCodec(t *testing.T) {
+	base := codecResult(10, 2.0, 0)
+	ok := codecResult(10, 2.0, 0)
+	ok.CommitWarmTps = 4800 // -4%
+	violations, compared := compareCodec(base, ok, 10)
+	if compared == 0 || len(violations) != 0 {
+		t.Fatalf("compared=%d violations=%v, want clean pass", compared, violations)
+	}
+	bad := codecResult(10, 2.0, 0)
+	bad.CommitWarmTps = 4000 // -20% > 10% budget
+	violations, _ = compareCodec(base, bad, 10)
+	if len(violations) != 1 || !strings.Contains(violations[0], "warm-cache commit") {
+		t.Fatalf("violations = %v, want one warm-cache regression", violations)
+	}
+}
